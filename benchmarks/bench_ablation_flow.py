@@ -1,0 +1,103 @@
+"""Ablations on the exploration flow.
+
+* window budget k = m in {6, 8, 10} (paper: 'k and m are design choices
+  mostly determined by the runtime and memory budgets');
+* full greedy (Algorithm 1 verbatim) vs lazy-greedy candidate selection;
+* hybrid variant selection vs pure general-BMF and pure column-subset.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench import mult8
+from repro.core.explorer import ExplorerConfig, explore
+
+from conftest import SAMPLES, print_header
+
+
+def _config(**kw):
+    base = dict(
+        n_samples=min(SAMPLES, 2048),
+        strategy="lazy",
+        error_cap=0.3,
+    )
+    base.update(kw)
+    return ExplorerConfig(**base)
+
+
+def test_ablation_window_budget(benchmark):
+    circuit = mult8()
+    result10 = benchmark.pedantic(
+        lambda: explore(circuit, _config(max_inputs=10, max_outputs=10)),
+        rounds=1,
+        iterations=1,
+    )
+    print_header("Ablation: window budget k = m")
+    print(f"{'k=m':>4s} {'windows':>8s} {'pts':>5s} {'norm.area@10%':>14s}")
+    rows = {}
+    for k in (6, 8, 10):
+        res = (
+            result10
+            if k == 10
+            else explore(circuit, _config(max_inputs=k, max_outputs=k))
+        )
+        point = res.best_point(0.10)
+        norm = point.est_area / res.baseline_est_area if point else 1.0
+        rows[k] = norm
+        print(f"{k:4d} {len(res.windows):8d} {len(res.trajectory):5d} {norm:14.3f}")
+    # Bigger windows expose more factorization freedom: k=10 should not be
+    # substantially worse than k=6.
+    assert rows[10] <= rows[6] + 0.1
+
+
+def test_ablation_strategy_cost(benchmark):
+    circuit = mult8()
+    t0 = time.perf_counter()
+    full = explore(circuit, _config(strategy="full"))
+    t_full = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    lazy = benchmark.pedantic(
+        lambda: explore(circuit, _config(strategy="lazy")),
+        rounds=1,
+        iterations=1,
+    )
+    t_lazy = time.perf_counter() - t0
+    print_header("Ablation: full greedy vs lazy greedy")
+    print(f"full: {full.n_evaluations} evaluations ({t_full:.1f}s)")
+    print(f"lazy: {lazy.n_evaluations} evaluations ({t_lazy:.1f}s)")
+    final_gap = abs(full.trajectory[-1].qor - lazy.trajectory[-1].qor)
+    print(f"final qor gap: {final_gap:.4f}")
+    assert lazy.n_evaluations < full.n_evaluations
+    # Quality must stay comparable.
+    p_full = full.best_point(0.10)
+    p_lazy = lazy.best_point(0.10)
+    if p_full and p_lazy:
+        assert (
+            p_lazy.est_area / lazy.baseline_est_area
+            <= p_full.est_area / full.baseline_est_area + 0.12
+        )
+
+
+def test_ablation_variant_selection(benchmark):
+    circuit = mult8()
+    hybrid = benchmark.pedantic(
+        lambda: explore(circuit, _config(selection="hybrid")),
+        rounds=1,
+        iterations=1,
+    )
+    cone = explore(circuit, _config(selection="cone"))
+    bmf = explore(circuit, _config(selection="bmf"))
+    print_header("Ablation: variant selection policy (norm. est. area @ 10% err)")
+    rows = {}
+    for name, res in (("hybrid", hybrid), ("cone", cone), ("bmf", bmf)):
+        point = res.best_point(0.10)
+        rows[name] = point.est_area / res.baseline_est_area if point else 1.0
+        print(f"  {name:7s}: {rows[name]:.3f}")
+    # The hybrid must match or beat the pure general-BMF policy (this is
+    # the gap that pure truth-table resynthesis of ASSO factors leaves).
+    assert rows["hybrid"] <= rows["bmf"] + 1e-6
+    assert rows["hybrid"] <= rows["cone"] + 0.10

@@ -1,0 +1,46 @@
+"""Figure 1 — Boolean NNMF example.
+
+The paper opens with a small Boolean matrix factored over GF(2)/the Boolean
+semiring into a tall-skinny times short-fat pair.  This bench regenerates
+the figure's content: an 8×8 boolean matrix of (noisy) rank 3 factored at
+f = 3, showing the factors and the reconstruction error, and times the
+factorization kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bmf import bool_product, factorize
+
+from conftest import print_header
+
+
+def _example_matrix() -> np.ndarray:
+    rng = np.random.default_rng(2)
+    B = rng.random((8, 3)) < 0.5
+    C = rng.random((3, 8)) < 0.5
+    return bool_product(B, C)
+
+
+def _fmt(mat: np.ndarray) -> str:
+    return "\n".join("  " + " ".join("1" if v else "0" for v in row) for row in mat)
+
+
+def test_figure1_bmf_example(benchmark):
+    M = _example_matrix()
+    result = benchmark(lambda: factorize(M, 3))
+    print_header("Figure 1: Boolean NNMF example (M ~= B o C at f=3)")
+    print("M =")
+    print(_fmt(M))
+    print("B =")
+    print(_fmt(result.B))
+    print("C =")
+    print(_fmt(result.C))
+    print(f"Hamming distance: {result.hamming} (paper example: exact at rank 3)")
+    # This rank-3 boolean matrix factors exactly at f=3 (ASSO is a
+    # heuristic, so exact recovery is matrix-dependent; the refinement pass
+    # recovers the remaining cases — see the ablation benchmark).
+    refined = factorize(M, 3, method="asso+refine")
+    assert refined.hamming == 0
+    assert result.hamming <= 2

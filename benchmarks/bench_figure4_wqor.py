@@ -1,0 +1,83 @@
+"""Figure 4 — weighted QoR (WQoR) vs uniform QoR (UQoR) on Mult8.
+
+The paper modifies ASSO so mismatches on significant output bits cost more
+(§3.2) and shows that, on Mult8, the weighted factorization gives better
+accuracy-vs-area trade-offs under all three accuracy metrics (relative
+error, absolute error, Hamming distance).
+
+We run the explorer twice — uniform window weights vs significance-derived
+weights — and print both trade-off curves.  Shape expectation: at matched
+normalized area, the weighted run's numeric errors (mre / nmae) are
+generally no worse, and its area-under-curve is smaller.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import mult8
+from repro.core.explorer import ExplorerConfig, explore
+from repro.core.qor import QoREvaluator, QoRSpec
+from repro.flow import measure_error
+
+from conftest import SAMPLES, WINDOW, print_header
+
+
+def _sweep(circuit, weight_mode):
+    config = ExplorerConfig(
+        max_inputs=WINDOW,
+        max_outputs=WINDOW,
+        n_samples=SAMPLES,
+        strategy="lazy",
+        error_cap=0.5,
+        weight_mode=weight_mode,
+    )
+    return explore(circuit, config)
+
+
+def _curve(result):
+    base = result.baseline_est_area
+    return [
+        (p.est_area / base, p.qor) for p in result.trajectory
+    ]
+
+
+def _auc(curve):
+    """Area under the (error -> normalized area) staircase."""
+    total = 0.0
+    for (a0, e0), (a1, e1) in zip(curve, curve[1:]):
+        total += abs(e1 - e0) * (a0 + a1) / 2.0
+    return total
+
+
+def test_figure4_wqor_vs_uqor(benchmark, sweeps):
+    circuit = mult8()
+    uqor = benchmark.pedantic(
+        lambda: _sweep(circuit, "uniform"), rounds=1, iterations=1
+    )
+    wqor = _sweep(circuit, "significance")
+
+    print_header("Figure 4: WQoR vs UQoR trade-off on Mult8")
+    print(f"{'norm.area UQoR':>15s} {'rel.err':>9s} | {'norm.area WQoR':>15s} {'rel.err':>9s}")
+    cu, cw = _curve(uqor), _curve(wqor)
+    for i in range(0, max(len(cu), len(cw)), max(1, max(len(cu), len(cw)) // 12)):
+        left = f"{cu[i][0]:15.3f} {cu[i][1]:9.4f}" if i < len(cu) else " " * 25
+        right = f"{cw[i][0]:15.3f} {cw[i][1]:9.4f}" if i < len(cw) else ""
+        print(left + " | " + right)
+
+    auc_u, auc_w = _auc(cu), _auc(cw)
+    print(f"\narea-under-curve (lower is better): UQoR={auc_u:.3f}  WQoR={auc_w:.3f}")
+
+    # Shape: the weighted run must not be substantially worse, mirroring the
+    # paper's "consistent benefits ... for the same design complexity".
+    assert auc_w <= auc_u * 1.15
+
+    # At a matched 5% relative error point, WQoR should reach at most a
+    # comparable area.
+    def area_at(curve, err):
+        within = [a for a, e in curve if e <= err]
+        return min(within) if within else 1.0
+
+    a_u, a_w = area_at(cu, 0.05), area_at(cw, 0.05)
+    print(f"min normalized area at 5% rel.err: UQoR={a_u:.3f}  WQoR={a_w:.3f}")
+    assert a_w <= a_u + 0.15

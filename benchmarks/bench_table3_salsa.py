@@ -1,0 +1,71 @@
+"""Table 3 — BLASYS vs SALSA area savings at 5% and 25% thresholds.
+
+Both flows run on identical substrates (same decomposition machinery, same
+Monte-Carlo-guided greedy, same synthesis oracle); the only difference is
+the one the paper credits for BLASYS's advantage — multi-output BMF windows
+versus SALSA's per-output-bit don't-care simplification.
+
+Shape expectation: BLASYS >= SALSA on every circuit at both thresholds,
+with the gap largest on shared-logic circuits (Mult8, MAC — the paper has
+SALSA at 1.8%/1.7% there).
+"""
+
+from __future__ import annotations
+
+from repro.bench import BENCHMARK_ORDER, get_benchmark
+
+from conftest import print_header
+
+#: Paper Table 3: (BLASYS, SALSA) area savings % at 5% and at 25%.
+PAPER_TABLE3 = {
+    "adder32": ((44.9, 20.5), (48.2, 23.2)),
+    "mult8": ((28.8, 1.8), (63.2, 8.9)),
+    "but": ((7.9, 5.0), (26.4, 24.7)),
+    "mac": ((47.6, 1.7), (65.9, 8.2)),
+    "sad": ((32.8, 3.3), (38.1, 15.8)),
+    "fir": ((19.5, 3.2), (34.0, 15.8)),
+}
+
+THRESHOLDS = (0.05, 0.25)
+
+
+def _area_savings(sweeps, result, name, threshold) -> float:
+    metrics, _ = sweeps.realized_metrics(result, threshold)
+    if metrics is None:
+        return 0.0
+    return metrics.savings_vs(sweeps.baseline(name))["area"]
+
+
+def test_table3_blasys_vs_salsa(benchmark, sweeps):
+    benchmark.pedantic(lambda: sweeps.salsa("but"), rounds=1, iterations=1)
+
+    print_header("Table 3: area savings, BLASYS vs SALSA (ours vs paper)")
+    print(
+        f"{'Design':8s} | {'@5% ours B/S':>14s} {'paper B/S':>12s} | "
+        f"{'@25% ours B/S':>14s} {'paper B/S':>12s}"
+    )
+    gaps = {}
+    for name in BENCHMARK_ORDER:
+        blasys = sweeps.blasys(name)
+        salsa = sweeps.salsa(name)
+        row = []
+        for thr in THRESHOLDS:
+            b = _area_savings(sweeps, blasys, name, thr)
+            s = _area_savings(sweeps, salsa, name, thr)
+            row.append((b, s))
+        (p5b, p5s), (p25b, p25s) = PAPER_TABLE3[name]
+        print(
+            f"{get_benchmark(name).name:8s} | "
+            f"{row[0][0]:5.1f}/{row[0][1]:5.1f}  {p5b:5.1f}/{p5s:5.1f} | "
+            f"{row[1][0]:5.1f}/{row[1][1]:5.1f}  {p25b:5.1f}/{p25s:5.1f}"
+        )
+        gaps[name] = row
+    # Shape: BLASYS beats SALSA on the shared-logic circuits at both
+    # thresholds (the paper's headline), and is never dramatically worse
+    # anywhere else.
+    for name in ("mult8", "mac", "adder32", "fir"):
+        for (b, s) in gaps[name]:
+            assert b >= s, f"{name}: BLASYS {b} < SALSA {s}"
+    for name in BENCHMARK_ORDER:
+        for (b, s) in gaps[name]:
+            assert b >= s - 5.0

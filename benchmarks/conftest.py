@@ -1,0 +1,112 @@
+"""Shared infrastructure for the experiment-regeneration benchmarks.
+
+Every table and figure of the paper has one ``bench_*.py`` file here.  Each
+file times a representative kernel with pytest-benchmark *and* prints the
+rows/series the paper reports, so ``pytest benchmarks/ --benchmark-only -s``
+regenerates the evaluation section.
+
+Environment knobs (the paper's settings are expensive; defaults are sized
+for a laptop run):
+
+``REPRO_SAMPLES``
+    Monte-Carlo samples during exploration (default 4096; paper used 10^6).
+``REPRO_FINAL_SAMPLES``
+    Samples for the independent error re-measurement (default 16384).
+``REPRO_WINDOW``
+    k = m window budget (default 10, the paper's choice).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.baselines import run_salsa
+from repro.bench import BENCHMARK_ORDER, get_benchmark
+from repro.core.explorer import ExplorationResult, ExplorerConfig, explore
+from repro.synth import DesignMetrics, evaluate_design
+
+SAMPLES = int(os.environ.get("REPRO_SAMPLES", "4096"))
+FINAL_SAMPLES = int(os.environ.get("REPRO_FINAL_SAMPLES", "16384"))
+WINDOW = int(os.environ.get("REPRO_WINDOW", "10"))
+
+#: Error ceiling for the full trade-off sweeps (Figure 5 plots to
+#: normalized error 1.0; absolute MRE beyond ~0.6 is already deep garbage).
+ERROR_CAP = 0.6
+
+
+def sweep_config(**overrides) -> ExplorerConfig:
+    """The shared exploration configuration for full trade-off sweeps."""
+    base = ExplorerConfig(
+        max_inputs=WINDOW,
+        max_outputs=WINDOW,
+        n_samples=SAMPLES,
+        strategy="lazy",
+        error_cap=ERROR_CAP,
+    )
+    return replace(base, **overrides)
+
+
+class SweepCache:
+    """Session-wide cache of expensive explorations.
+
+    Table 2, Table 3 and Figure 5 all consume the same full sweep per
+    benchmark; running it once keeps the whole harness inside a laptop
+    budget.
+    """
+
+    def __init__(self) -> None:
+        self._blasys: Dict[str, ExplorationResult] = {}
+        self._salsa: Dict[str, ExplorationResult] = {}
+        self._baseline: Dict[str, DesignMetrics] = {}
+        self._circuits = {}
+
+    def circuit(self, name: str):
+        if name not in self._circuits:
+            self._circuits[name] = get_benchmark(name).factory()
+        return self._circuits[name]
+
+    def baseline(self, name: str) -> DesignMetrics:
+        if name not in self._baseline:
+            self._baseline[name] = evaluate_design(
+                self.circuit(name), match_macros=False, n_activity_samples=2048
+            )
+        return self._baseline[name]
+
+    def blasys(self, name: str) -> ExplorationResult:
+        if name not in self._blasys:
+            self._blasys[name] = explore(self.circuit(name), sweep_config())
+        return self._blasys[name]
+
+    def salsa(self, name: str) -> ExplorationResult:
+        if name not in self._salsa:
+            self._salsa[name] = run_salsa(self.circuit(name), sweep_config())
+        return self._salsa[name]
+
+    def realized_metrics(
+        self, result: ExplorationResult, threshold: float
+    ) -> Tuple[DesignMetrics, object]:
+        """(metrics, trajectory point) of the best design within threshold."""
+        point = result.best_point(threshold)
+        if point is None or point.iteration == 0:
+            return None, point
+        realized = result.realize(point)
+        metrics = evaluate_design(
+            realized, match_macros=False, n_activity_samples=2048
+        )
+        return metrics, point
+
+
+@pytest.fixture(scope="session")
+def sweeps() -> SweepCache:
+    return SweepCache()
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

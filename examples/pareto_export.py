@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Export full accuracy/area Pareto frontiers (Figure 5 data) as CSV.
+
+Runs the exhaustive exploration sweep on selected benchmarks and writes one
+CSV per circuit with the trajectory the paper plots in Figure 5: estimated
+normalized area against average relative error and normalized average
+absolute error.  Useful for regenerating the figure in any plotting tool.
+
+Run:  python examples/pareto_export.py [bench ...]
+      (default: adder32 mult8 but)
+"""
+
+from __future__ import annotations
+
+import csv
+import sys
+
+import numpy as np
+
+from repro.bench import BENCHMARK_ORDER, get_benchmark
+from repro.core.explorer import ExplorerConfig, explore
+from repro.core.qor import QoREvaluator, QoRSpec
+from repro.flow import measure_error
+
+
+def export(name: str) -> str:
+    bench = get_benchmark(name)
+    circuit = bench.factory()
+    result = explore(
+        circuit,
+        ExplorerConfig(n_samples=4096, strategy="lazy", error_cap=0.6),
+    )
+    path = f"pareto_{name}.csv"
+    base = result.baseline_est_area
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            ["iteration", "window", "f", "rel_error", "norm_area", "est_area_um2"]
+        )
+        for p in result.trajectory:
+            writer.writerow(
+                [p.iteration, p.window_index, p.f, f"{p.qor:.6f}",
+                 f"{p.est_area / base:.4f}", f"{p.est_area:.2f}"]
+            )
+    print(f"{bench.name}: {len(result.trajectory)} points -> {path}")
+    return path
+
+
+def main() -> None:
+    names = sys.argv[1:] or ["adder32", "mult8", "but"]
+    for name in names:
+        if name not in BENCHMARK_ORDER:
+            print(f"skipping unknown benchmark {name!r}")
+            continue
+        export(name)
+
+
+if __name__ == "__main__":
+    main()

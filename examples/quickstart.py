@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Quickstart: approximate an 8-bit multiplier with BLASYS.
+
+Builds the paper's Mult8 benchmark, runs the full flow at two error
+thresholds, prints the savings table and writes the 5%-error netlist out as
+BLIF and Verilog.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.bench import mult8
+from repro.circuit import write_blif, write_verilog
+from repro.core.explorer import ExplorerConfig
+from repro.flow import run_blasys
+
+
+def main() -> None:
+    circuit = mult8()
+    print(f"input design : {circuit.name}, {circuit.n_inputs} inputs, "
+          f"{circuit.n_outputs} outputs, {circuit.n_gates} gates")
+
+    config = ExplorerConfig(
+        n_samples=4096,     # Monte-Carlo samples guiding the search
+        strategy="lazy",    # lazy-greedy candidate selection
+    )
+    result = run_blasys(circuit, thresholds=[0.05, 0.25], config=config)
+
+    print()
+    print(result.summary())
+
+    design = result.designs.get(0.05)
+    if design is not None:
+        write_blif(design.circuit, "mult8_approx.blif")
+        write_verilog(design.circuit, "mult8_approx.v")
+        print()
+        print("wrote mult8_approx.blif / mult8_approx.v "
+              f"({design.circuit.n_gates} gates, "
+              f"{design.metrics.area_um2:.1f} um2, "
+              f"measured rel. error {design.measured['mre']:.2%})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""BLASYS reproduction: approximate logic synthesis via Boolean matrix factorization.
+
+This package re-implements the full system from *BLASYS: Approximate Logic
+Synthesis Using Boolean Matrix Factorization* (Hashemi, Tann, Reda — DAC
+2018): the BMF-based approximator, the weighted-QoR factorization, the k×m
+circuit decomposition with its greedy design-space exploration, the logic
+synthesis / technology-mapping substrate used as the cost oracle, the six
+evaluation benchmarks, and the SALSA-style per-output baseline.
+
+Quickstart::
+
+    from repro import bench, flow
+
+    result = flow.run_blasys(bench.mult8(), thresholds=[0.05])
+    print(result.summary())
+"""
+
+__version__ = "1.0.0"
+
+from . import baselines  # noqa: F401
+from . import bench  # noqa: F401
+from . import circuit  # noqa: F401
+from . import core  # noqa: F401
+from . import eval  # noqa: F401
+from . import flow  # noqa: F401
+from . import partition  # noqa: F401
+from . import synth  # noqa: F401
+
+__all__ = [
+    "__version__",
+    "baselines",
+    "bench",
+    "circuit",
+    "core",
+    "eval",
+    "flow",
+    "partition",
+    "synth",
+]

@@ -1,0 +1,21 @@
+"""Comparison baselines from the paper's evaluation (SALSA)."""
+
+from .salsa import (
+    DC_LADDER,
+    SCOPES,
+    boundary_scores,
+    dc_mask_for_fraction,
+    output_root_windows,
+    profile_salsa_windows,
+    run_salsa,
+)
+
+__all__ = [
+    "DC_LADDER",
+    "SCOPES",
+    "boundary_scores",
+    "dc_mask_for_fraction",
+    "output_root_windows",
+    "profile_salsa_windows",
+    "run_salsa",
+]

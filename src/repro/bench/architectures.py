@@ -1,0 +1,114 @@
+"""Alternative micro-architectures for the arithmetic benchmarks.
+
+The paper evaluates one implementation per function; a natural follow-up
+question (and a classic synthesis study) is how much the BLASYS savings
+depend on the *architecture* of the accurate design — a carry-lookahead
+adder exposes different window structure than a ripple chain, a Wallace
+tree different structure than a carry-propagate array.  These generators
+feed the architecture ablation benchmark.
+
+All generators carry the same word metadata as their ripple/array siblings,
+so golden models and QoR evaluation apply unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..circuit.builder import CircuitBuilder, Sig, Word
+from ..circuit.netlist import Circuit
+
+
+def carry_lookahead_adder(width: int, block: int = 4, name: Optional[str] = None) -> Circuit:
+    """Block carry-lookahead adder: ``sum = a + b`` with width+1 outputs.
+
+    Within each ``block``, generate/propagate terms produce all carries in
+    two gate levels; blocks are chained ripple-style (the common
+    block-CLA organization).
+    """
+    b = CircuitBuilder(name or f"cla{width}")
+    a = b.input_word("a", width)
+    x = b.input_word("b", width)
+    g = [b.and_(ai, xi) for ai, xi in zip(a, x)]
+    p = [b.xor_(ai, xi) for ai, xi in zip(a, x)]
+    carry: Sig = b.const(False)
+    sums: Word = []
+    for start in range(0, width, block):
+        stop = min(start + block, width)
+        carries: List[Sig] = [carry]
+        for i in range(start, stop):
+            # c_{i+1} = g_i | p_i & g_{i-1} | ... | p_i..p_start & c_in
+            terms: List[Sig] = []
+            for j in range(i, start - 1, -1):
+                lits = [g[j]] + [p[t] for t in range(j + 1, i + 1)]
+                terms.append(b.and_(*lits) if len(lits) > 1 else lits[0])
+            chain = [p[t] for t in range(start, i + 1)] + [carries[0]]
+            terms.append(b.and_(*chain) if len(chain) > 1 else chain[0])
+            carries.append(b.or_(*terms) if len(terms) > 1 else terms[0])
+        for i in range(start, stop):
+            sums.append(b.xor_(p[i], carries[i - start]))
+        carry = carries[-1]
+    b.output_word("sum", sums + [carry])
+    return b.build()
+
+
+def carry_select_adder(width: int, block: int = 4, name: Optional[str] = None) -> Circuit:
+    """Carry-select adder: per block, both carry assumptions precomputed."""
+    b = CircuitBuilder(name or f"csel{width}")
+    a = b.input_word("a", width)
+    x = b.input_word("b", width)
+    carry: Sig = b.const(False)
+    sums: Word = []
+    for start in range(0, width, block):
+        stop = min(start + block, width)
+        a_blk, x_blk = a[start:stop], x[start:stop]
+        s0, c0 = b.add(a_blk, x_blk, cin=b.const(False))
+        s1, c1 = b.add(a_blk, x_blk, cin=b.const(True))
+        sums.extend(b.mux_word(carry, s0, s1))
+        carry = b.mux(carry, c0, c1)
+    b.output_word("sum", sums + [carry])
+    return b.build()
+
+
+def wallace_multiplier(width: int, name: Optional[str] = None) -> Circuit:
+    """Wallace-tree multiplier: CSA reduction of the partial products.
+
+    Partial products are reduced column-wise with full/half adders until
+    every column holds at most two bits; a final ripple adder merges the
+    two operands.  Shallower and more irregular than the carry-propagate
+    array — exactly the structural contrast the ablation probes.
+    """
+    b = CircuitBuilder(name or f"wallace{width}")
+    a = b.input_word("a", width)
+    x = b.input_word("b", width)
+    out_width = 2 * width
+    columns: List[List[Sig]] = [[] for _ in range(out_width)]
+    for i in range(width):
+        for j in range(width):
+            columns[i + j].append(b.and_(a[i], x[j]))
+
+    while any(len(col) > 2 for col in columns):
+        nxt: List[List[Sig]] = [[] for _ in range(out_width)]
+        for pos, col in enumerate(columns):
+            idx = 0
+            while len(col) - idx >= 3:
+                s, c = b.full_adder(col[idx], col[idx + 1], col[idx + 2])
+                nxt[pos].append(s)
+                if pos + 1 < out_width:
+                    nxt[pos + 1].append(c)
+                idx += 3
+            if len(col) - idx == 2:
+                s, c = b.half_adder(col[idx], col[idx + 1])
+                nxt[pos].append(s)
+                if pos + 1 < out_width:
+                    nxt[pos + 1].append(c)
+                idx += 2
+            nxt[pos].extend(col[idx:])
+        columns = nxt
+
+    zero = b.const(False)
+    op_a = [col[0] if len(col) > 0 else zero for col in columns]
+    op_b = [col[1] if len(col) > 1 else zero for col in columns]
+    total, _ = b.add(op_a, op_b)
+    b.output_word("p", total)
+    return b.build()

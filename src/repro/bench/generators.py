@@ -1,0 +1,190 @@
+"""Benchmark circuit generators (paper Table 1).
+
+Each generator elaborates the natural gate-level micro-architecture of one
+of the six evaluation circuits and attaches word metadata so QoR can be
+measured on numbers (Eq. 1/2 of the paper).  I/O pin counts match Table 1:
+
+=========  ==========================================  =======
+Name       Function                                    I/O
+=========  ==========================================  =======
+Adder32    32-bit adder                                64/33
+Mult8      8-bit multiplier                            16/16
+BUT        butterfly structure (radix-2: a+b, a-b)     16/18
+MAC        8x8 multiply + 32-bit accumulate            48/33
+SAD        |a-b| + 32-bit accumulate                   48/33
+FIR        4-tap 8-bit FIR filter                      64/16
+=========  ==========================================  =======
+
+Every generator has a matching ``golden_*`` numpy model used by tests and
+by Monte-Carlo QoR validation.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..circuit.builder import CircuitBuilder
+from ..circuit.netlist import Circuit
+
+#: Bits dropped from the FIR accumulator; the 18-bit sum of four 16-bit
+#: products is scaled down to the 16 output pins of Table 1.
+FIR_SHIFT = 2
+
+
+def ripple_adder(width: int, name: str = None) -> Circuit:
+    """``sum = a + b`` with full carry: ``width`` + 1 output bits."""
+    b = CircuitBuilder(name or f"adder{width}")
+    a = b.input_word("a", width)
+    x = b.input_word("b", width)
+    s, carry = b.add(a, x)
+    b.output_word("sum", s + [carry])
+    return b.build()
+
+
+def array_multiplier(width: int, name: str = None) -> Circuit:
+    """``p = a * b`` as a carry-propagate array multiplier."""
+    b = CircuitBuilder(name or f"mult{width}")
+    a = b.input_word("a", width)
+    x = b.input_word("b", width)
+    b.output_word("p", b.mul(a, x))
+    return b.build()
+
+
+def butterfly(width: int = 8, name: str = None) -> Circuit:
+    """Radix-2 butterfly: ``x = a + b`` and ``y = a - b`` (signed).
+
+    With ``width=8`` this is the paper's BUT: 16 inputs, 18 outputs.
+    """
+    b = CircuitBuilder(name or "butterfly")
+    a = b.input_word("a", width)
+    x = b.input_word("b", width)
+    s = b.add_expand(a, x)  # width+1 bits, unsigned
+    ext_a = b.extend(a, width + 1)
+    ext_b = b.extend(x, width + 1)
+    d, _ = b.sub(ext_a, ext_b)  # width+1 bits, two's complement
+    b.output_word("x", s)
+    b.output_word("y", d, signed=True)
+    return b.build()
+
+
+#: Active accumulator bits in the MAC/SAD Monte-Carlo stimulus: the
+#: magnitude of an accumulator a few terms into its sum.  A uniform
+#: full-width accumulator would make the arithmetic core numerically
+#: invisible under relative error (see repro.circuit.stimulus).
+MAC_ACC_STIMULUS_BITS = 18
+SAD_ACC_STIMULUS_BITS = 11
+
+
+def mac(mul_width: int = 8, acc_width: int = 32, name: str = None) -> Circuit:
+    """Multiply-accumulate: ``out = a * b + acc`` (paper's MAC at 8/32)."""
+    b = CircuitBuilder(name or "mac")
+    a = b.input_word("a", mul_width)
+    x = b.input_word("b", mul_width)
+    acc = b.input_word("acc", acc_width)
+    product = b.extend(b.mul(a, x), acc_width)
+    total, carry = b.add(product, acc)
+    b.output_word("out", total + [carry])
+    circuit = b.build()
+    circuit.attrs["stimulus"] = {
+        "acc": min(MAC_ACC_STIMULUS_BITS, acc_width)
+    }
+    return circuit
+
+
+def sad(width: int = 8, acc_width: int = 32, name: str = None) -> Circuit:
+    """Sum of absolute differences: ``out = |a - b| + acc``."""
+    b = CircuitBuilder(name or "sad")
+    a = b.input_word("a", width)
+    x = b.input_word("b", width)
+    acc = b.input_word("acc", acc_width)
+    diff = b.extend(b.abs_diff(a, x), acc_width)
+    total, carry = b.add(diff, acc)
+    b.output_word("out", total + [carry])
+    circuit = b.build()
+    circuit.attrs["stimulus"] = {
+        "acc": min(SAD_ACC_STIMULUS_BITS, acc_width)
+    }
+    return circuit
+
+
+def fir(
+    taps: int = 4, width: int = 8, out_width: int = 16, name: str = None
+) -> Circuit:
+    """FIR filter: ``y = (sum_i x_i * c_i) >> FIR_SHIFT``.
+
+    Inputs are ``taps`` samples and ``taps`` coefficients of ``width`` bits
+    each; the accumulator is truncated to ``out_width`` pins (Table 1's FIR
+    is 64 inputs / 16 outputs at the defaults).
+    """
+    b = CircuitBuilder(name or "fir")
+    xs = [b.input_word(f"x{i}", width) for i in range(taps)]
+    cs = [b.input_word(f"c{i}", width) for i in range(taps)]
+    acc_width = 2 * width + max(taps - 1, 1).bit_length() + 1
+    acc = b.const_word(0, acc_width)
+    for xi, ci in zip(xs, cs):
+        product = b.extend(b.mul(xi, ci), acc_width)
+        acc, _ = b.add(acc, product)
+    b.output_word("y", acc[FIR_SHIFT : FIR_SHIFT + out_width])
+    return b.build()
+
+
+# ----------------------------------------------------------------------
+# Table 1 entry points
+# ----------------------------------------------------------------------
+
+def adder32() -> Circuit:
+    """Paper benchmark: 32-bit adder (64 inputs / 33 outputs)."""
+    return ripple_adder(32, "Adder32")
+
+
+def mult8() -> Circuit:
+    """Paper benchmark: 8-bit multiplier (16 inputs / 16 outputs)."""
+    return array_multiplier(8, "Mult8")
+
+
+def but() -> Circuit:
+    """Paper benchmark: butterfly structure (16 inputs / 18 outputs)."""
+    return butterfly(8, "BUT")
+
+
+def mac8_32() -> Circuit:
+    """Paper benchmark: MAC with 32-bit accumulator (48/33)."""
+    return mac(8, 32, "MAC")
+
+
+def sad8_32() -> Circuit:
+    """Paper benchmark: SAD with 32-bit accumulator (48/33)."""
+    return sad(8, 32, "SAD")
+
+
+def fir4_8() -> Circuit:
+    """Paper benchmark: 4-tap FIR filter (64/16)."""
+    return fir(4, 8, 16, "FIR")
+
+
+# ----------------------------------------------------------------------
+# Golden models (numpy, vectorized over sample axes)
+# ----------------------------------------------------------------------
+
+def golden_adder(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return a.astype(np.int64) + b.astype(np.int64)
+
+def golden_mult(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return a.astype(np.int64) * b.astype(np.int64)
+
+def golden_butterfly(a: np.ndarray, b: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    a64, b64 = a.astype(np.int64), b.astype(np.int64)
+    return a64 + b64, a64 - b64
+
+def golden_mac(a: np.ndarray, b: np.ndarray, acc: np.ndarray) -> np.ndarray:
+    return a.astype(np.int64) * b.astype(np.int64) + acc.astype(np.int64)
+
+def golden_sad(a: np.ndarray, b: np.ndarray, acc: np.ndarray) -> np.ndarray:
+    return np.abs(a.astype(np.int64) - b.astype(np.int64)) + acc.astype(np.int64)
+
+def golden_fir(xs: np.ndarray, cs: np.ndarray) -> np.ndarray:
+    """``xs``/``cs`` of shape (n, taps); returns the shifted accumulator."""
+    acc = (xs.astype(np.int64) * cs.astype(np.int64)).sum(axis=-1)
+    return acc >> FIR_SHIFT

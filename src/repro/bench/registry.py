@@ -1,0 +1,104 @@
+"""Registry of the paper's six evaluation benchmarks.
+
+Maps benchmark names to generator factories, golden numpy models and the
+descriptions of Table 1, so harness code (benchmarks/, examples/, CLI) can
+iterate "for each application" exactly like the paper's §4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from ..circuit.netlist import Circuit
+from . import generators as g
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One evaluation circuit.
+
+    Attributes:
+        name: Table 1 name.
+        function: Table 1 description.
+        factory: Zero-argument circuit generator.
+        golden: Maps a dict of input-word arrays to a dict of expected
+            output-word values (both keyed by word name).
+    """
+
+    name: str
+    function: str
+    factory: Callable[[], Circuit]
+    golden: Callable[[Dict[str, np.ndarray]], Dict[str, np.ndarray]]
+
+
+def _golden_adder32(ins):
+    return {"sum": g.golden_adder(ins["a"], ins["b"])}
+
+def _golden_mult8(ins):
+    return {"p": g.golden_mult(ins["a"], ins["b"])}
+
+def _golden_but(ins):
+    x, y = g.golden_butterfly(ins["a"], ins["b"])
+    return {"x": x, "y": y}
+
+def _golden_mac(ins):
+    return {"out": g.golden_mac(ins["a"], ins["b"], ins["acc"])}
+
+def _golden_sad(ins):
+    return {"out": g.golden_sad(ins["a"], ins["b"], ins["acc"])}
+
+def _golden_fir(ins):
+    xs = np.stack([ins[f"x{i}"] for i in range(4)], axis=-1)
+    cs = np.stack([ins[f"c{i}"] for i in range(4)], axis=-1)
+    return {"y": g.golden_fir(xs, cs)}
+
+
+BENCHMARKS: Dict[str, Benchmark] = {
+    "adder32": Benchmark("Adder32", "32-bit Adder", g.adder32, _golden_adder32),
+    "mult8": Benchmark("Mult8", "8-bit Multiplier", g.mult8, _golden_mult8),
+    "but": Benchmark("BUT", "Butterfly Structure", g.but, _golden_but),
+    "mac": Benchmark(
+        "MAC", "Multiply and Accumulate with 32-bit Accumulator", g.mac8_32, _golden_mac
+    ),
+    "sad": Benchmark("SAD", "Sum of Absolute Difference", g.sad8_32, _golden_sad),
+    "fir": Benchmark("FIR", "4-Tap FIR Filter", g.fir4_8, _golden_fir),
+}
+
+#: Table 1 row order.
+BENCHMARK_ORDER: Tuple[str, ...] = ("adder32", "mult8", "but", "mac", "sad", "fir")
+
+
+def get_benchmark(name: str) -> Benchmark:
+    """Case-insensitive lookup; raises ``KeyError`` with the valid names."""
+    key = name.lower()
+    if key not in BENCHMARKS:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {sorted(BENCHMARKS)}"
+        )
+    return BENCHMARKS[key]
+
+
+def random_input_word_values(
+    circuit: Circuit, n: int, rng: np.random.Generator
+) -> Dict[str, np.ndarray]:
+    """Uniform random values for each input word of a benchmark circuit."""
+    out = {}
+    for spec in circuit.attrs.get("input_words", []):
+        out[spec.name] = rng.integers(0, 1 << spec.width, size=n, dtype=np.int64)
+    return out
+
+
+def input_patterns_from_words(
+    circuit: Circuit, values: Dict[str, np.ndarray]
+) -> np.ndarray:
+    """Convert word values into a (n, n_inputs) 0/1 pattern matrix."""
+    n = len(next(iter(values.values())))
+    patterns = np.zeros((n, circuit.n_inputs), dtype=np.uint8)
+    for spec in circuit.attrs.get("input_words", []):
+        vals = np.asarray(values[spec.name], dtype=np.int64)
+        for bit_pos, port in enumerate(spec.indices):
+            patterns[:, port] = (vals >> bit_pos) & 1
+    return patterns

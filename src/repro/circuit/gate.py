@@ -1,0 +1,127 @@
+"""Gate-level primitives: operation kinds and netlist nodes.
+
+A :class:`Node` is one vertex of a combinational DAG.  Node semantics:
+
+``INPUT``
+    A primary input; no fanins.
+``CONST0`` / ``CONST1``
+    Constant drivers; no fanins.
+``BUF`` / ``NOT``
+    Single-fanin buffer / inverter.
+``AND`` / ``OR`` / ``XOR`` / ``NAND`` / ``NOR`` / ``XNOR``
+    N-ary (>= 2 fanins) associative gates.  ``NAND``/``NOR``/``XNOR`` are the
+    complement of the n-ary ``AND``/``OR``/``XOR``.
+``MUX``
+    Fanins ``(s, a, b)``; output is ``a`` when ``s == 0`` and ``b`` otherwise.
+``LUT``
+    Arbitrary k-input function given by an explicit truth table of length
+    ``2**k``; row index is ``sum(bit_i << i)`` with fanin 0 as the least
+    significant selector bit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import CircuitError
+
+
+class Op(enum.Enum):
+    """Operation performed by a netlist node."""
+
+    INPUT = "input"
+    CONST0 = "const0"
+    CONST1 = "const1"
+    BUF = "buf"
+    NOT = "not"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NAND = "nand"
+    NOR = "nor"
+    XNOR = "xnor"
+    MUX = "mux"
+    LUT = "lut"
+
+    @property
+    def is_source(self) -> bool:
+        """True for nodes that take no fanins (inputs and constants)."""
+        return self in (Op.INPUT, Op.CONST0, Op.CONST1)
+
+    @property
+    def is_gate(self) -> bool:
+        """True for logic nodes (everything that has fanins)."""
+        return not self.is_source
+
+
+#: Ops whose fanin order does not matter; the builder sorts their fanins so
+#: structural hashing can identify commutatively equal gates.
+COMMUTATIVE_OPS = frozenset({Op.AND, Op.OR, Op.XOR, Op.NAND, Op.NOR, Op.XNOR})
+
+#: Minimum/maximum fanin count per op (None means unbounded above).
+_ARITY = {
+    Op.INPUT: (0, 0),
+    Op.CONST0: (0, 0),
+    Op.CONST1: (0, 0),
+    Op.BUF: (1, 1),
+    Op.NOT: (1, 1),
+    Op.AND: (2, None),
+    Op.OR: (2, None),
+    Op.XOR: (2, None),
+    Op.NAND: (2, None),
+    Op.NOR: (2, None),
+    Op.XNOR: (2, None),
+    Op.MUX: (3, 3),
+    Op.LUT: (1, None),
+}
+
+
+@dataclass(frozen=True)
+class Node:
+    """One vertex of the combinational DAG.
+
+    Attributes:
+        op: Operation kind.
+        fanins: Ids of driver nodes; all strictly smaller than this node's id.
+        name: Optional human-readable label (inputs always carry one).
+        table: For ``LUT`` nodes only, a boolean array of length
+            ``2**len(fanins)`` giving the output for every fanin pattern.
+    """
+
+    op: Op
+    fanins: Tuple[int, ...] = ()
+    name: Optional[str] = None
+    table: Optional[np.ndarray] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        lo, hi = _ARITY[self.op]
+        n = len(self.fanins)
+        if n < lo or (hi is not None and n > hi):
+            raise CircuitError(
+                f"{self.op.value} node takes between {lo} and {hi or 'inf'} "
+                f"fanins, got {n}"
+            )
+        if self.op is Op.LUT:
+            if self.table is None:
+                raise CircuitError("LUT node requires a truth table")
+            if self.table.shape != (1 << n,):
+                raise CircuitError(
+                    f"LUT table must have length {1 << n} for {n} fanins, "
+                    f"got shape {self.table.shape}"
+                )
+        elif self.table is not None:
+            raise CircuitError(f"{self.op.value} node must not carry a table")
+
+    @property
+    def arity(self) -> int:
+        """Number of fanins."""
+        return len(self.fanins)
+
+
+def lut_table_key(table: np.ndarray) -> bytes:
+    """Hashable key for a LUT truth table (used by structural hashing)."""
+    return np.asarray(table, dtype=bool).tobytes()

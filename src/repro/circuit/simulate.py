@@ -1,0 +1,238 @@
+"""Bit-parallel circuit simulation.
+
+Simulation packs 64 input patterns per ``uint64`` word, so an n-pattern run
+evaluates each gate with ``ceil(n / 64)`` numpy word operations.  The packing
+convention is little-endian throughout: pattern ``s`` lives in word ``s // 64``
+at bit ``s % 64``, matching ``numpy.packbits(..., bitorder="little")`` on the
+byte view of the word array.
+
+Two entry points are provided:
+
+* :func:`simulate_full` — evaluates every node and returns the full value
+  matrix.  Use for small/medium pattern counts (the design-space explorer
+  keeps this matrix around for incremental re-evaluation).
+* :func:`simulate_outputs` — evaluates in chunks and only materializes output
+  values, suitable for million-pattern Monte-Carlo runs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import SimulationError
+from .gate import Op
+from .netlist import Circuit
+
+#: Patterns per packed word.
+WORD_BITS = 64
+
+_FULL_WORD = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def words_for(n_patterns: int) -> int:
+    """Number of uint64 words needed to hold ``n_patterns`` packed bits."""
+    return (n_patterns + WORD_BITS - 1) // WORD_BITS
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack a (..., n) array of 0/1 values into (..., ceil(n/64)) uint64.
+
+    The trailing bits of the final word are zero.
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    packed8 = np.packbits(bits, axis=-1, bitorder="little")
+    pad = (-packed8.shape[-1]) % 8
+    if pad:
+        pad_widths = [(0, 0)] * (packed8.ndim - 1) + [(0, pad)]
+        packed8 = np.pad(packed8, pad_widths)
+    return np.ascontiguousarray(packed8).view(np.uint64)
+
+
+def unpack_bits(words: np.ndarray, n: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`: (..., W) uint64 -> (..., n) uint8."""
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    bits = np.unpackbits(words.view(np.uint8), axis=-1, bitorder="little")
+    return bits[..., :n]
+
+
+def tail_mask(n: int) -> np.uint64:
+    """Mask selecting the valid bits of the final word for ``n`` patterns."""
+    rem = n % WORD_BITS
+    if rem == 0:
+        return _FULL_WORD
+    return np.uint64((1 << rem) - 1)
+
+
+def popcount_words(words: np.ndarray, n: Optional[int] = None) -> int:
+    """Count set bits in a packed array, optionally restricted to ``n`` patterns."""
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    if n is not None and words.size:
+        flat = words.reshape(words.shape[0], -1) if words.ndim > 1 else words
+        w = words_for(n)
+        if words.ndim == 1:
+            words = words[:w].copy()
+            words[-1] &= tail_mask(n)
+        else:
+            words = flat[:, :w].copy()
+            words[:, -1] &= tail_mask(n)
+    return int(np.unpackbits(words.view(np.uint8)).sum())
+
+
+def exhaustive_input_words(k: int) -> np.ndarray:
+    """Packed input values enumerating all ``2**k`` patterns in table order.
+
+    Row ``r`` of the implied truth table corresponds to the input assignment
+    with input ``i`` equal to bit ``i`` of ``r`` (input 0 toggles fastest).
+    Returns an array of shape ``(k, words_for(2**k))``.
+    """
+    if k < 0:
+        raise SimulationError("negative input count")
+    n = 1 << k
+    idx = np.arange(n, dtype=np.uint32)
+    bits = ((idx[None, :] >> np.arange(k, dtype=np.uint32)[:, None]) & 1).astype(
+        np.uint8
+    )
+    return pack_bits(bits)
+
+
+def random_input_words(
+    k: int, n_patterns: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Packed uniformly random input values of shape ``(k, words_for(n))``.
+
+    Bits beyond ``n_patterns`` in the final word are forced to zero so that
+    downstream popcounts over the full array are safe.
+    """
+    w = words_for(n_patterns)
+    words = rng.integers(0, 1 << 64, size=(k, w), dtype=np.uint64)
+    if w:
+        words[:, -1] &= tail_mask(n_patterns)
+    return words
+
+
+def patterns_to_words(patterns: np.ndarray) -> np.ndarray:
+    """Convert an (n_patterns, k) 0/1 matrix into packed ``(k, W)`` words."""
+    patterns = np.asarray(patterns)
+    if patterns.ndim != 2:
+        raise SimulationError("patterns must be a 2-D (n, k) array")
+    return pack_bits(patterns.T.astype(np.uint8))
+
+
+def words_to_patterns(words: np.ndarray, n: int) -> np.ndarray:
+    """Convert packed ``(k, W)`` words back into an (n, k) 0/1 matrix."""
+    return unpack_bits(words, n).T
+
+
+def _lut_eval(table: np.ndarray, fanin_words: Sequence[np.ndarray]) -> np.ndarray:
+    """Evaluate a LUT on packed fanin values.
+
+    Unpacks the fanins to per-pattern indices, gathers through the table and
+    repacks.  Cost is linear in pattern count; LUTs are only used for
+    window-substitution candidates so this stays off the hot path of plain
+    gate evaluation.
+    """
+    k = len(fanin_words)
+    w = fanin_words[0].shape[0]
+    n = w * WORD_BITS
+    idx = np.zeros(n, dtype=np.uint32)
+    for i, fw in enumerate(fanin_words):
+        idx |= unpack_bits(fw, n).astype(np.uint32) << np.uint32(i)
+    out_bits = np.asarray(table, dtype=np.uint8)[idx]
+    return pack_bits(out_bits)
+
+
+def _eval_node(op: Op, ins: Sequence[np.ndarray], table, w: int) -> np.ndarray:
+    """Evaluate one node on packed fanin value arrays of width ``w`` words."""
+    if op is Op.CONST0:
+        return np.zeros(w, dtype=np.uint64)
+    if op is Op.CONST1:
+        return np.full(w, _FULL_WORD, dtype=np.uint64)
+    if op is Op.BUF:
+        return ins[0].copy()
+    if op is Op.NOT:
+        return ~ins[0]
+    if op in (Op.AND, Op.NAND):
+        acc = ins[0].copy()
+        for x in ins[1:]:
+            acc &= x
+        return ~acc if op is Op.NAND else acc
+    if op in (Op.OR, Op.NOR):
+        acc = ins[0].copy()
+        for x in ins[1:]:
+            acc |= x
+        return ~acc if op is Op.NOR else acc
+    if op in (Op.XOR, Op.XNOR):
+        acc = ins[0].copy()
+        for x in ins[1:]:
+            acc ^= x
+        return ~acc if op is Op.XNOR else acc
+    if op is Op.MUX:
+        s, a, b = ins
+        return (a & ~s) | (b & s)
+    if op is Op.LUT:
+        return _lut_eval(table, ins)
+    raise SimulationError(f"cannot evaluate op {op}")  # pragma: no cover
+
+
+def simulate_full(circuit: Circuit, input_words: np.ndarray) -> np.ndarray:
+    """Evaluate every node; returns a ``(n_nodes, W)`` packed value matrix.
+
+    Args:
+        circuit: The netlist to evaluate.
+        input_words: Packed values for the primary inputs, shape
+            ``(n_inputs, W)`` in circuit input order.
+    """
+    input_words = np.atleast_2d(np.asarray(input_words, dtype=np.uint64))
+    if input_words.shape[0] != circuit.n_inputs:
+        raise SimulationError(
+            f"expected {circuit.n_inputs} input rows, got {input_words.shape[0]}"
+        )
+    w = input_words.shape[1]
+    values = np.zeros((circuit.n_nodes, w), dtype=np.uint64)
+    next_input = 0
+    for nid, node in enumerate(circuit.nodes):
+        if node.op is Op.INPUT:
+            values[nid] = input_words[next_input]
+            next_input += 1
+        else:
+            ins = [values[f] for f in node.fanins]
+            values[nid] = _eval_node(node.op, ins, node.table, w)
+    return values
+
+
+def output_words_from_values(circuit: Circuit, values: np.ndarray) -> np.ndarray:
+    """Select the output rows of a full value matrix, in output order."""
+    return values[circuit.output_nodes()]
+
+
+def simulate_outputs(
+    circuit: Circuit,
+    input_words: np.ndarray,
+    chunk_words: int = 2048,
+) -> np.ndarray:
+    """Evaluate only primary outputs, chunking over the pattern axis.
+
+    Memory use is bounded by ``n_nodes * chunk_words * 8`` bytes regardless
+    of total pattern count.  Returns packed outputs of shape
+    ``(n_outputs, W)``.
+    """
+    input_words = np.atleast_2d(np.asarray(input_words, dtype=np.uint64))
+    w = input_words.shape[1]
+    if w <= chunk_words:
+        return output_words_from_values(circuit, simulate_full(circuit, input_words))
+    out = np.zeros((circuit.n_outputs, w), dtype=np.uint64)
+    for start in range(0, w, chunk_words):
+        stop = min(start + chunk_words, w)
+        vals = simulate_full(circuit, input_words[:, start:stop])
+        out[:, start:stop] = output_words_from_values(circuit, vals)
+    return out
+
+
+def simulate_patterns(circuit: Circuit, patterns: np.ndarray) -> np.ndarray:
+    """Convenience wrapper: (n, k) 0/1 patterns in, (n, m) 0/1 outputs out."""
+    patterns = np.asarray(patterns)
+    n = patterns.shape[0]
+    out_words = simulate_outputs(circuit, patterns_to_words(patterns))
+    return words_to_patterns(out_words, n)

@@ -1,0 +1,57 @@
+"""Monte-Carlo stimulus generation with per-word magnitude control.
+
+By default every primary input is an independent fair coin.  That is the
+right stimulus for operands, but it is *degenerate* for accumulator-style
+inputs: a uniform 32-bit accumulator makes an 8×8 product numerically
+invisible under relative error (|product| / |acc| ≈ 3e-5), so any
+approximate-synthesis flow could delete the entire multiplier "for free" —
+clearly not the regime the paper's MAC/SAD rows describe.
+
+Benchmark circuits therefore may declare a *stimulus* attribute::
+
+    circuit.attrs["stimulus"] = {"acc": 18}   # drive acc in [0, 2**18)
+
+mapping input-word names to the number of active low bits; undeclared
+words (and inputs outside any word) stay uniform full-width.  The chosen
+widths model mid-accumulation magnitudes — an accumulator a few products
+into its sum (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from .netlist import Circuit
+from .simulate import pack_bits, random_input_words
+
+
+def stimulus_input_words(
+    circuit: Circuit, n_samples: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Packed input values honouring the circuit's stimulus attribute.
+
+    Returns shape ``(n_inputs, words_for(n_samples))``, like
+    :func:`repro.circuit.simulate.random_input_words`.
+    """
+    word_specs = circuit.attrs.get("input_words") or []
+    stimulus: Dict[str, int] = circuit.attrs.get("stimulus") or {}
+    if not word_specs or not stimulus:
+        return random_input_words(circuit.n_inputs, n_samples, rng)
+
+    bits = np.zeros((circuit.n_inputs, n_samples), dtype=np.uint8)
+    covered = np.zeros(circuit.n_inputs, dtype=bool)
+    for spec in word_specs:
+        active = min(stimulus.get(spec.name, spec.width), spec.width)
+        values = rng.integers(0, np.int64(1) << np.int64(active),
+                              size=n_samples, dtype=np.int64)
+        for bit_pos, port in enumerate(spec.indices):
+            bits[port] = (values >> bit_pos) & 1
+            covered[port] = True
+    uncovered = np.flatnonzero(~covered)
+    if uncovered.size:
+        bits[uncovered] = rng.integers(
+            0, 2, size=(uncovered.size, n_samples), dtype=np.uint8
+        )
+    return pack_bits(bits)

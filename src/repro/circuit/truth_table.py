@@ -1,0 +1,78 @@
+"""Exhaustive truth-table extraction.
+
+The truth table of a k-input, m-output circuit is the boolean matrix ``M``
+of shape ``(2**k, m)`` that BLASYS hands to the Boolean matrix factorizer:
+row ``r`` holds the outputs for the input assignment whose bit ``i`` is
+input ``i`` of the circuit (input 0 is the least-significant index bit).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SimulationError
+from .netlist import Circuit
+from .simulate import (
+    exhaustive_input_words,
+    simulate_outputs,
+    words_to_patterns,
+)
+
+#: Truth tables above this input count are refused (4M rows at k=22).
+MAX_TRUTH_TABLE_INPUTS = 22
+
+
+def truth_table(circuit: Circuit, max_inputs: int = MAX_TRUTH_TABLE_INPUTS) -> np.ndarray:
+    """Compute the full truth table of ``circuit``.
+
+    Returns:
+        Boolean matrix of shape ``(2**k, m)`` where ``k``/``m`` are the
+        input/output counts of the circuit.
+
+    Raises:
+        SimulationError: if the circuit has more than ``max_inputs`` inputs.
+    """
+    k = circuit.n_inputs
+    if k > max_inputs:
+        raise SimulationError(
+            f"truth table with {k} inputs exceeds limit of {max_inputs}"
+        )
+    in_words = exhaustive_input_words(k)
+    out_words = simulate_outputs(circuit, in_words)
+    return words_to_patterns(out_words, 1 << k).astype(bool)
+
+
+def table_from_function(k: int, fn) -> np.ndarray:
+    """Build a single-output table by evaluating ``fn(bits) -> bool`` per row.
+
+    ``bits`` is a length-``k`` tuple with ``bits[i]`` the value of input ``i``.
+    Intended for tests and tiny reference functions.
+    """
+    rows = 1 << k
+    out = np.zeros(rows, dtype=bool)
+    for r in range(rows):
+        bits = tuple((r >> i) & 1 for i in range(k))
+        out[r] = bool(fn(bits))
+    return out
+
+
+def minterm_indices(column: np.ndarray) -> np.ndarray:
+    """Indices of rows where a single-output table column is 1."""
+    column = np.asarray(column, dtype=bool)
+    return np.nonzero(column)[0]
+
+
+def table_to_ints(table: np.ndarray, signed: bool = False) -> np.ndarray:
+    """Interpret each row of a ``(rows, m)`` table as an m-bit integer.
+
+    Column 0 is the least-significant bit.  With ``signed`` the value is
+    two's complement on ``m`` bits.
+    """
+    table = np.asarray(table, dtype=np.int64)
+    m = table.shape[1]
+    weights = (np.int64(1) << np.arange(m, dtype=np.int64))
+    vals = table @ weights
+    if signed:
+        sign_bit = np.int64(1) << np.int64(m - 1)
+        vals = np.where(table[:, -1] > 0, vals - (sign_bit << 1), vals)
+    return vals

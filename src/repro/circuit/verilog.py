@@ -1,0 +1,102 @@
+"""Structural Verilog writer.
+
+Emits a synthesizable, purely combinational module built from ``assign``
+statements.  This is the hand-off format an "industrial strength" flow would
+consume; it also makes approximate circuits easy to eyeball.  LUT nodes are
+expanded into sum-of-products expressions.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+from typing import List, Union
+
+import numpy as np
+
+from ..errors import CircuitError
+from .gate import Op
+from .netlist import Circuit
+
+PathOrFile = Union[str, io.TextIOBase]
+
+_IDENT_RE = re.compile(r"[^A-Za-z0-9_$]")
+
+
+def _escape(name: str) -> str:
+    """Turn an arbitrary signal name into a valid Verilog identifier."""
+    clean = _IDENT_RE.sub("_", name)
+    if not clean or clean[0].isdigit():
+        clean = "s_" + clean
+    return clean
+
+
+def _expr(op: Op, ins: List[str], table) -> str:
+    if op is Op.CONST0:
+        return "1'b0"
+    if op is Op.CONST1:
+        return "1'b1"
+    if op is Op.BUF:
+        return ins[0]
+    if op is Op.NOT:
+        return f"~{ins[0]}"
+    joiner = {Op.AND: " & ", Op.OR: " | ", Op.XOR: " ^ "}
+    if op in joiner:
+        return joiner[op].join(ins)
+    if op is Op.NAND:
+        return "~(" + " & ".join(ins) + ")"
+    if op is Op.NOR:
+        return "~(" + " | ".join(ins) + ")"
+    if op is Op.XNOR:
+        return "~(" + " ^ ".join(ins) + ")"
+    if op is Op.MUX:
+        s, a, b = ins
+        return f"{s} ? {b} : {a}"
+    if op is Op.LUT:
+        terms = []
+        for row in np.nonzero(np.asarray(table, dtype=bool))[0]:
+            lits = []
+            for i, name in enumerate(ins):
+                lits.append(name if (int(row) >> i) & 1 else f"~{name}")
+            terms.append("(" + " & ".join(lits) + ")")
+        return " | ".join(terms) if terms else "1'b0"
+    raise CircuitError(f"cannot emit Verilog for op {op}")  # pragma: no cover
+
+
+def write_verilog(circuit: Circuit, dest: PathOrFile) -> None:
+    """Write ``circuit`` as a structural Verilog module."""
+    own = isinstance(dest, str)
+    fh = open(dest, "w") if own else dest
+    try:
+        in_names = [
+            _escape(circuit.node(i).name or f"i{i}") for i in circuit.inputs
+        ]
+        out_names = [_escape(p.name) for p in circuit.outputs]
+        sig = {}
+        for i, nid in enumerate(circuit.inputs):
+            sig[nid] = in_names[i]
+        ports = ", ".join(in_names + out_names)
+        fh.write(f"module {_escape(circuit.name)}({ports});\n")
+        for name in in_names:
+            fh.write(f"  input {name};\n")
+        for name in out_names:
+            fh.write(f"  output {name};\n")
+        wires = []
+        for nid, node in enumerate(circuit.nodes):
+            if node.op is Op.INPUT:
+                continue
+            sig[nid] = f"w{nid}"
+            wires.append(sig[nid])
+        if wires:
+            fh.write("  wire " + ", ".join(wires) + ";\n")
+        for nid, node in enumerate(circuit.nodes):
+            if node.op is Op.INPUT:
+                continue
+            ins = [sig[f] for f in node.fanins]
+            fh.write(f"  assign {sig[nid]} = {_expr(node.op, ins, node.table)};\n")
+        for port, name in zip(circuit.outputs, out_names):
+            fh.write(f"  assign {name} = {sig[port.node]};\n")
+        fh.write("endmodule\n")
+    finally:
+        if own:
+            fh.close()

@@ -1,0 +1,198 @@
+"""Structural Verilog reader (the subset :mod:`repro.circuit.verilog` emits).
+
+Supported constructs: one ``module`` with scalar ports, ``input`` /
+``output`` / ``wire`` declarations, and continuous ``assign`` statements
+whose right-hand sides use ``~ & | ^ ?:``, parentheses, and the literals
+``1'b0`` / ``1'b1``.  That subset is closed under this library's writer, so
+``read_verilog(write_verilog(c))`` round-trips any circuit, and hand-
+written gate-level files in the same style load too.
+
+The expression grammar (precedence low→high, as in Verilog):
+
+    ternary := or_expr ('?' ternary ':' ternary)?
+    or_expr := xor_expr ('|' xor_expr)*
+    xor_expr := and_expr ('^' and_expr)*
+    and_expr := unary ('&' unary)*
+    unary := '~' unary | '(' ternary ')' | literal | identifier
+"""
+
+from __future__ import annotations
+
+import io
+import re
+from typing import Dict, List, Tuple, Union
+
+from ..errors import ParseError
+from .builder import CircuitBuilder
+from .netlist import Circuit
+
+PathOrFile = Union[str, io.TextIOBase]
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<id>[A-Za-z_$][A-Za-z0-9_$]*)"
+    r"|(?P<lit>1'b[01])"
+    r"|(?P<sym>[~&|^?:();,=]))"
+)
+
+_KEYWORDS = {"module", "endmodule", "input", "output", "wire", "assign"}
+
+
+def _strip_comments(text: str) -> str:
+    text = re.sub(r"//[^\n]*", "", text)
+    return re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise ParseError(f"cannot tokenize near {remainder[:30]!r}")
+        tokens.append(match.group().strip())
+        pos = match.end()
+    return [t for t in tokens if t]
+
+
+class _ExprParser:
+    """Recursive-descent parser building gates straight into a builder."""
+
+    def __init__(self, tokens: List[str], builder: CircuitBuilder, signals: Dict[str, int]):
+        self.tokens = tokens
+        self.pos = 0
+        self.builder = builder
+        self.signals = signals
+
+    def peek(self) -> str:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else ""
+
+    def take(self, expected: str = None) -> str:
+        tok = self.peek()
+        if expected is not None and tok != expected:
+            raise ParseError(f"expected {expected!r}, got {tok!r}")
+        self.pos += 1
+        return tok
+
+    def parse(self) -> int:
+        out = self.ternary()
+        if self.pos != len(self.tokens):
+            raise ParseError(f"trailing tokens: {self.tokens[self.pos:]}")
+        return out
+
+    def ternary(self) -> int:
+        cond = self.or_expr()
+        if self.peek() == "?":
+            self.take("?")
+            then = self.ternary()
+            self.take(":")
+            alt = self.ternary()
+            return self.builder.mux(cond, alt, then)
+        return cond
+
+    def or_expr(self) -> int:
+        terms = [self.xor_expr()]
+        while self.peek() == "|":
+            self.take("|")
+            terms.append(self.xor_expr())
+        return terms[0] if len(terms) == 1 else self.builder.or_(*terms)
+
+    def xor_expr(self) -> int:
+        terms = [self.and_expr()]
+        while self.peek() == "^":
+            self.take("^")
+            terms.append(self.and_expr())
+        return terms[0] if len(terms) == 1 else self.builder.xor_(*terms)
+
+    def and_expr(self) -> int:
+        terms = [self.unary()]
+        while self.peek() == "&":
+            self.take("&")
+            terms.append(self.unary())
+        return terms[0] if len(terms) == 1 else self.builder.and_(*terms)
+
+    def unary(self) -> int:
+        tok = self.peek()
+        if tok == "~":
+            self.take("~")
+            return self.builder.not_(self.unary())
+        if tok == "(":
+            self.take("(")
+            inner = self.ternary()
+            self.take(")")
+            return inner
+        if tok in ("1'b0", "1'b1"):
+            self.take()
+            return self.builder.const(tok.endswith("1"))
+        if tok and (tok[0].isalpha() or tok[0] in "_$"):
+            self.take()
+            if tok not in self.signals:
+                raise ParseError(f"use of undeclared/undriven signal {tok!r}")
+            return self.signals[tok]
+        raise ParseError(f"unexpected token {tok!r} in expression")
+
+
+def read_verilog(src: PathOrFile) -> Circuit:
+    """Parse a structural Verilog module into a :class:`Circuit`.
+
+    Assign statements must appear after the signals they read (the writer
+    guarantees topological order; out-of-order files are rejected rather
+    than re-sorted, keeping the reader predictable).
+    """
+    own = isinstance(src, str)
+    fh = open(src) if own else src
+    try:
+        text = _strip_comments(fh.read())
+    finally:
+        if own:
+            fh.close()
+
+    module_match = re.search(
+        r"module\s+([A-Za-z_$][\w$]*)\s*\((.*?)\)\s*;(.*)endmodule",
+        text,
+        flags=re.S,
+    )
+    if module_match is None:
+        raise ParseError("no module ... endmodule block found")
+    name, _ports, body = module_match.groups()
+
+    inputs: List[str] = []
+    outputs: List[str] = []
+    assigns: List[Tuple[str, str]] = []
+    for statement in body.split(";"):
+        statement = statement.strip()
+        if not statement:
+            continue
+        head = statement.split(None, 1)[0]
+        if head == "input":
+            inputs.extend(s.strip() for s in statement[5:].split(","))
+        elif head == "output":
+            outputs.extend(s.strip() for s in statement[6:].split(","))
+        elif head == "wire":
+            continue  # declarations carry no logic
+        elif head == "assign":
+            lhs, _, rhs = statement[6:].partition("=")
+            if not rhs:
+                raise ParseError(f"malformed assign: {statement!r}")
+            assigns.append((lhs.strip(), rhs.strip()))
+        else:
+            raise ParseError(f"unsupported statement: {statement[:40]!r}")
+
+    builder = CircuitBuilder(name)
+    signals: Dict[str, int] = {}
+    for port in inputs:
+        if not port:
+            raise ParseError("empty input declaration")
+        signals[port] = builder.input(port)
+    for lhs, rhs in assigns:
+        if lhs in signals and lhs not in outputs:
+            raise ParseError(f"signal {lhs!r} driven twice")
+        parser = _ExprParser(_tokenize(rhs), builder, signals)
+        signals[lhs] = parser.parse()
+    for port in outputs:
+        if port not in signals:
+            raise ParseError(f"output {port!r} is never driven")
+        builder.output(port, signals[port])
+    return builder.build(prune=True)

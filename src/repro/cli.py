@@ -1,0 +1,142 @@
+"""Command-line interface: run BLASYS flows from a shell.
+
+Examples::
+
+    blasys run --bench mult8 --thresholds 0.05 0.25
+    blasys run --blif mydesign.blif --thresholds 0.1 --out approx.blif
+    blasys table1
+    blasys compare --bench adder32 --thresholds 0.05 0.25   # vs SALSA
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .bench import BENCHMARK_ORDER, get_benchmark
+from .baselines import run_salsa
+from .circuit import read_blif, write_blif, write_verilog
+from .core.explorer import ExplorerConfig, explore
+from .flow import run_blasys
+from .synth import evaluate_design
+
+
+def _load_circuit(args):
+    if args.bench:
+        return get_benchmark(args.bench).factory()
+    if args.blif:
+        return read_blif(args.blif)
+    raise SystemExit("provide --bench NAME or --blif FILE")
+
+
+def _config(args) -> ExplorerConfig:
+    return ExplorerConfig(
+        max_inputs=args.k,
+        max_outputs=args.m,
+        n_samples=args.samples,
+        strategy=args.strategy,
+        weight_mode=args.weights,
+        seed=args.seed,
+    )
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--bench", help=f"benchmark name ({', '.join(BENCHMARK_ORDER)})")
+    p.add_argument("--blif", help="path to a combinational BLIF file")
+    p.add_argument("--thresholds", type=float, nargs="+", default=[0.05],
+                   help="average-relative-error thresholds")
+    p.add_argument("--k", type=int, default=10, help="window input budget")
+    p.add_argument("--m", type=int, default=10, help="window output budget")
+    p.add_argument("--samples", type=int, default=4096,
+                   help="Monte-Carlo samples during exploration")
+    p.add_argument("--strategy", choices=["full", "lazy"], default="lazy")
+    p.add_argument("--weights", choices=["uniform", "significance"],
+                   default="uniform", help="BMF QoR weighting (§3.2)")
+    p.add_argument("--seed", type=int, default=7)
+
+
+def _cmd_run(args) -> int:
+    circuit = _load_circuit(args)
+    result = run_blasys(circuit, thresholds=args.thresholds, config=_config(args))
+    print(result.summary())
+    if args.out and result.designs:
+        best = result.designs[min(result.designs)]
+        if args.out.endswith(".v"):
+            write_verilog(best.circuit, args.out)
+        else:
+            write_blif(best.circuit, args.out)
+        print(f"wrote approximate design for thr={min(result.designs):.0%} to {args.out}")
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    print(f"{'Name':8s} {'I/O':>7s} {'Area(um2)':>10s} {'Power(uW)':>10s} {'Delay(ns)':>10s}")
+    for name in BENCHMARK_ORDER:
+        bench = get_benchmark(name)
+        circuit = bench.factory()
+        metrics = evaluate_design(circuit, match_macros=False,
+                                  n_activity_samples=args.samples)
+        io = f"{circuit.n_inputs}/{circuit.n_outputs}"
+        print(f"{bench.name:8s} {io:>7s} {metrics.area_um2:10.1f} "
+              f"{metrics.power_uw:10.1f} {metrics.delay_ns:10.2f}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    circuit = _load_circuit(args)
+    config = _config(args)
+    from dataclasses import replace
+
+    config = replace(config, threshold=max(args.thresholds))
+    base = evaluate_design(circuit, match_macros=False,
+                           n_activity_samples=2048)
+    blasys = explore(circuit, config)
+    salsa = run_salsa(circuit, config)
+    print(f"{circuit.name}: baseline {base.area_um2:.1f} um2")
+    for thr in args.thresholds:
+        cols = []
+        for res, label in ((blasys, "BLASYS"), (salsa, "SALSA")):
+            point = res.best_point(thr)
+            if point is None or point.iteration == 0:
+                cols.append(f"{label} 0.0%")
+                continue
+            realized = res.realize(point)
+            m = evaluate_design(realized, match_macros=False,
+                                n_activity_samples=2048)
+            saving = 100.0 * (1 - m.area_um2 / base.area_um2)
+            cols.append(f"{label} {saving:5.1f}%")
+        print(f"  thr={thr:>5.0%}: " + "  ".join(cols))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="blasys",
+        description="BLASYS reproduction: BMF-based approximate logic synthesis",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run the BLASYS flow on a circuit")
+    _add_common(p_run)
+    p_run.add_argument("--out", help="write the tightest-threshold design (.blif/.v)")
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_t1 = sub.add_parser("table1", help="accurate-design metrics (Table 1)")
+    p_t1.add_argument("--samples", type=int, default=2048)
+    p_t1.set_defaults(fn=_cmd_table1)
+
+    p_cmp = sub.add_parser("compare", help="BLASYS vs SALSA (Table 3)")
+    _add_common(p_cmp)
+    p_cmp.set_defaults(fn=_cmd_compare)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""Boolean matrix factorization: ASSO, weighted QoR, refinement, exact."""
+
+from .boolean import (
+    ALGEBRAS,
+    bool_product,
+    check_weights,
+    factorization_error,
+    hamming_distance,
+    numeric_weights,
+    uniform_weights,
+    weighted_error,
+)
+from .asso import AssoResult, DEFAULT_TAUS, asso, asso_sweep, association_candidates
+from .colsel import ColumnSelectResult, column_select_bmf
+from .refine import refine, smooth_B_ties, update_B_exact, update_C_greedy
+from .exhaustive import exhaustive_bmf
+from .factorizer import BMFResult, METHODS, factorize, identity_result
+from .mdl import description_length, select_degree_mdl
+
+__all__ = [
+    "ALGEBRAS",
+    "AssoResult",
+    "BMFResult",
+    "ColumnSelectResult",
+    "DEFAULT_TAUS",
+    "column_select_bmf",
+    "METHODS",
+    "asso",
+    "asso_sweep",
+    "association_candidates",
+    "bool_product",
+    "check_weights",
+    "description_length",
+    "exhaustive_bmf",
+    "factorization_error",
+    "factorize",
+    "hamming_distance",
+    "identity_result",
+    "numeric_weights",
+    "refine",
+    "select_degree_mdl",
+    "smooth_B_ties",
+    "uniform_weights",
+    "update_B_exact",
+    "update_C_greedy",
+    "weighted_error",
+]

@@ -1,0 +1,120 @@
+"""Boolean matrix algebra: products, errors, column weights.
+
+BLASYS factors a truth-table matrix ``M`` (2^k × m) as ``M ≈ B ∘ C`` where
+``∘`` is the Boolean matrix product.  Two algebras appear in the paper:
+
+* **semiring** — multiplication is AND, addition is OR.  The decompressor
+  becomes a network of OR gates.  This is the default used in all paper
+  experiments.
+* **field** — addition is XOR (GF(2)); the decompressor uses XOR gates.
+
+Error is measured as weighted Hamming distance: mismatches in output column
+``j`` cost ``weights[j]``.  Uniform weights reproduce plain BMF (UQoR in the
+paper); power-of-two weights implement the paper's §3.2 weighted QoR (WQoR)
+that penalizes errors in significant bits.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ...errors import FactorizationError
+
+#: Valid algebra names.
+ALGEBRAS = ("semiring", "field")
+
+
+def _check_algebra(algebra: str) -> None:
+    if algebra not in ALGEBRAS:
+        raise FactorizationError(
+            f"unknown algebra {algebra!r}; expected one of {ALGEBRAS}"
+        )
+
+
+def bool_product(B: np.ndarray, C: np.ndarray, algebra: str = "semiring") -> np.ndarray:
+    """Boolean matrix product ``B ∘ C``.
+
+    Args:
+        B: (n, f) boolean matrix.
+        C: (f, m) boolean matrix.
+        algebra: ``"semiring"`` (OR-accumulate) or ``"field"`` (XOR).
+    """
+    _check_algebra(algebra)
+    B = np.asarray(B, dtype=bool)
+    C = np.asarray(C, dtype=bool)
+    if B.ndim != 2 or C.ndim != 2 or B.shape[1] != C.shape[0]:
+        raise FactorizationError(
+            f"shape mismatch: B {B.shape} cannot multiply C {C.shape}"
+        )
+    counts = B.astype(np.int64) @ C.astype(np.int64)
+    if algebra == "semiring":
+        return counts > 0
+    return (counts & 1).astype(bool)
+
+
+def uniform_weights(m: int) -> np.ndarray:
+    """UQoR weights: every output column costs the same."""
+    return np.ones(m, dtype=float)
+
+
+def numeric_weights(m: int, base: float = 2.0) -> np.ndarray:
+    """WQoR weights: column ``j`` costs ``base**j``.
+
+    With ``base=2`` a mismatch in output bit ``j`` costs its numeric place
+    value, implementing the paper's proposal of minimizing
+    ``||(M - BC) w||`` with a powers-of-two ``w``.  Weights are normalized
+    so they sum to ``m`` — this keeps weighted errors comparable in
+    magnitude to uniform Hamming counts.
+    """
+    if m <= 0:
+        raise FactorizationError("need at least one output column")
+    raw = np.power(base, np.arange(m, dtype=float))
+    return raw * (m / raw.sum())
+
+
+def check_weights(weights: Optional[np.ndarray], m: int) -> np.ndarray:
+    """Validate/default a weight vector for ``m`` output columns."""
+    if weights is None:
+        return uniform_weights(m)
+    w = np.asarray(weights, dtype=float)
+    if w.shape != (m,):
+        raise FactorizationError(f"weights shape {w.shape} != ({m},)")
+    if (w < 0).any():
+        raise FactorizationError("weights must be non-negative")
+    return w
+
+
+def weighted_error(
+    M: np.ndarray,
+    A: np.ndarray,
+    weights: Optional[np.ndarray] = None,
+) -> float:
+    """Weighted Hamming distance between two boolean matrices."""
+    M = np.asarray(M, dtype=bool)
+    A = np.asarray(A, dtype=bool)
+    if M.shape != A.shape:
+        raise FactorizationError(f"shape mismatch {M.shape} vs {A.shape}")
+    w = check_weights(weights, M.shape[1])
+    return float(((M ^ A).astype(float) @ w).sum())
+
+
+def hamming_distance(M: np.ndarray, A: np.ndarray) -> int:
+    """Plain (unweighted) Hamming distance between boolean matrices."""
+    M = np.asarray(M, dtype=bool)
+    A = np.asarray(A, dtype=bool)
+    if M.shape != A.shape:
+        raise FactorizationError(f"shape mismatch {M.shape} vs {A.shape}")
+    return int((M ^ A).sum())
+
+
+def factorization_error(
+    M: np.ndarray,
+    B: np.ndarray,
+    C: np.ndarray,
+    weights: Optional[np.ndarray] = None,
+    algebra: str = "semiring",
+) -> float:
+    """Weighted error of the factorization ``M ≈ B ∘ C``."""
+    return weighted_error(M, bool_product(B, C, algebra), weights)

@@ -1,0 +1,57 @@
+"""Exact (exhaustive) Boolean matrix factorization for tiny instances.
+
+BMF is NP-hard; this brute-force solver enumerates every possible ``C``
+matrix and solves the then-independent ``B`` rows exactly.  Complexity is
+``O(2**(f*m) * n * 2**f)`` — usable for the unit tests that pin down the
+heuristics' quality, and for the paper's 4-output illustrative example
+(Figure 3), where it certifies the minimum achievable Hamming distance.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ...errors import FactorizationError
+from .boolean import bool_product, check_weights, weighted_error
+from .refine import update_B_exact
+
+#: Refuse problems with more than this many C-matrix bits.
+MAX_C_BITS = 20
+
+
+def exhaustive_bmf(
+    M: np.ndarray,
+    f: int,
+    weights: Optional[np.ndarray] = None,
+    algebra: str = "semiring",
+) -> Tuple[np.ndarray, np.ndarray, float]:
+    """Globally optimal ``(B, C, error)`` by enumeration.
+
+    Raises:
+        FactorizationError: if ``f * m`` exceeds :data:`MAX_C_BITS`.
+    """
+    M = np.asarray(M, dtype=bool)
+    n, m = M.shape
+    w = check_weights(weights, m)
+    if f * m > MAX_C_BITS:
+        raise FactorizationError(
+            f"exhaustive BMF limited to {MAX_C_BITS} C bits, got {f * m}"
+        )
+    best_err = np.inf
+    best: Optional[Tuple[np.ndarray, np.ndarray]] = None
+    for code in range(1 << (f * m)):
+        C = np.zeros((f, m), dtype=bool)
+        for idx in range(f * m):
+            if (code >> idx) & 1:
+                C[idx // m, idx % m] = True
+        B = update_B_exact(M, C, w, algebra)
+        err = weighted_error(M, bool_product(B, C, algebra), w)
+        if err < best_err:
+            best_err = err
+            best = (B, C)
+            if err == 0.0:
+                break
+    assert best is not None
+    return best[0], best[1], float(best_err)

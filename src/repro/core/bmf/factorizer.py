@@ -1,0 +1,143 @@
+"""Unified factorization façade used by the rest of the library.
+
+:func:`factorize` hides the choice of algorithm (ASSO sweep, optional
+alternating refinement, exhaustive for tiny instances) behind one call and
+returns a :class:`BMFResult` that records everything downstream consumers
+need: the factors, the algebra, the weighted and unweighted errors, and the
+approximate matrix itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ...errors import FactorizationError
+from .asso import DEFAULT_TAUS, asso_sweep
+from .boolean import (
+    bool_product,
+    check_weights,
+    hamming_distance,
+    weighted_error,
+)
+from .exhaustive import exhaustive_bmf
+from .refine import MAX_EXACT_F, refine, smooth_B_ties
+
+#: Supported method names for :func:`factorize`.
+METHODS = ("asso", "asso+refine", "exhaustive")
+
+
+@dataclass(frozen=True)
+class BMFResult:
+    """A completed Boolean matrix factorization ``M ≈ B ∘ C``.
+
+    Attributes:
+        B: (n, f) compressor truth table.
+        C: (f, m) decompressor wiring matrix.
+        f: Factorization degree.
+        algebra: ``"semiring"`` or ``"field"``.
+        error: Weighted Hamming error under the weights used to factor.
+        hamming: Plain Hamming distance between ``M`` and ``B ∘ C``.
+        method: Algorithm that produced the result.
+    """
+
+    B: np.ndarray
+    C: np.ndarray
+    f: int
+    algebra: str
+    error: float
+    hamming: int
+    method: str
+
+    @property
+    def product(self) -> np.ndarray:
+        """The approximate matrix ``B ∘ C``."""
+        return bool_product(self.B, self.C, self.algebra)
+
+
+def factorize(
+    M: np.ndarray,
+    f: int,
+    weights: Optional[np.ndarray] = None,
+    algebra: str = "semiring",
+    method: str = "asso",
+    taus: Sequence[float] = DEFAULT_TAUS,
+    smooth: bool = True,
+    smooth_slack: float = 0.0,
+) -> BMFResult:
+    """Factor a boolean matrix to degree ``f``.
+
+    Args:
+        M: (n, m) boolean matrix (a window truth table in BLASYS).
+        f: Factorization degree; BLASYS explores ``1 <= f < m``.
+        weights: Optional per-column error weights (§3.2 WQoR).
+        algebra: ``"semiring"`` (OR decompressor) or ``"field"`` (XOR).
+        method: ``"asso"`` — threshold-swept ASSO (the paper's algorithm);
+            ``"asso+refine"`` — ASSO followed by alternating refinement;
+            ``"exhaustive"`` — exact optimum for tiny instances.
+        taus: Threshold sweep for the ASSO-based methods.
+        smooth: Apply the literal-aware smoothing of ``B`` (see
+            :func:`repro.core.bmf.refine.smooth_B_ties`); row counts must
+            be a power of two (truth tables always are).
+        smooth_slack: Per-row extra weighted error the smoothing may spend
+            on simpler factors (0 = error-preserving ties only).
+
+    Returns:
+        A :class:`BMFResult`.
+    """
+    M = np.asarray(M, dtype=bool)
+    if M.ndim != 2:
+        raise FactorizationError("M must be a 2-D boolean matrix")
+    n, m = M.shape
+    w = check_weights(weights, m)
+    if method not in METHODS:
+        raise FactorizationError(f"unknown method {method!r}; expected {METHODS}")
+
+    if method == "exhaustive":
+        B, C, err = exhaustive_bmf(M, f, w, algebra)
+    else:
+        if algebra == "field" and method.startswith("asso"):
+            # ASSO's candidate generation is semiring-specific; seed with a
+            # semiring run, then repair under the field algebra.
+            seed = asso_sweep(M, f, taus, w)
+            B, C, err = refine(M, seed.B, seed.C, w, algebra)
+        else:
+            result = asso_sweep(M, f, taus, w)
+            B, C, err = result.B, result.C, result.error
+        if method == "asso+refine":
+            B, C, err = refine(M, B, C, w, algebra)
+
+    if smooth and f <= MAX_EXACT_F and n and not (n & (n - 1)):
+        B = smooth_B_ties(M, C, w, algebra, slack=smooth_slack)
+
+    approx = bool_product(B, C, algebra)
+    return BMFResult(
+        B=B,
+        C=C,
+        f=f,
+        algebra=algebra,
+        error=float(weighted_error(M, approx, w)),
+        hamming=hamming_distance(M, approx),
+        method=method,
+    )
+
+
+def identity_result(M: np.ndarray, algebra: str = "semiring") -> BMFResult:
+    """The trivial exact factorization ``M = M ∘ I`` (degree ``m``).
+
+    Used by the explorer as the starting point where every window is still
+    exact (Algorithm 1 line 13 sets ``f_i = m_i``).
+    """
+    M = np.asarray(M, dtype=bool)
+    m = M.shape[1]
+    return BMFResult(
+        B=M.copy(),
+        C=np.eye(m, dtype=bool),
+        f=m,
+        algebra=algebra,
+        error=0.0,
+        hamming=0,
+        method="identity",
+    )

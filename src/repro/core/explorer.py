@@ -1,0 +1,363 @@
+"""Greedy design-space exploration — Algorithm 1 of the paper.
+
+Starting from the exact circuit (every window at degree ``f_i = m_i``), each
+iteration previews, for every window, the whole-circuit QoR if that window's
+degree were decremented, commits the window with the smallest error increase
+and repeats until the error threshold is crossed (or the space is
+exhausted).  The design-metric model during exploration is the paper's own:
+circuit area ≈ sum of per-window synthesized areas.
+
+Two candidate-selection strategies are provided:
+
+* ``"full"`` — Algorithm 1 verbatim: every active window re-evaluated each
+  iteration.
+* ``"lazy"`` — lazy-greedy: stale errors are kept in a priority queue and a
+  candidate is only re-evaluated when it reaches the top; chosen when its
+  fresh error still beats the next stale entry.  Errors here are "almost"
+  monotone in commits, so this gives near-identical trajectories at a
+  fraction of the evaluations (the paper's future-work item on "fewer design
+  point evaluations").
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ExplorationError
+from ..circuit.netlist import Circuit
+from ..circuit.stimulus import stimulus_input_words
+from ..partition.decompose import decompose
+from ..partition.substitute import substitute_windows
+from ..partition.windows import Window
+from ..synth.espresso import EspressoOptions
+from ..synth.library import LIB65, Library
+from .bmf.asso import DEFAULT_TAUS
+from .incremental import IncrementalEvaluator
+from .profile import WindowProfile, profile_windows
+from .qor import QoREvaluator, QoRSpec
+
+#: Candidate selection strategies.
+STRATEGIES = ("full", "lazy")
+
+
+@dataclass(frozen=True)
+class ExplorerConfig:
+    """Knobs of the exploration flow (paper defaults where they exist).
+
+    Attributes:
+        max_inputs / max_outputs: k×m decomposition budgets (paper: 10/10).
+        method: BMF method for profiling (``asso`` is the paper's).
+        algebra: ``semiring`` (OR decompressor, paper default) or ``field``.
+        taus: ASSO threshold sweep.
+        weight_mode: ``significance`` (WQoR, §3.2 — the modified weighted
+            ASSO the paper uses throughout its evaluation; default) or
+            ``uniform`` (plain UQoR, Figure 4's control arm).
+        selection: Variant policy per degree — ``bmf``, ``cone`` or
+            ``hybrid`` (see :mod:`repro.core.profile`).
+        match_macros: Allow FA/HA macro cells in the cost oracle (off keeps
+            exact windows and variants on an identical gate-level model).
+        qor: Error metric guiding the search (paper: average relative
+            error).
+        n_samples: Monte-Carlo sample count (paper used 10^6; the default
+            here is CI-friendly and configurable).
+        seed: RNG seed for the sample set.
+        threshold: Stop once the metric exceeds this (None = exhaust).
+        error_cap: Hard stop for exhaustive sweeps (useful for Figure 5).
+        max_iterations: Hard iteration cap (None = unlimited).
+        strategy: ``full`` or ``lazy`` candidate selection.
+        tie_epsilon / tie_epsilon_scale: Measured errors within
+            ``max(tie_epsilon, tie_epsilon_scale * current_error)`` of the
+            best candidate count as tied and resolve by estimated area.
+            This is what lets the cheap uniform-weight factorization win
+            over the weighted one when both are equally harmless (Monte-
+            Carlo estimates are noisy at that granularity anyway).
+        refine_passes: Decomposition refinement passes.
+        estimate_area: Synthesize per-variant area estimates during
+            profiling (needed for area trajectories).
+    """
+
+    max_inputs: int = 10
+    max_outputs: int = 10
+    method: str = "asso"
+    algebra: str = "semiring"
+    taus: Sequence[float] = DEFAULT_TAUS
+    weight_mode: str = "significance"
+    selection: str = "hybrid"
+    match_macros: bool = False
+    qor: QoRSpec = QoRSpec("mre")
+    n_samples: int = 4096
+    seed: int = 7
+    threshold: Optional[float] = None
+    error_cap: Optional[float] = None
+    max_iterations: Optional[int] = None
+    strategy: str = "full"
+    tie_epsilon: float = 1e-4
+    tie_epsilon_scale: float = 0.05
+    refine_passes: int = 1
+    estimate_area: bool = True
+    library: Library = LIB65
+    espresso: EspressoOptions = EspressoOptions()
+
+    def __post_init__(self) -> None:
+        if self.strategy not in STRATEGIES:
+            raise ExplorationError(
+                f"unknown strategy {self.strategy!r}; expected {STRATEGIES}"
+            )
+
+
+@dataclass(frozen=True)
+class TrajectoryPoint:
+    """State after one committed approximation step."""
+
+    iteration: int
+    window_index: int
+    f: int
+    qor: float
+    est_area: float
+    fs: Tuple[int, ...]
+
+    def normalized_area(self, baseline: float) -> float:
+        return self.est_area / baseline if baseline else 0.0
+
+
+@dataclass
+class ExplorationResult:
+    """Everything the exploration produced.
+
+    The trajectory starts at the exact design (iteration 0, qor 0) and each
+    later point is one committed degree decrement.  ``chosen`` records
+    which candidate variant won at each committed (window, degree) pair —
+    profiles may offer several per degree (dual-rail weighting).
+    """
+
+    circuit: Circuit
+    windows: List[Window]
+    profiles: List[WindowProfile]
+    trajectory: List[TrajectoryPoint]
+    baseline_est_area: float
+    config: ExplorerConfig
+    n_evaluations: int = 0
+    chosen: Dict[Tuple[int, int], "CandidateVariant"] = field(
+        default_factory=dict
+    )
+
+    def points_within(self, threshold: float) -> List[TrajectoryPoint]:
+        return [p for p in self.trajectory if p.qor <= threshold]
+
+    def estimated_reduction(self, point: TrajectoryPoint) -> float:
+        """Absolute estimated area saved at ``point`` (µm²).
+
+        ``baseline_est_area`` covers only the *profiled* windows, so
+        relative savings are not comparable between flows whose windows
+        cover different fractions of the circuit (e.g. BLASYS vs. the
+        SALSA baseline); the absolute reduction is.
+        """
+        return self.baseline_est_area - point.est_area
+
+    def best_point(self, threshold: float) -> Optional[TrajectoryPoint]:
+        """Lowest-estimated-area trajectory point within ``threshold``."""
+        candidates = self.points_within(threshold)
+        if not candidates:
+            return None
+        return min(candidates, key=lambda p: (p.est_area, -p.iteration))
+
+    def variant_at(self, window_index: int, f: int) -> "CandidateVariant":
+        """The candidate realized for a window at degree ``f``."""
+        picked = self.chosen.get((window_index, f))
+        if picked is not None:
+            return picked
+        profile = next(
+            p for p in self.profiles if p.window.index == window_index
+        )
+        return profile.variants[f][0]
+
+    def realize(self, point: TrajectoryPoint, name: Optional[str] = None) -> Circuit:
+        """Build the actual netlist for a trajectory point.
+
+        Every window whose degree is below exact is substituted with its
+        synthesized compressor/decompressor structure.
+        """
+        replacements = {}
+        for profile, f in zip(self.profiles, point.fs):
+            if f >= profile.max_degree:
+                continue
+            replacements[profile.window.index] = self.variant_at(
+                profile.window.index, f
+            ).replacement
+        return substitute_windows(
+            self.circuit,
+            self.windows,
+            replacements,
+            name=name or f"{self.circuit.name}_approx",
+            espresso_options=self.config.espresso,
+        )
+
+
+def _estimated_area(
+    profiles: Sequence[WindowProfile],
+    fs: Dict[int, int],
+    chosen: Dict[Tuple[int, int], "CandidateVariant"],
+) -> float:
+    total = 0.0
+    for p in profiles:
+        f = fs[p.window.index]
+        if f >= p.max_degree:
+            total += p.exact_area
+        else:
+            picked = chosen.get((p.window.index, f))
+            total += (picked or p.variants[f][0]).area
+    return total
+
+
+def explore(
+    circuit: Circuit,
+    config: ExplorerConfig = ExplorerConfig(),
+    windows: Optional[Sequence[Window]] = None,
+    profiles: Optional[Sequence[WindowProfile]] = None,
+) -> ExplorationResult:
+    """Run Algorithm 1 end to end.
+
+    Args:
+        circuit: The accurate input circuit.
+        config: See :class:`ExplorerConfig`.
+        windows / profiles: Reuse a previous decomposition/profiling (e.g.
+            to sweep several thresholds or strategies without re-profiling).
+
+    Returns:
+        An :class:`ExplorationResult` whose trajectory records QoR and
+        estimated area after every committed step.
+    """
+    if windows is None:
+        windows = decompose(
+            circuit, config.max_inputs, config.max_outputs, config.refine_passes
+        )
+    windows = list(windows)
+    if profiles is None:
+        profiles = profile_windows(
+            circuit,
+            windows,
+            method=config.method,
+            algebra=config.algebra,
+            taus=config.taus,
+            weight_mode=config.weight_mode,
+            selection=config.selection,
+            library=config.library,
+            espresso_options=config.espresso,
+            estimate_area=config.estimate_area,
+            match_macros=config.match_macros,
+        )
+    profiles = list(profiles)
+    profile_by_index = {p.window.index: p for p in profiles}
+
+    rng = np.random.default_rng(config.seed)
+    input_words = stimulus_input_words(circuit, config.n_samples, rng)
+    evaluator = IncrementalEvaluator(circuit, windows, input_words, config.n_samples)
+    qor_eval = QoREvaluator(
+        circuit, evaluator.exact_outputs, config.n_samples, config.qor
+    )
+
+    fs: Dict[int, int] = {p.window.index: p.max_degree for p in profiles}
+    result = ExplorationResult(
+        circuit, windows, profiles, [], 0.0, config
+    )
+    baseline_area = _estimated_area(profiles, fs, result.chosen)
+    result.baseline_est_area = baseline_area
+    trajectory = result.trajectory
+    trajectory.append(
+        TrajectoryPoint(
+            0, -1, 0, 0.0, baseline_area, tuple(fs[p.window.index] for p in profiles)
+        )
+    )
+
+    def active(idx: int) -> bool:
+        return fs[idx] > 1 and (fs[idx] - 1) in profile_by_index[idx].variants
+
+    def preview_error(
+        idx: int, current: float
+    ) -> Tuple[float, "CandidateVariant"]:
+        """Best (error, variant) among the window's next-degree candidates.
+
+        Candidates whose measured error is within the tie tolerance of the
+        best count as equivalent and resolve by estimated area (see
+        :class:`ExplorerConfig`).
+        """
+        scored = []
+        for variant in profile_by_index[idx].variants[fs[idx] - 1]:
+            result.n_evaluations += 1
+            err = qor_eval.evaluate(evaluator.preview(idx, variant.table))
+            scored.append((err, variant))
+        best_err = min(err for err, _ in scored)
+        eps = max(config.tie_epsilon, config.tie_epsilon_scale * current)
+        tied = [(err, v) for err, v in scored if err <= best_err + eps]
+        err, variant = min(tied, key=lambda ev: (ev[1].area, ev[0]))
+        return err, variant
+
+    iteration = 0
+    current_qor = 0.0
+    # Lazy-greedy queue: (stale error, tie-break, window index).
+    heap: List[Tuple[float, int, int]] = []
+    counter = 0
+    if config.strategy == "lazy":
+        for p in profiles:
+            if active(p.window.index):
+                heap.append((0.0, counter, p.window.index))
+                counter += 1
+        heapq.heapify(heap)
+
+    while True:
+        if config.max_iterations is not None and iteration >= config.max_iterations:
+            break
+        if config.threshold is not None and current_qor > config.threshold:
+            break
+        if config.error_cap is not None and current_qor >= config.error_cap:
+            break
+
+        chosen: Optional[int] = None
+        chosen_error: Optional[float] = None
+        chosen_variant = None
+        if config.strategy == "full":
+            candidates = [idx for idx in fs if active(idx)]
+            if not candidates:
+                break
+            for idx in candidates:
+                err, variant = preview_error(idx, current_qor)
+                if chosen_error is None or err < chosen_error:
+                    chosen, chosen_error, chosen_variant = idx, err, variant
+        else:
+            while heap:
+                stale_err, _, idx = heapq.heappop(heap)
+                if not active(idx):
+                    continue
+                fresh, variant = preview_error(idx, current_qor)
+                if not heap or fresh <= heap[0][0]:
+                    chosen, chosen_error, chosen_variant = idx, fresh, variant
+                    break
+                heapq.heappush(heap, (fresh, counter, idx))
+                counter += 1
+            if chosen is None:
+                break
+
+        evaluator.commit(chosen, chosen_variant.table)
+        fs[chosen] -= 1
+        result.chosen[(chosen, fs[chosen])] = chosen_variant
+        current_qor = chosen_error
+        iteration += 1
+        trajectory.append(
+            TrajectoryPoint(
+                iteration,
+                chosen,
+                fs[chosen],
+                current_qor,
+                _estimated_area(profiles, fs, result.chosen),
+                tuple(fs[p.window.index] for p in profiles),
+            )
+        )
+        if config.strategy == "lazy" and active(chosen):
+            heapq.heappush(heap, (current_qor, counter, chosen))
+            counter += 1
+
+    return result

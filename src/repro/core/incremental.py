@@ -1,0 +1,171 @@
+"""Incremental whole-circuit re-evaluation for candidate substitutions.
+
+Algorithm 1's inner loop evaluates ``QoR(Cir(s_i -> T_{s_i, f_i - 1}))`` for
+*every* window at *every* iteration — the paper notes this Monte-Carlo
+simulation dominates runtime.  :class:`IncrementalEvaluator` makes each
+candidate evaluation proportional to the candidate's downstream cone instead
+of the whole circuit:
+
+* the full circuit is simulated once against the sample set and all node
+  values are cached (packed, 64 patterns/word);
+* committed window substitutions are folded into the cache;
+* a candidate preview re-evaluates only what changes downstream of the
+  candidate window, reading everything else from the cache, and leaves the
+  cache untouched.
+
+Evaluation sweeps follow the *quotient* topological order (see
+:mod:`repro.partition.plan`): once a window is substituted, its outputs
+depend on all window inputs, including inputs with larger node ids than the
+outputs — raw id order would read stale values there.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..circuit.netlist import Circuit
+from ..circuit.simulate import (
+    WORD_BITS,
+    _eval_node,
+    pack_bits,
+    simulate_full,
+    unpack_bits,
+)
+from ..partition.plan import quotient_plan
+from ..partition.windows import Window
+
+
+class IncrementalEvaluator:
+    """Cached bit-parallel evaluation with window-substitution previews."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        windows: Sequence[Window],
+        input_words: np.ndarray,
+        n_samples: int,
+    ) -> None:
+        self.circuit = circuit
+        self.windows = list(windows)
+        self.n = n_samples
+        self._values = simulate_full(circuit, input_words)
+        self._n_words = self._values.shape[1]
+        self._committed: Dict[int, np.ndarray] = {}
+        self._plan = quotient_plan(circuit, windows)
+        self._window_by_index = {w.index: w for w in self.windows}
+        self._exact_outputs = self._values[circuit.output_nodes()].copy()
+
+    # ------------------------------------------------------------------
+    @property
+    def exact_outputs(self) -> np.ndarray:
+        """Packed outputs of the original (fully exact) circuit."""
+        return self._exact_outputs
+
+    def current_outputs(self) -> np.ndarray:
+        """Packed outputs under the committed substitutions."""
+        return self._values[self.circuit.output_nodes()].copy()
+
+    def committed_table(self, index: int) -> Optional[np.ndarray]:
+        return self._committed.get(index)
+
+    @property
+    def committed(self) -> Dict[int, np.ndarray]:
+        """Copy of the committed substitution map (index -> table)."""
+        return dict(self._committed)
+
+    # ------------------------------------------------------------------
+    def _lut_outputs(
+        self, w: Window, table: np.ndarray, overlay: Dict[int, np.ndarray]
+    ) -> Dict[int, np.ndarray]:
+        """Evaluate a window's table; returns {output node id: packed}."""
+        table = np.asarray(table, dtype=bool)
+        if table.shape != (1 << w.n_inputs, w.n_outputs):
+            raise SimulationError(
+                f"window {w.index}: table shape {table.shape} does not match "
+                f"({w.n_inputs} inputs, {w.n_outputs} outputs)"
+            )
+        idx = np.zeros(self._n_words * WORD_BITS, dtype=np.uint32)
+        for bit, nid in enumerate(w.inputs):
+            vals = overlay.get(nid, self._values[nid])
+            idx |= unpack_bits(vals, self._n_words * WORD_BITS).astype(
+                np.uint32
+            ) << np.uint32(bit)
+        return {
+            nid: pack_bits(table[idx, pos].astype(np.uint8))
+            for pos, nid in enumerate(w.outputs)
+        }
+
+    def _sweep(
+        self, replacements: Dict[int, np.ndarray]
+    ) -> Dict[int, np.ndarray]:
+        """Re-evaluate the circuit under ``replacements`` (window index ->
+        table), returning only the node values that differ from the cache.
+
+        ``replacements`` must already include the committed map (possibly
+        with overrides); the sweep runs in quotient topological order and
+        prunes units whose inputs are all clean.
+        """
+        overlay: Dict[int, np.ndarray] = {}
+        dirty = np.zeros(self.circuit.n_nodes, dtype=bool)
+
+        def record(nid: int, new: np.ndarray) -> None:
+            if not np.array_equal(new, self._values[nid]):
+                overlay[nid] = new
+                dirty[nid] = True
+
+        for kind, key in self._plan:
+            if kind == "node":
+                node = self.circuit.node(key)
+                if not node.op.is_gate:
+                    continue
+                if not any(dirty[f] for f in node.fanins):
+                    continue
+                ins = [overlay.get(f, self._values[f]) for f in node.fanins]
+                record(key, _eval_node(node.op, ins, node.table, self._n_words))
+                continue
+            w = self._window_by_index[key]
+            table = replacements.get(key)
+            if table is not None:
+                was = self._committed.get(key)
+                inputs_dirty = any(dirty[i] for i in w.inputs)
+                table_changed = was is None or table is not was
+                if not inputs_dirty and not table_changed:
+                    continue
+                for nid, vals in self._lut_outputs(w, table, overlay).items():
+                    record(nid, vals)
+            else:
+                for nid in w.members:
+                    node = self.circuit.node(nid)
+                    if not any(dirty[f] for f in node.fanins):
+                        continue
+                    ins = [overlay.get(f, self._values[f]) for f in node.fanins]
+                    record(
+                        nid, _eval_node(node.op, ins, node.table, self._n_words)
+                    )
+        return overlay
+
+    # ------------------------------------------------------------------
+    def preview(self, index: int, table: np.ndarray) -> np.ndarray:
+        """Outputs if window ``index`` used ``table`` (committed state
+        otherwise); the cache is not modified."""
+        replacements = dict(self._committed)
+        replacements[index] = np.asarray(table, dtype=bool)
+        overlay = self._sweep(replacements)
+        out_nodes = self.circuit.output_nodes()
+        result = np.empty((len(out_nodes), self._n_words), dtype=np.uint64)
+        for row, nid in enumerate(out_nodes):
+            result[row] = overlay.get(nid, self._values[nid])
+        return result
+
+    def commit(self, index: int, table: np.ndarray) -> None:
+        """Permanently substitute window ``index`` with ``table``."""
+        table = np.asarray(table, dtype=bool)
+        replacements = dict(self._committed)
+        replacements[index] = table
+        overlay = self._sweep(replacements)
+        self._committed[index] = table
+        for nid, vals in overlay.items():
+            self._values[nid] = vals

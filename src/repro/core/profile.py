@@ -1,0 +1,327 @@
+"""Factorization profiling (Algorithm 1, lines 3–10).
+
+For every window and every factorization degree ``f`` in ``1 .. m_i - 1``,
+factor the window's truth table and record the approximate table
+``T_{s_i, f}`` together with an *area estimate* of the factored
+implementation.  The paper's design-metric model during exploration is
+exactly the sum of these per-window areas (§4.2); the final chosen netlist
+is re-synthesized in full.
+
+Two factorization families are profiled:
+
+* **bmf** — general ASSO-style factorization; the compressor ``B`` is
+  re-synthesized from its truth table (SOP/ANF/shared-BDD, whichever maps
+  smallest).
+* **cone** — column-subset factorization (``B`` = selected original output
+  columns); the compressor reuses the window's own gates, so its area is
+  bounded by the exact window and decreases monotonically with ``f``.
+
+The default ``hybrid`` selection keeps, per degree, the cone variant unless
+the general factorization is substantially more accurate — matching the
+paper's observed behaviour of smooth area reduction with occasional bumps.
+Espresso covers and variant areas are memoized by content; identical
+windows (e.g. ripple-adder slices) hit the cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..circuit.builder import CircuitBuilder
+from ..circuit.netlist import Circuit
+from ..circuit.words import WordSpec
+from ..synth.espresso import EspressoOptions
+from ..synth.library import LIB65, Library
+from ..synth.synthesis import resynthesize, synthesize_outputs_shared
+from ..synth.techmap import tech_map
+from .bmf import bool_product, factorize
+from .bmf.asso import DEFAULT_TAUS
+from .bmf.colsel import column_select_bmf
+from ..partition.substitute import (
+    ConeReplacement,
+    FactoredReplacement,
+    Replacement,
+    substitute_windows,
+)
+from ..partition.windows import Window
+
+#: Window-output weighting schemes for the WQoR factorization (§3.2).
+WEIGHT_MODES = ("uniform", "significance")
+
+#: Variant-selection policies.
+SELECTIONS = ("bmf", "cone", "hybrid")
+
+#: In hybrid mode, prefer the general BMF variant only when its error is
+#: below this fraction of the cone variant's error.
+HYBRID_ERROR_FACTOR = 0.8
+
+
+@dataclass(frozen=True)
+class CandidateVariant:
+    """One profiled approximation of a window at degree ``f``.
+
+    Attributes:
+        f: Factorization degree.
+        table: The approximate truth table ``B ∘ C`` (what gets simulated).
+        B / C: The factor pair.
+        area: Synthesized area estimate of compressor + decompressor (µm²).
+        bmf_error: Weighted Hamming error of the factorization.
+        replacement: How to realize this variant in the netlist.
+        kind: ``"bmf"`` or ``"cone"``.
+    """
+
+    f: int
+    table: np.ndarray
+    B: np.ndarray
+    C: np.ndarray
+    area: float
+    bmf_error: float
+    replacement: Replacement
+    kind: str
+
+
+@dataclass
+class WindowProfile:
+    """Profiling output for one window.
+
+    ``variants`` maps an approximation *level* to the candidate list for
+    that level; level ``max_degree`` means exact, and exploration
+    decrements levels one at a time, choosing among the level's candidates
+    by measured whole-circuit error.  For BLASYS the level is the
+    factorization degree ``f`` (with up to two candidates per degree: the
+    weighted-QoR and the uniform factorization) and ``max_degree`` is the
+    window's output count; other flows (e.g. the SALSA baseline) define
+    their own ladder via ``levels``.
+    """
+
+    window: Window
+    table: np.ndarray
+    exact_area: float
+    weights: Optional[np.ndarray]
+    variants: Dict[int, List[CandidateVariant]] = field(default_factory=dict)
+    levels: Optional[int] = None
+
+    @property
+    def max_degree(self) -> int:
+        """The exact level; exploration starts here."""
+        return self.levels if self.levels is not None else self.window.n_outputs
+
+
+class _VariantCosting:
+    """Memoized synthesis of factored window implementations."""
+
+    def __init__(
+        self, library: Library, options: EspressoOptions, match_macros: bool
+    ) -> None:
+        self.library = library
+        self.options = options
+        self.match_macros = match_macros
+        self._cache: Dict[bytes, float] = {}
+
+    def factored_area(self, B: np.ndarray, C: np.ndarray, algebra: str) -> float:
+        key = B.tobytes() + b"|" + C.tobytes() + algebra.encode()
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        builder = CircuitBuilder("variant")
+        k = int(np.log2(B.shape[0]))
+        ins = [builder.input(f"x{i}") for i in range(k)]
+        combine = builder.or_ if algebra == "semiring" else builder.xor_
+        t_sigs = synthesize_outputs_shared(builder, B, ins, self.options)
+        for j in range(C.shape[1]):
+            parts = [t_sigs[l] for l in range(C.shape[0]) if C[l, j]]
+            if not parts:
+                out = builder.const(False)
+            elif len(parts) == 1:
+                out = parts[0]
+            else:
+                out = combine(*parts)
+            builder.output(f"y{j}", out)
+        area = tech_map(
+            builder.build(), self.library, match_macros=self.match_macros
+        ).area
+        self._cache[key] = area
+        return area
+
+    def cone_area(
+        self,
+        circuit: Circuit,
+        window: Window,
+        replacement: ConeReplacement,
+    ) -> float:
+        """Area of a cone variant: kept cone + decompressor gates."""
+        sub = window.subcircuit(circuit)
+        sub_window = Window(
+            0,
+            tuple(range(len(sub.inputs), sub.n_nodes)),
+            tuple(sub.inputs),
+            tuple(sub.output_nodes()),
+        )
+        # Splice the replacement into the standalone window circuit and map.
+        approx = substitute_windows(
+            sub, [sub_window], {0: replacement}, espresso_options=self.options
+        )
+        return tech_map(
+            resynthesize(approx, options=self.options),
+            self.library,
+            match_macros=self.match_macros,
+        ).area
+
+    def window_area(self, circuit: Circuit, window: Window) -> float:
+        return tech_map(
+            resynthesize(window.subcircuit(circuit), options=self.options),
+            self.library,
+            match_macros=self.match_macros,
+        ).area
+
+
+def output_significance(circuit: Circuit) -> np.ndarray:
+    """Heuristic numeric significance of every node.
+
+    Primary-output drivers receive the place value of their bit within its
+    output word, normalized so each word's MSB weighs 1; the scores then
+    propagate backwards (summing over fanouts).  Reconvergence double-counts
+    — acceptable for a *weighting* heuristic.  Used to build per-window
+    WQoR weight vectors for windows whose outputs are internal wires.
+    """
+    sig = np.zeros(circuit.n_nodes, dtype=float)
+    words: Sequence[WordSpec] = circuit.attrs.get("words") or []
+    covered = set()
+    for w in words:
+        top = max(w.width - 1, 0)
+        for bit, port_idx in enumerate(w.indices):
+            port = circuit.outputs[port_idx]
+            sig[port.node] += 2.0 ** (bit - top)
+            covered.add(port_idx)
+    for idx, port in enumerate(circuit.outputs):
+        if idx not in covered:
+            sig[port.node] += 1.0
+    for nid in range(circuit.n_nodes - 1, -1, -1):
+        if sig[nid] > 0:
+            for f in circuit.node(nid).fanins:
+                sig[f] += sig[nid]
+    return sig
+
+
+def window_weights(
+    circuit: Circuit, window: Window, mode: str, significance: Optional[np.ndarray]
+) -> Optional[np.ndarray]:
+    """Per-output WQoR weight vector for one window (None = uniform)."""
+    if mode == "uniform":
+        return None
+    raw = np.array(
+        [max(significance[o], 1e-12) for o in window.outputs], dtype=float
+    )
+    return raw * (len(raw) / raw.sum())
+
+
+def profile_windows(
+    circuit: Circuit,
+    windows: Sequence[Window],
+    method: str = "asso",
+    algebra: str = "semiring",
+    taus: Sequence[float] = DEFAULT_TAUS,
+    weight_mode: str = "uniform",
+    selection: str = "hybrid",
+    library: Library = LIB65,
+    espresso_options: EspressoOptions = EspressoOptions(),
+    estimate_area: bool = True,
+    match_macros: bool = False,
+) -> List[WindowProfile]:
+    """Run the profiling phase over all windows.
+
+    Args:
+        circuit: Parent circuit.
+        windows: Its decomposition.
+        method / algebra / taus: Passed to :func:`repro.core.bmf.factorize`
+            for the general-BMF variants.
+        weight_mode: ``"uniform"`` (plain BMF) or ``"significance"`` (§3.2
+            weighted QoR, weights derived from output-bit significance).
+        selection: ``"bmf"`` (general factorization only), ``"cone"``
+            (column-subset only), or ``"hybrid"`` (best of both per degree).
+        estimate_area: Skip area synthesis when False (faster).
+        match_macros: Allow FA/HA macro cells in the area oracle.  Off by
+            default so exact windows and re-synthesized variants are costed
+            through an identical gate-level model.
+
+    Returns:
+        One :class:`WindowProfile` per window with variants for every
+        ``f`` in ``1 .. m_i - 1``.
+    """
+    if weight_mode not in WEIGHT_MODES:
+        raise ValueError(
+            f"unknown weight mode {weight_mode!r}; expected {WEIGHT_MODES}"
+        )
+    if selection not in SELECTIONS:
+        raise ValueError(
+            f"unknown selection {selection!r}; expected {SELECTIONS}"
+        )
+    sig = output_significance(circuit) if weight_mode != "uniform" else None
+    costing = _VariantCosting(library, espresso_options, match_macros)
+
+    def build_variant(table, f, weights, w) -> CandidateVariant:
+        """One candidate at degree ``f`` under one weighting (hybrid rule)."""
+        bmf_variant = None
+        cone_variant = None
+        if selection in ("bmf", "hybrid"):
+            result = factorize(
+                table, f, weights=weights, algebra=algebra,
+                method=method, taus=taus,
+            )
+            area = (
+                costing.factored_area(result.B, result.C, algebra)
+                if estimate_area
+                else 0.0
+            )
+            bmf_variant = CandidateVariant(
+                f, result.product, result.B, result.C, area, result.error,
+                FactoredReplacement(result.B, result.C, algebra), "bmf",
+            )
+        if selection in ("cone", "hybrid"):
+            cs = column_select_bmf(table, f, weights=weights, algebra=algebra)
+            replacement = ConeReplacement(cs.selected, cs.C, algebra)
+            area = (
+                costing.cone_area(circuit, w, replacement)
+                if estimate_area
+                else 0.0
+            )
+            cone_variant = CandidateVariant(
+                f, bool_product(cs.B, cs.C, algebra), cs.B, cs.C, area,
+                cs.error, replacement, "cone",
+            )
+        if bmf_variant is None:
+            return cone_variant
+        if cone_variant is None:
+            return bmf_variant
+        take_bmf = bmf_variant.bmf_error < (
+            HYBRID_ERROR_FACTOR * cone_variant.bmf_error
+        )
+        return bmf_variant if take_bmf else cone_variant
+
+    profiles: List[WindowProfile] = []
+    for w in windows:
+        table = w.table(circuit)
+        weights = window_weights(circuit, w, weight_mode, sig)
+        exact_area = costing.window_area(circuit, w) if estimate_area else 0.0
+        profile = WindowProfile(w, table, exact_area, weights)
+        # Dual-rail candidates: the weighted factorization protects
+        # numerically significant wires (right at tight error budgets); the
+        # uniform one is free to break them (right at loose budgets, e.g.
+        # cutting an adder's carry chain).  The explorer picks per step by
+        # measured whole-circuit error.
+        weight_rails = [weights] if weights is None else [weights, None]
+        for f in range(1, w.n_outputs):
+            by_table: Dict[bytes, CandidateVariant] = {}
+            for rail in weight_rails:
+                variant = build_variant(table, f, rail, w)
+                key = variant.table.tobytes()
+                held = by_table.get(key)
+                # identical tables measure identically; keep the cheaper
+                if held is None or variant.area < held.area:
+                    by_table[key] = variant
+            profile.variants[f] = list(by_table.values())
+        profiles.append(profile)
+    return profiles

@@ -1,0 +1,120 @@
+"""Quality-of-result metrics over word-interpreted circuit outputs.
+
+Implements the paper's Eq. 1 (average relative error) and Eq. 2 (average
+absolute error), plus normalized-absolute and bit-level Hamming variants.
+Outputs are grouped into words via the :class:`~repro.circuit.words.
+WordSpec` metadata that benchmark circuits carry; a circuit without word
+metadata is treated as a single unsigned word.
+
+The one deviation from Eq. 1 (documented in DESIGN.md): relative error uses
+``|R - R'| / max(|R|, 1)`` since the paper's formula is undefined at
+``R = 0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..circuit.netlist import Circuit
+from ..circuit.simulate import unpack_bits
+from ..circuit.words import WordSpec, default_output_word
+
+#: Metric names accepted by :class:`QoRSpec`.
+METRICS = ("mre", "mae", "nmae", "hamming")
+
+
+@dataclass(frozen=True)
+class QoRSpec:
+    """Which error metric drives exploration.
+
+    Attributes:
+        metric: One of ``mre`` (average relative error, Eq. 1 — the paper's
+            headline metric), ``mae`` (average absolute error, Eq. 2),
+            ``nmae`` (``mae`` normalized to each word's maximum magnitude,
+            as plotted in Figure 5), ``hamming`` (mean flipped output bits
+            per sample).
+    """
+
+    metric: str = "mre"
+
+    def __post_init__(self) -> None:
+        if self.metric not in METRICS:
+            raise SimulationError(
+                f"unknown QoR metric {self.metric!r}; expected one of {METRICS}"
+            )
+
+
+def circuit_words(circuit: Circuit) -> List[WordSpec]:
+    """Output word specs of a circuit (fallback: one unsigned word)."""
+    words = circuit.attrs.get("words")
+    if words:
+        return list(words)
+    return default_output_word(circuit.n_outputs)
+
+
+class QoREvaluator:
+    """Compares approximate outputs against cached exact outputs.
+
+    Built once per pattern set; every candidate evaluation then costs one
+    unpack + a handful of vector ops.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        exact_output_words: np.ndarray,
+        n_samples: int,
+        spec: QoRSpec = QoRSpec(),
+    ) -> None:
+        self.spec = spec
+        self.n = n_samples
+        self.words = circuit_words(circuit)
+        self._exact_bits = unpack_bits(exact_output_words, n_samples).T
+        self._exact_vals = {
+            w.name: w.to_ints(self._exact_bits) for w in self.words
+        }
+
+    # ------------------------------------------------------------------
+    def metrics(self, approx_output_words: np.ndarray) -> Dict[str, float]:
+        """All supported metrics for one approximate output set."""
+        bits = unpack_bits(approx_output_words, self.n).T
+        rel_terms: List[np.ndarray] = []
+        abs_terms: List[np.ndarray] = []
+        nabs_terms: List[np.ndarray] = []
+        for w in self.words:
+            exact = self._exact_vals[w.name]
+            approx = w.to_ints(bits)
+            diff = np.abs(exact - approx).astype(float)
+            denom = np.maximum(np.abs(exact), 1).astype(float)
+            rel_terms.append(diff / denom)
+            abs_terms.append(diff)
+            nabs_terms.append(diff / max(w.max_abs, 1))
+        hamming = float((bits != self._exact_bits).sum()) / self.n
+        return {
+            "mre": float(np.concatenate(rel_terms).mean()),
+            "mae": float(np.concatenate(abs_terms).mean()),
+            "nmae": float(np.concatenate(nabs_terms).mean()),
+            "hamming": hamming,
+        }
+
+    def evaluate(self, approx_output_words: np.ndarray) -> float:
+        """The configured metric only (cheaper than :meth:`metrics`)."""
+        bits = unpack_bits(approx_output_words, self.n).T
+        if self.spec.metric == "hamming":
+            return float((bits != self._exact_bits).sum()) / self.n
+        terms: List[np.ndarray] = []
+        for w in self.words:
+            exact = self._exact_vals[w.name]
+            approx = w.to_ints(bits)
+            diff = np.abs(exact - approx).astype(float)
+            if self.spec.metric == "mre":
+                terms.append(diff / np.maximum(np.abs(exact), 1))
+            elif self.spec.metric == "mae":
+                terms.append(diff)
+            else:  # nmae
+                terms.append(diff / max(w.max_abs, 1))
+        return float(np.concatenate(terms).mean())

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError` so callers can catch library failures without also
+swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CircuitError(ReproError):
+    """Raised for malformed circuits or invalid netlist operations."""
+
+
+class SimulationError(ReproError):
+    """Raised when simulation inputs do not match the circuit."""
+
+
+class SynthesisError(ReproError):
+    """Raised when logic synthesis or technology mapping fails."""
+
+
+class FactorizationError(ReproError):
+    """Raised for invalid Boolean matrix factorization requests."""
+
+
+class DecompositionError(ReproError):
+    """Raised when circuit decomposition cannot satisfy its constraints."""
+
+
+class ExplorationError(ReproError):
+    """Raised when design-space exploration is misconfigured."""
+
+
+class ParseError(ReproError):
+    """Raised when an interchange file (e.g. BLIF) cannot be parsed."""

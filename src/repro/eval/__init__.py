@@ -1,0 +1,27 @@
+"""Evaluation utilities: error analysis and Pareto-front tooling."""
+
+from .error_analysis import (
+    ErrorReport,
+    analyze_errors,
+    error_histogram,
+    per_output_bit_error,
+)
+from .pareto import (
+    area_at_error,
+    exploration_front,
+    hypervolume,
+    pareto_front,
+    trajectory_points,
+)
+
+__all__ = [
+    "ErrorReport",
+    "analyze_errors",
+    "area_at_error",
+    "error_histogram",
+    "exploration_front",
+    "hypervolume",
+    "pareto_front",
+    "per_output_bit_error",
+    "trajectory_points",
+]

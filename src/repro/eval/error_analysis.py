@@ -1,0 +1,159 @@
+"""Standard approximate-computing error metrics and distributions.
+
+The paper reports average relative and average absolute error (Eq. 1/2);
+the surrounding literature (SALSA, SASIMI, ASLAN, the approximate-adder
+papers the introduction cites) additionally characterizes designs by error
+rate, mean/worst error distance and bit-flip statistics.  This module
+computes the full standard set from one simulation pass, so realized
+designs can be compared against any of those works:
+
+========  =====================================================
+ER        error rate: fraction of sampled inputs with any wrong output
+MED       mean error distance: ``mean |R - R'|``
+NMED      MED normalized to the word's maximum magnitude
+MRED      mean relative error distance (Eq. 1 with the max(.,1) guard)
+WCE       worst-case error distance observed
+WCRE      worst-case relative error observed
+MSE       mean squared error distance
+BER       bit error rate: wrong output bits / total output bits
+========  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..circuit.netlist import Circuit
+from ..circuit.simulate import simulate_outputs, unpack_bits
+from ..circuit.stimulus import stimulus_input_words
+from ..core.qor import circuit_words
+
+
+@dataclass(frozen=True)
+class ErrorReport:
+    """Full error characterization of an approximate design.
+
+    All distances are taken over every (sample, word) pair; see module
+    docstring for the metric definitions.
+    """
+
+    n_samples: int
+    error_rate: float
+    mean_error_distance: float
+    normalized_med: float
+    mean_relative_error: float
+    worst_case_error: int
+    worst_case_relative_error: float
+    mean_squared_error: float
+    bit_error_rate: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "er": self.error_rate,
+            "med": self.mean_error_distance,
+            "nmed": self.normalized_med,
+            "mred": self.mean_relative_error,
+            "wce": float(self.worst_case_error),
+            "wcre": self.worst_case_relative_error,
+            "mse": self.mean_squared_error,
+            "ber": self.bit_error_rate,
+        }
+
+
+def analyze_errors(
+    accurate: Circuit,
+    approximate: Circuit,
+    n_samples: int = 65536,
+    seed: int = 0xE44,
+    rng: Optional[np.random.Generator] = None,
+) -> ErrorReport:
+    """Monte-Carlo error characterization of ``approximate`` vs ``accurate``.
+
+    Uses the accurate circuit's stimulus model (see
+    :mod:`repro.circuit.stimulus`) and word metadata.
+    """
+    if accurate.n_inputs != approximate.n_inputs:
+        raise SimulationError("circuits have different input counts")
+    if accurate.n_outputs != approximate.n_outputs:
+        raise SimulationError("circuits have different output counts")
+    rng = rng or np.random.default_rng(seed)
+    words = stimulus_input_words(accurate, n_samples, rng)
+    exact_bits = unpack_bits(simulate_outputs(accurate, words), n_samples).T
+    approx_bits = unpack_bits(simulate_outputs(approximate, words), n_samples).T
+
+    specs = circuit_words(accurate)
+    diffs = []
+    rels = []
+    norms = []
+    for spec in specs:
+        exact = spec.to_ints(exact_bits)
+        approx = spec.to_ints(approx_bits)
+        d = np.abs(exact - approx)
+        diffs.append(d)
+        rels.append(d / np.maximum(np.abs(exact), 1))
+        norms.append(d / max(spec.max_abs, 1))
+    diff = np.stack(diffs, axis=1)  # (n, n_words)
+    rel = np.stack(rels, axis=1)
+    norm = np.stack(norms, axis=1)
+
+    wrong_bits = approx_bits != exact_bits
+    return ErrorReport(
+        n_samples=n_samples,
+        error_rate=float((diff.sum(axis=1) > 0).mean()),
+        mean_error_distance=float(diff.mean()),
+        normalized_med=float(norm.mean()),
+        mean_relative_error=float(rel.mean()),
+        worst_case_error=int(diff.max()),
+        worst_case_relative_error=float(rel.max()),
+        mean_squared_error=float((diff.astype(float) ** 2).mean()),
+        bit_error_rate=float(wrong_bits.mean()),
+    )
+
+
+def error_histogram(
+    accurate: Circuit,
+    approximate: Circuit,
+    n_samples: int = 65536,
+    bins: int = 20,
+    seed: int = 0xE44,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Histogram of absolute error distances (counts, bin edges).
+
+    Error distances are pooled over all output words.  Useful for checking
+    whether an approximate design's errors are many-small (graceful) or
+    few-large (catastrophic) — designs with identical MED can differ wildly
+    here.
+    """
+    rng = np.random.default_rng(seed)
+    words = stimulus_input_words(accurate, n_samples, rng)
+    exact_bits = unpack_bits(simulate_outputs(accurate, words), n_samples).T
+    approx_bits = unpack_bits(simulate_outputs(approximate, words), n_samples).T
+    diffs = []
+    for spec in circuit_words(accurate):
+        diffs.append(
+            np.abs(spec.to_ints(exact_bits) - spec.to_ints(approx_bits))
+        )
+    pooled = np.concatenate(diffs)
+    return np.histogram(pooled, bins=bins)
+
+
+def per_output_bit_error(
+    accurate: Circuit,
+    approximate: Circuit,
+    n_samples: int = 16384,
+    seed: int = 0xE44,
+) -> np.ndarray:
+    """Flip probability of each primary output bit (length n_outputs).
+
+    The BLASYS weighted-QoR story predicts flips concentrate in low-
+    significance positions; this measures exactly that profile.
+    """
+    rng = np.random.default_rng(seed)
+    words = stimulus_input_words(accurate, n_samples, rng)
+    exact_bits = unpack_bits(simulate_outputs(accurate, words), n_samples)
+    approx_bits = unpack_bits(simulate_outputs(approximate, words), n_samples)
+    return (exact_bits != approx_bits).mean(axis=1)

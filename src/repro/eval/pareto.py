@@ -1,0 +1,74 @@
+"""Pareto-front utilities over exploration trajectories.
+
+Figure 5 plots raw trajectories; downstream users usually want the
+*dominating frontier* (no other point is both more accurate and smaller)
+and scalar summaries for comparing configurations (hypervolume, area under
+the staircase).  These helpers work on any
+:class:`~repro.core.explorer.ExplorationResult` or plain (error, cost)
+pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.explorer import ExplorationResult
+
+
+def pareto_front(
+    points: Iterable[Tuple[float, float]]
+) -> List[Tuple[float, float]]:
+    """Non-dominated subset of (error, cost) pairs, sorted by error.
+
+    A point dominates another if it is no worse in both coordinates and
+    strictly better in one (both axes minimized).
+    """
+    ordered = sorted(set(points))
+    front: List[Tuple[float, float]] = []
+    best_cost = np.inf
+    for err, cost in ordered:
+        if cost < best_cost - 1e-15:
+            front.append((err, cost))
+            best_cost = cost
+    return front
+
+
+def trajectory_points(result: ExplorationResult) -> List[Tuple[float, float]]:
+    """(error, normalized estimated area) pairs of a trajectory."""
+    base = result.baseline_est_area or 1.0
+    return [(p.qor, p.est_area / base) for p in result.trajectory]
+
+
+def exploration_front(result: ExplorationResult) -> List[Tuple[float, float]]:
+    """Pareto frontier of an exploration's trajectory."""
+    return pareto_front(trajectory_points(result))
+
+
+def hypervolume(
+    front: Sequence[Tuple[float, float]],
+    ref: Tuple[float, float] = (1.0, 1.0),
+) -> float:
+    """2-D hypervolume dominated by ``front`` w.r.t. reference ``ref``.
+
+    Standard quality indicator: larger is better.  Points beyond the
+    reference contribute nothing.
+    """
+    # Integrate the dominated staircase left to right.
+    pts = [(e, c) for e, c in sorted(front) if e < ref[0] and c < ref[1]]
+    if not pts:
+        return 0.0
+    volume = 0.0
+    for i, (err, cost) in enumerate(pts):
+        next_err = pts[i + 1][0] if i + 1 < len(pts) else ref[0]
+        volume += (min(next_err, ref[0]) - err) * (ref[1] - cost)
+    return volume
+
+
+def area_at_error(
+    front: Sequence[Tuple[float, float]], error: float
+) -> float:
+    """Smallest cost achievable within an error budget (1.0 if none)."""
+    feasible = [c for e, c in front if e <= error]
+    return min(feasible) if feasible else 1.0

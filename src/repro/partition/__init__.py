@@ -1,0 +1,31 @@
+"""Circuit decomposition into convex k×m windows and window substitution."""
+
+from .windows import Window
+from .decompose import (
+    DEFAULT_MAX_INPUTS,
+    DEFAULT_MAX_OUTPUTS,
+    decompose,
+    validate_decomposition,
+)
+from .plan import quotient_plan
+from .substitute import (
+    ConeReplacement,
+    FactoredReplacement,
+    Replacement,
+    TableReplacement,
+    substitute_windows,
+)
+
+__all__ = [
+    "ConeReplacement",
+    "DEFAULT_MAX_INPUTS",
+    "DEFAULT_MAX_OUTPUTS",
+    "FactoredReplacement",
+    "Replacement",
+    "TableReplacement",
+    "Window",
+    "decompose",
+    "quotient_plan",
+    "substitute_windows",
+    "validate_decomposition",
+]

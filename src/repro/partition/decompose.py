@@ -1,0 +1,388 @@
+"""k×m circuit decomposition (paper §3.3).
+
+The circuit's gates are partitioned into clusters, each with at most ``k``
+boundary inputs and ``m`` boundary outputs, such that the *quotient graph*
+(clusters contracted to single nodes) is acyclic.  Quotient acyclicity is
+the exact condition under which any subset of windows can be replaced by
+k-in/m-out approximate blocks without creating combinational cycles; it also
+implies each cluster is convex (no path between two members leaves the
+cluster).
+
+The implementation follows the spirit of KL-cuts [Martinello et al., DATE
+2010], which the paper cites for this step, in three phases:
+
+1. **Seed** — walk gates in topological order, greedily joining the cluster
+   (among those of the gate's fanins and siblings) with the highest
+   affinity that keeps the constraints.
+2. **Merge** — coalesce adjacent clusters whenever the union still fits,
+   processing the most strongly connected pairs first.  This is what grows
+   windows to the k×m budget.
+3. **Refine** — Kernighan–Lin style single-gate moves between adjacent
+   clusters that shrink the total cut.
+
+A packed reachability matrix over cluster ids is maintained incrementally,
+so "would this edge/merge create a quotient cycle?" is a couple of word
+operations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..errors import DecompositionError
+from ..circuit.gate import Op
+from ..circuit.graph import fanout_lists, quotient_is_acyclic, window_boundary
+from ..circuit.netlist import Circuit
+from .windows import Window
+
+#: Paper default: "In our experiments we chose both k = 10 and m = 10".
+DEFAULT_MAX_INPUTS = 10
+DEFAULT_MAX_OUTPUTS = 10
+
+
+class _Clustering:
+    """Mutable clustering state with incremental quotient reachability.
+
+    ``reach[c]`` is a packed bitset over cluster ids: the clusters reachable
+    from ``c`` through the current quotient graph (excluding ``c`` itself).
+    """
+
+    def __init__(self, circuit: Circuit, max_inputs: int, max_outputs: int):
+        self.circuit = circuit
+        self.k = max_inputs
+        self.m = max_outputs
+        self.fanouts = fanout_lists(circuit)
+        self.po_drivers = set(circuit.output_nodes())
+        n_gates = sum(1 for _ in circuit.gate_ids())
+        self._capacity = max(n_gates, 1)
+        self._words = (self._capacity + 63) // 64
+        self.reach = np.zeros((self._capacity, self._words), dtype=np.uint64)
+        self.assignment: Dict[int, int] = {}
+        self.members: Dict[int, Set[int]] = {}
+        self._next_cid = 0
+
+    # -- bit helpers ----------------------------------------------------
+    def _bit(self, cid: int) -> Tuple[int, np.uint64]:
+        return cid // 64, np.uint64(1) << np.uint64(cid % 64)
+
+    def reaches(self, src: int, dst: int) -> bool:
+        w, b = self._bit(dst)
+        return bool(self.reach[src, w] & b)
+
+    def _column(self, dst: int) -> np.ndarray:
+        """Boolean vector over clusters: which rows reach ``dst``."""
+        w, b = self._bit(dst)
+        return (self.reach[: self._next_cid, w] & b) != 0
+
+    def add_edge(self, src: int, dst: int) -> None:
+        """Record quotient edge ``src -> dst``; caller checked acyclicity."""
+        if src == dst:
+            return
+        w, b = self._bit(dst)
+        targets = self.reach[dst].copy()
+        targets[w] |= b
+        rows = self._column(src)
+        rows[src] = True
+        self.reach[: self._next_cid][rows] |= targets[None, :]
+
+    # -- cluster lifecycle ----------------------------------------------
+    def new_cluster(self, nid: int) -> int:
+        cid = self._next_cid
+        if cid >= self._capacity:  # pragma: no cover - capacity is n_gates
+            raise DecompositionError("cluster capacity exceeded")
+        self._next_cid += 1
+        self.members[cid] = {nid}
+        self.assignment[nid] = cid
+        for f in self.circuit.node(nid).fanins:
+            src = self.assignment.get(f)
+            if src is not None:
+                self.add_edge(src, cid)
+        return cid
+
+    def can_join(self, cid: int, nid: int) -> bool:
+        """Quotient-safety of adding the fresh sink ``nid`` to ``cid``.
+
+        ``nid`` has no assigned fanouts yet, so the only new quotient edges
+        run from its fanin clusters into ``cid``; each is safe unless
+        ``cid`` already reaches that fanin cluster.
+        """
+        mset = self.members[cid]
+        for f in self.circuit.node(nid).fanins:
+            if f in mset:
+                continue
+            src = self.assignment.get(f)
+            if src is not None and src != cid and self.reaches(cid, src):
+                return False
+        return True
+
+    def join(self, cid: int, nid: int) -> None:
+        self.members[cid].add(nid)
+        self.assignment[nid] = cid
+        for f in self.circuit.node(nid).fanins:
+            src = self.assignment.get(f)
+            if src is not None and src != cid:
+                self.add_edge(src, cid)
+
+    def merge_safe(self, a: int, b: int) -> bool:
+        """True if clusters ``a``/``b`` can merge without a quotient cycle.
+
+        Requires that no third cluster lies on a path between them, in
+        either direction.
+        """
+        via = self._column(b) & self.reach_row_bool(a)
+        via[b] = False
+        via[a] = False
+        if via.any():
+            return False
+        via = self._column(a) & self.reach_row_bool(b)
+        via[a] = False
+        via[b] = False
+        return not via.any()
+
+    def reach_row_bool(self, cid: int) -> np.ndarray:
+        """Expand ``reach[cid]`` into a boolean vector over cluster ids."""
+        bits = np.unpackbits(
+            self.reach[cid].view(np.uint8), bitorder="little"
+        )
+        return bits[: self._next_cid].astype(bool)
+
+    def merge(self, a: int, b: int) -> None:
+        """Merge ``b`` into ``a``; caller checked :meth:`merge_safe`."""
+        for nid in self.members[b]:
+            self.assignment[nid] = a
+        self.members[a] |= self.members.pop(b)
+        wa, ba = self._bit(a)
+        wb, bb = self._bit(b)
+        merged = self.reach[a] | self.reach[b]
+        merged[wa] &= ~ba
+        merged[wb] &= ~bb
+        self.reach[a] = merged
+        # Every cluster reaching a or b now reaches the union's targets and a.
+        rows = self._column(a) | self._column(b)
+        rows[a] = False
+        targets = merged.copy()
+        targets[wa] |= ba
+        self.reach[: self._next_cid][rows] |= targets[None, :]
+        # b is dead; keep its bit set in predecessors (harmless: dead ids
+        # are never queried again).
+
+    # -- boundary bookkeeping ---------------------------------------------
+    def boundary_counts(self, member_set: Set[int]) -> Tuple[int, int]:
+        inputs: Set[int] = set()
+        n_out = 0
+        for v in member_set:
+            for f in self.circuit.node(v).fanins:
+                if f not in member_set and self.circuit.node(f).op not in (
+                    Op.CONST0,
+                    Op.CONST1,
+                ):
+                    inputs.add(f)
+            if v in self.po_drivers or any(
+                s not in member_set for s in self.fanouts[v]
+            ):
+                n_out += 1
+        return len(inputs), n_out
+
+    def fits(self, member_set: Set[int]) -> bool:
+        n_in, n_out = self.boundary_counts(member_set)
+        return n_in <= self.k and n_out <= self.m
+
+
+def _greedy_seed(state: _Clustering) -> None:
+    """Phase 1: grow clusters over gates in topological order."""
+    circuit = state.circuit
+    for nid, node in enumerate(circuit.nodes):
+        if not node.op.is_gate:
+            continue
+        votes: Dict[int, int] = {}
+        for f in node.fanins:
+            cid = state.assignment.get(f)
+            if cid is not None:
+                votes[cid] = votes.get(cid, 0) + 2
+            # sibling affinity: clusters of other readers of the same wire
+            for s in state.fanouts[f]:
+                if s == nid:
+                    continue
+                sid = state.assignment.get(s)
+                if sid is not None:
+                    votes[sid] = votes.get(sid, 0) + 1
+        placed = False
+        ranked = sorted(votes, key=lambda c: (-votes[c], len(state.members[c])))
+        for cid in ranked[:6]:
+            if not state.can_join(cid, nid):
+                continue
+            if not state.fits(state.members[cid] | {nid}):
+                continue
+            state.join(cid, nid)
+            placed = True
+            break
+        if not placed:
+            state.new_cluster(nid)
+
+
+def _cluster_adjacency(state: _Clustering) -> Dict[Tuple[int, int], int]:
+    """Wire counts between distinct live clusters (directed src->dst)."""
+    wires: Dict[Tuple[int, int], int] = {}
+    for nid in state.assignment:
+        dst = state.assignment[nid]
+        for f in state.circuit.node(nid).fanins:
+            src = state.assignment.get(f)
+            if src is not None and src != dst:
+                wires[(src, dst)] = wires.get((src, dst), 0) + 1
+    return wires
+
+
+def _merge_pass(state: _Clustering, max_rounds: int = 10) -> None:
+    """Phase 2: coalesce adjacent clusters, strongest connections first."""
+    for _ in range(max_rounds):
+        wires = _cluster_adjacency(state)
+        merged_any = False
+        dead: Set[int] = set()
+        for (a, b), _count in sorted(
+            wires.items(), key=lambda kv: -kv[1]
+        ):
+            if a in dead or b in dead:
+                continue
+            if a not in state.members or b not in state.members:
+                continue
+            union = state.members[a] | state.members[b]
+            if not state.fits(union):
+                continue
+            if not state.merge_safe(a, b):
+                continue
+            state.merge(a, b)
+            dead.add(b)
+            merged_any = True
+        if not merged_any:
+            break
+
+
+def _refine(state: _Clustering, passes: int) -> None:
+    """Phase 3: KL-style single-gate moves that shrink the total cut."""
+    circuit = state.circuit
+    for _ in range(passes):
+        moved = 0
+        for nid in sorted(state.assignment):
+            src = state.assignment[nid]
+            if len(state.members[src]) == 1:
+                continue  # moving a singleton is a merge; phase 2's job
+            neighbors: Set[int] = set()
+            for f in circuit.node(nid).fanins:
+                cid = state.assignment.get(f)
+                if cid is not None and cid != src:
+                    neighbors.add(cid)
+            for s in state.fanouts[nid]:
+                cid = state.assignment.get(s)
+                if cid is not None and cid != src:
+                    neighbors.add(cid)
+            if not neighbors:
+                continue
+            src_members = state.members[src]
+            base_src_cost = state.boundary_counts(src_members)[0]
+            best: Optional[Tuple[int, int]] = None  # (gain, dst)
+            for dst in neighbors:
+                dst_members = state.members[dst]
+                new_src = src_members - {nid}
+                new_dst = dst_members | {nid}
+                if not state.fits(new_dst) or not state.fits(new_src):
+                    continue
+                cost_before = base_src_cost + state.boundary_counts(dst_members)[0]
+                cost_after = (
+                    state.boundary_counts(new_src)[0]
+                    + state.boundary_counts(new_dst)[0]
+                )
+                gain = cost_before - cost_after
+                if gain > 0 and (best is None or gain > best[0]):
+                    best = (gain, dst)
+            if best is None:
+                continue
+            # Tentatively apply, then verify quotient acyclicity (single
+            # moves can break it in ways cheap local tests miss).
+            dst = best[1]
+            state.members[src].discard(nid)
+            state.members[dst].add(nid)
+            state.assignment[nid] = dst
+            if quotient_is_acyclic(circuit, state.assignment):
+                moved += 1
+            else:
+                state.members[dst].discard(nid)
+                state.members[src].add(nid)
+                state.assignment[nid] = src
+        if not moved:
+            break
+
+
+def decompose(
+    circuit: Circuit,
+    max_inputs: int = DEFAULT_MAX_INPUTS,
+    max_outputs: int = DEFAULT_MAX_OUTPUTS,
+    refine_passes: int = 1,
+) -> List[Window]:
+    """Partition every gate of ``circuit`` into k×m windows.
+
+    Args:
+        circuit: The netlist to decompose.
+        max_inputs: Window input budget ``k`` (paper default 10).
+        max_outputs: Window output budget ``m`` (paper default 10).
+        refine_passes: KL refinement iterations (0 disables).
+
+    Returns:
+        Windows ordered by smallest member id; together they cover every
+        gate exactly once and their quotient graph is acyclic.
+    """
+    if max_inputs < 1 or max_outputs < 1:
+        raise DecompositionError("window budgets must be positive")
+    state = _Clustering(circuit, max_inputs, max_outputs)
+    _greedy_seed(state)
+    _merge_pass(state)
+    if refine_passes:
+        _refine(state, refine_passes)
+
+    ordered = sorted(state.members.values(), key=min)
+    windows = []
+    for i, member_set in enumerate(ordered):
+        ins, outs = window_boundary(circuit, member_set)
+        windows.append(
+            Window(i, tuple(sorted(member_set)), tuple(ins), tuple(outs))
+        )
+    return windows
+
+
+def validate_decomposition(
+    circuit: Circuit,
+    windows: Sequence[Window],
+    max_inputs: int = DEFAULT_MAX_INPUTS,
+    max_outputs: int = DEFAULT_MAX_OUTPUTS,
+) -> None:
+    """Raise :class:`DecompositionError` unless ``windows`` is a valid k×m
+    partition of the circuit's gates with an acyclic quotient graph."""
+    seen: Set[int] = set()
+    for w in windows:
+        member_set = set(w.members)
+        if seen & member_set:
+            raise DecompositionError(f"window {w.index} overlaps another window")
+        seen |= member_set
+        if w.n_inputs > max_inputs:
+            raise DecompositionError(
+                f"window {w.index} has {w.n_inputs} inputs > {max_inputs}"
+            )
+        if w.n_outputs > max_outputs:
+            raise DecompositionError(
+                f"window {w.index} has {w.n_outputs} outputs > {max_outputs}"
+            )
+        ins, outs = window_boundary(circuit, member_set)
+        if tuple(ins) != w.inputs or tuple(outs) != w.outputs:
+            raise DecompositionError(f"window {w.index} boundary is stale")
+    all_gates = set(circuit.gate_ids())
+    if seen != all_gates:
+        raise DecompositionError(
+            f"windows cover {len(seen)} gates, circuit has {len(all_gates)}"
+        )
+    assignment = {}
+    for w in windows:
+        for v in w.members:
+            assignment[v] = w.index
+    if not quotient_is_acyclic(circuit, assignment):
+        raise DecompositionError("window quotient graph is cyclic")

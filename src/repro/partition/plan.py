@@ -1,0 +1,72 @@
+"""Quotient-topological evaluation plans.
+
+After windows are substituted, a window output's value depends on *all*
+window inputs — including ones whose node ids exceed the output's id.  Raw
+id-order evaluation is therefore wrong for substituted circuits; the right
+order is topological over the *quotient* DAG (windows contracted).  This
+module computes that order once so both the splicer
+(:mod:`repro.partition.substitute`) and the incremental evaluator
+(:mod:`repro.core.incremental`) can share it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import DecompositionError
+from ..circuit.netlist import Circuit
+from .windows import Window
+
+#: Plan step: ("node", node_id) for loose nodes, ("window", index) for windows.
+PlanStep = Tuple[str, int]
+
+
+def quotient_plan(circuit: Circuit, windows: Sequence[Window]) -> List[PlanStep]:
+    """Topological order of evaluation units (loose nodes and windows).
+
+    Raises:
+        DecompositionError: if windows overlap or their quotient is cyclic.
+    """
+    window_of: Dict[int, int] = {}
+    for w in windows:
+        for v in w.members:
+            if v in window_of:
+                raise DecompositionError("windows overlap")
+            window_of[v] = w.index
+
+    def qnode(nid: int) -> PlanStep:
+        widx = window_of.get(nid)
+        return ("window", widx) if widx is not None else ("node", nid)
+
+    indeg: Dict[PlanStep, int] = {}
+    succs: Dict[PlanStep, set] = {}
+    order_hint: Dict[PlanStep, int] = {}
+    for nid in range(circuit.n_nodes):
+        q = qnode(nid)
+        indeg.setdefault(q, 0)
+        order_hint.setdefault(q, nid)
+    for nid, node in enumerate(circuit.nodes):
+        dst = qnode(nid)
+        for f in node.fanins:
+            src = qnode(f)
+            if src == dst:
+                continue
+            if dst not in succs.setdefault(src, set()):
+                succs[src].add(dst)
+                indeg[dst] += 1
+
+    # Kahn's algorithm; ties broken by first-node id for determinism.
+    ready = sorted(
+        (q for q, d in indeg.items() if d == 0), key=lambda q: order_hint[q]
+    )
+    plan: List[PlanStep] = []
+    while ready:
+        q = ready.pop(0)
+        plan.append(q)
+        for s in sorted(succs.get(q, ()), key=lambda q: order_hint[q]):
+            indeg[s] -= 1
+            if indeg[s] == 0:
+                ready.append(s)
+    if len(plan) != len(indeg):
+        raise DecompositionError("quotient graph is cyclic; bad decomposition")
+    return plan

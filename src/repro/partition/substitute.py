@@ -1,0 +1,299 @@
+"""Window substitution: splice approximate sub-circuits into the parent.
+
+Two replacement flavours (paper Figure 2):
+
+* :class:`TableReplacement` — the window's outputs become LUT nodes over the
+  window inputs.  Fast to build; used while exploring the design space.
+* :class:`FactoredReplacement` — a BMF pair ``(B, C)``: ``B`` is synthesized
+  into the *compressor* (espresso + gates) and ``C`` becomes the
+  *decompressor*, a layer of OR gates (semiring) or XOR gates (field).
+  Used to realize the final netlist handed to technology mapping.
+
+Because windows may interleave arbitrarily in the parent's node order, the
+new circuit is emitted in topological order of the *quotient* DAG (windows
+contracted to single nodes) — the decomposition guarantees that order
+exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import DecompositionError
+from ..circuit.builder import CircuitBuilder
+from ..circuit.gate import Op
+from ..circuit.netlist import Circuit
+from ..synth.espresso import EspressoOptions
+from ..synth.synthesis import synthesize_outputs_shared
+from .windows import Window
+
+
+@dataclass(frozen=True)
+class TableReplacement:
+    """Replace a window by LUTs implementing ``table`` (2^k × m)."""
+
+    table: np.ndarray
+
+
+@dataclass(frozen=True)
+class FactoredReplacement:
+    """Replace a window by a synthesized compressor ``B`` and an OR/XOR
+    decompressor ``C`` (the BLASYS structure)."""
+
+    B: np.ndarray
+    C: np.ndarray
+    algebra: str = "semiring"
+
+
+@dataclass(frozen=True)
+class ConeReplacement:
+    """Column-subset BLASYS structure reusing the window's own gates.
+
+    The compressor is the original logic cone of the ``selected`` window
+    outputs (no re-synthesis — the factors *are* output functions); the
+    decompressor ``C`` rebuilds every output as an OR/XOR of the selected
+    ones.  Produced by :func:`repro.core.bmf.column_select_bmf`.
+    """
+
+    selected: Tuple[int, ...]
+    C: np.ndarray
+    algebra: str = "semiring"
+
+
+Replacement = Union[TableReplacement, FactoredReplacement, ConeReplacement]
+
+
+def _emit_gate(builder: CircuitBuilder, node, ins: List[int]) -> int:
+    op = node.op
+    if op is Op.BUF:
+        return ins[0]
+    if op is Op.NOT:
+        return builder.not_(ins[0])
+    if op is Op.AND:
+        return builder.and_(*ins)
+    if op is Op.OR:
+        return builder.or_(*ins)
+    if op is Op.XOR:
+        return builder.xor_(*ins)
+    if op is Op.NAND:
+        return builder.nand_(*ins)
+    if op is Op.NOR:
+        return builder.nor_(*ins)
+    if op is Op.XNOR:
+        return builder.xnor_(*ins)
+    if op is Op.MUX:
+        return builder.mux(*ins)
+    if op is Op.LUT:
+        return builder.lut(ins, node.table)
+    raise DecompositionError(f"cannot re-emit op {op}")  # pragma: no cover
+
+
+def _emit_members(
+    builder: CircuitBuilder,
+    circuit: Circuit,
+    members: Sequence[int],
+    sig: Dict[int, int],
+) -> None:
+    """Emit original gates for ``members`` (sorted = topo) into ``sig``."""
+    for nid in members:
+        node = circuit.node(nid)
+        ins = []
+        for f in node.fanins:
+            if f not in sig:  # constant feeding the window
+                kop = circuit.node(f).op
+                sig[f] = builder.const(kop is Op.CONST1)
+            ins.append(sig[f])
+        sig[nid] = _emit_gate(builder, node, ins)
+
+
+def _combine(builder: CircuitBuilder, parts: List[int], algebra: str) -> int:
+    if not parts:
+        return builder.const(False)
+    if len(parts) == 1:
+        return parts[0]
+    return builder.or_(*parts) if algebra == "semiring" else builder.xor_(*parts)
+
+
+def _emit_replacement(
+    builder: CircuitBuilder,
+    circuit: Circuit,
+    window: Window,
+    replacement: Replacement,
+    in_sigs: List[int],
+    n_outputs: int,
+    espresso_options: EspressoOptions,
+) -> List[int]:
+    """Build a replacement's logic; returns one signal per window output."""
+    if isinstance(replacement, ConeReplacement):
+        if len(replacement.selected) == 0 or replacement.C.shape != (
+            len(replacement.selected),
+            n_outputs,
+        ):
+            raise DecompositionError(
+                f"cone replacement shape mismatch for window {window.index}"
+            )
+        keep_roots = [window.outputs[p] for p in replacement.selected]
+        # The compressor is the original cone of the kept outputs.
+        needed = set(keep_roots)
+        for nid in sorted(window.members, reverse=True):
+            if nid in needed:
+                for f in circuit.node(nid).fanins:
+                    if f in set(window.members):
+                        needed.add(f)
+        sig: Dict[int, int] = {
+            nid: s for nid, s in zip(window.inputs, in_sigs)
+        }
+        _emit_members(builder, circuit, sorted(needed), sig)
+        t_sigs = [sig[r] for r in keep_roots]
+        return [
+            _combine(
+                builder,
+                [t_sigs[l] for l in range(len(t_sigs)) if replacement.C[l, j]],
+                replacement.algebra,
+            )
+            for j in range(n_outputs)
+        ]
+    if isinstance(replacement, TableReplacement):
+        table = np.asarray(replacement.table, dtype=bool)
+        if table.shape != (1 << len(in_sigs), n_outputs):
+            raise DecompositionError(
+                f"replacement table shape {table.shape} does not match "
+                f"window ({len(in_sigs)} inputs, {n_outputs} outputs)"
+            )
+        return [builder.lut(in_sigs, table[:, j]) for j in range(n_outputs)]
+
+    B = np.asarray(replacement.B, dtype=bool)
+    C = np.asarray(replacement.C, dtype=bool)
+    if B.shape[0] != 1 << len(in_sigs):
+        raise DecompositionError(
+            f"compressor has {B.shape[0]} rows for {len(in_sigs)} inputs"
+        )
+    if C.shape != (B.shape[1], n_outputs):
+        raise DecompositionError(
+            f"decompressor shape {C.shape} inconsistent with f={B.shape[1]}, "
+            f"m={n_outputs}"
+        )
+    # Compressor: shared multi-output synthesis over B's columns.
+    t_sigs = synthesize_outputs_shared(builder, B, in_sigs, espresso_options)
+    return [
+        _combine(
+            builder,
+            [t_sigs[l] for l in range(C.shape[0]) if C[l, j]],
+            replacement.algebra,
+        )
+        for j in range(n_outputs)
+    ]
+
+
+def substitute_windows(
+    circuit: Circuit,
+    windows: Sequence[Window],
+    replacements: Mapping[int, Replacement],
+    name: Optional[str] = None,
+    espresso_options: EspressoOptions = EspressoOptions(),
+) -> Circuit:
+    """Rebuild ``circuit`` with selected windows replaced.
+
+    Args:
+        circuit: Parent netlist.
+        windows: The full decomposition (from :func:`repro.partition.
+            decompose`); replaced and kept windows alike.
+        replacements: Window index -> replacement.  Windows not in the map
+            keep their original gates.
+        name: Name of the produced circuit.
+
+    Returns:
+        A new :class:`Circuit` with identical interface (input/output names
+        and order, ``attrs`` copied).
+    """
+    window_of: Dict[int, int] = {}
+    for w in windows:
+        for v in w.members:
+            if v in window_of:
+                raise DecompositionError("windows overlap")
+            window_of[v] = w.index
+    for idx in replacements:
+        if not any(w.index == idx for w in windows):
+            raise DecompositionError(f"replacement for unknown window {idx}")
+
+    # ------------------------------------------------------------------
+    # Quotient DAG: one qnode per window, one per loose (non-member) node.
+    # ------------------------------------------------------------------
+    def qnode(nid: int) -> tuple:
+        w = window_of.get(nid)
+        return ("w", w) if w is not None else ("n", nid)
+
+    succs: Dict[tuple, set] = {}
+    indeg: Dict[tuple, int] = {}
+    qnodes: Dict[tuple, List[int]] = {}
+    for nid in range(circuit.n_nodes):
+        q = qnode(nid)
+        qnodes.setdefault(q, []).append(nid)
+        indeg.setdefault(q, 0)
+    for nid, node in enumerate(circuit.nodes):
+        dst = qnode(nid)
+        for f in node.fanins:
+            src = qnode(f)
+            if src == dst:
+                continue
+            if dst not in succs.setdefault(src, set()):
+                succs[src].add(dst)
+                indeg[dst] += 1
+
+    ready = [q for q, d in indeg.items() if d == 0]
+    order: List[tuple] = []
+    while ready:
+        q = ready.pop()
+        order.append(q)
+        for s in succs.get(q, ()):
+            indeg[s] -= 1
+            if indeg[s] == 0:
+                ready.append(s)
+    if len(order) != len(qnodes):
+        raise DecompositionError("quotient graph is cyclic; bad decomposition")
+
+    # ------------------------------------------------------------------
+    # Emit the new circuit in quotient topological order.
+    # ------------------------------------------------------------------
+    builder = CircuitBuilder(name or circuit.name)
+    sig: Dict[int, int] = {}
+    # Primary inputs first, preserving declaration order.
+    for nid in circuit.inputs:
+        sig[nid] = builder.input(circuit.node(nid).name or f"i{nid}")
+
+    window_by_index = {w.index: w for w in windows}
+    for q in order:
+        kind, key = q
+        if kind == "n":
+            nid = key
+            node = circuit.node(nid)
+            if node.op is Op.INPUT:
+                continue  # already emitted
+            if node.op is Op.CONST0:
+                sig[nid] = builder.const(False)
+            elif node.op is Op.CONST1:
+                sig[nid] = builder.const(True)
+            else:
+                sig[nid] = _emit_gate(builder, node, [sig[f] for f in node.fanins])
+            continue
+        w = window_by_index[key]
+        replacement = replacements.get(w.index)
+        if replacement is None:
+            _emit_members(builder, circuit, w.members, sig)
+        else:
+            in_sigs = [sig[i] for i in w.inputs]
+            outs = _emit_replacement(
+                builder, circuit, w, replacement, in_sigs, w.n_outputs,
+                espresso_options,
+            )
+            for nid, s in zip(w.outputs, outs):
+                sig[nid] = s
+
+    for port in circuit.outputs:
+        builder.output(port.name, sig[port.node])
+    out = builder.build(prune=True)
+    out.attrs = dict(circuit.attrs)
+    return out

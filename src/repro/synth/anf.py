@@ -1,0 +1,89 @@
+"""Algebraic normal form (Reed–Muller) synthesis.
+
+Two-level AND-OR covers are pathological for parity-like functions: an
+n-input XOR needs ``2**(n-1)`` cubes.  Arithmetic circuits — the BLASYS
+benchmark set — are full of such functions, and an industrial synthesis
+flow (the paper's Synopsys DC) recovers them as XOR trees during multi-level
+optimization.  This module provides the equivalent capability: the ANF
+(XOR of AND-terms) of a truth table via the GF(2) Möbius transform, a cost
+model, and gate construction, so each single-output function can be built
+in whichever of SOP/ANF form maps smaller.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..errors import SynthesisError
+from ..circuit.builder import CircuitBuilder
+
+#: Area of XOR2 relative to AND2 in the default library; used to compare
+#: ANF cost against SOP cost in equivalent "AND2 units".
+XOR_COST_RATIO = 1.8
+
+
+def anf_coefficients(table: np.ndarray) -> np.ndarray:
+    """GF(2) Möbius transform: truth table -> ANF coefficient vector.
+
+    Coefficient at index ``s`` multiplies the monomial ``AND(x_i for i in
+    bits(s))`` (index 0 is the constant term).
+    """
+    table = np.asarray(table, dtype=bool)
+    n = table.shape[0]
+    if n == 0 or n & (n - 1):
+        raise SynthesisError(f"table length {n} is not a power of two")
+    k = n.bit_length() - 1
+    coeff = table.copy()
+    for i in range(k):
+        step = 1 << i
+        view = coeff.reshape(-1, 2 * step)
+        view[:, step:] ^= view[:, :step]
+    return coeff
+
+
+def anf_terms(table: np.ndarray) -> List[int]:
+    """Monomial masks with nonzero ANF coefficient (mask 0 = constant 1)."""
+    return [int(s) for s in np.nonzero(anf_coefficients(table))[0]]
+
+
+def anf_cost(terms: Sequence[int]) -> float:
+    """Mapped-cost estimate of an ANF netlist, in AND2-equivalent units.
+
+    Each monomial of ``p`` literals needs ``p - 1`` AND2s; the ``t`` terms
+    need ``t - 1`` XOR2s (weighted by their area ratio).
+    """
+    if not terms:
+        return 0.0
+    and_cost = sum(max(bin(t).count("1") - 1, 0) for t in terms)
+    xor_cost = XOR_COST_RATIO * max(len(terms) - 1, 0)
+    return and_cost + xor_cost
+
+
+def sop_cost(n_literals: int, n_cubes: int) -> float:
+    """Mapped-cost estimate of an AND-OR cover in AND2-equivalent units."""
+    and_cost = max(n_literals - n_cubes, 0)  # p-literal cube = p-1 AND2s
+    or_cost = max(n_cubes - 1, 0)
+    return and_cost + or_cost
+
+
+def anf_to_gates(
+    builder: CircuitBuilder, terms: Sequence[int], inputs: Sequence[int]
+) -> int:
+    """Instantiate an ANF as AND monomials feeding one XOR; returns the
+    output signal.  An empty term list yields constant 0."""
+    if not terms:
+        return builder.const(False)
+    parts = []
+    for mask in terms:
+        lits = [inputs[i] for i in range(len(inputs)) if (mask >> i) & 1]
+        if not lits:
+            parts.append(builder.const(True))
+        elif len(lits) == 1:
+            parts.append(lits[0])
+        else:
+            parts.append(builder.and_(*lits))
+    if len(parts) == 1:
+        return parts[0]
+    return builder.xor_(*parts)

@@ -1,0 +1,178 @@
+"""Reduced ordered BDDs and BDD-based multi-level synthesis.
+
+Flat two-level forms (SOP covers, Reed–Muller ANF) cannot rediscover the
+*shared multi-level* structure hiding in a truth table — the carry chain an
+adder slice's outputs have in common, for example.  Industrial synthesis
+(the paper's Synopsys DC) recovers such sharing during multi-level
+optimization; this module provides the equivalent capability for truth
+tables: build one reduced ordered BDD over all output columns with a shared
+unique-table, then emit one 2:1 mux per BDD node.  Sub-functions shared by
+several outputs are built once, exactly like logic sharing in a multi-level
+netlist.
+
+Variable order follows the window's input order, which is the natural
+interleaved order for the arithmetic windows BLASYS produces; the reversed
+order is also tried and the smaller DAG wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import SynthesisError
+from ..circuit.builder import CircuitBuilder
+
+#: Terminal pseudo-ids.
+ZERO = -1
+ONE = -2
+
+
+@dataclass
+class SharedBDD:
+    """A multi-rooted ROBDD.
+
+    Attributes:
+        nodes: Internal nodes as ``(var, lo, hi)`` triples; ids index this
+            list, terminals are :data:`ZERO`/:data:`ONE`.  ``var`` is an
+            input index; ``lo``/``hi`` are the cofactors for that input at
+            0/1.
+        roots: One node id (or terminal) per output column.
+        order: The variable order used, top variable last.
+    """
+
+    nodes: List[Tuple[int, int, int]]
+    roots: List[int]
+    order: List[int]
+
+    @property
+    def n_internal(self) -> int:
+        return len(self.nodes)
+
+
+def _build(tables: np.ndarray, order: Sequence[int]) -> SharedBDD:
+    """Construct the shared ROBDD by recursive cofactoring.
+
+    ``order[level]`` is the input tested at recursion depth ``level`` (the
+    top of the diagram).  The table is permuted once so that the top
+    variable becomes the most significant bit of the row index; every
+    recursion step then simply splits the current column in half.
+    Identical sub-tables merge via a content memo and redundant tests
+    (``lo == hi``) are elided, so the result is fully reduced.
+    """
+    n_rows, m = tables.shape
+    k = n_rows.bit_length() - 1
+    if sorted(order) != list(range(k)):
+        raise SynthesisError("variable order must be a permutation of inputs")
+    # permuted row r has order[level]'s value at bit (k - 1 - level)
+    r_new = np.arange(n_rows)
+    source = np.zeros(n_rows, dtype=np.int64)
+    for level, var in enumerate(order):
+        source |= ((r_new >> (k - 1 - level)) & 1) << var
+    permuted = np.ascontiguousarray(tables[source])
+
+    nodes: List[Tuple[int, int, int]] = []
+    unique: Dict[Tuple[int, int, int], int] = {}
+    memo: Dict[bytes, int] = {}
+
+    def mk(var: int, lo: int, hi: int) -> int:
+        if lo == hi:
+            return lo
+        key = (var, lo, hi)
+        found = unique.get(key)
+        if found is not None:
+            return found
+        nodes.append(key)
+        unique[key] = len(nodes) - 1
+        return len(nodes) - 1
+
+    def rec(level: int, column: np.ndarray) -> int:
+        if not column.any():
+            return ZERO
+        if column.all():
+            return ONE
+        key = column.tobytes() + bytes([level])
+        found = memo.get(key)
+        if found is not None:
+            return found
+        half = column.shape[0] // 2
+        lo = rec(level + 1, column[:half])
+        hi = rec(level + 1, column[half:])
+        out = mk(order[level], lo, hi)
+        memo[key] = out
+        return out
+
+    roots = [rec(0, np.ascontiguousarray(permuted[:, j])) for j in range(m)]
+    return SharedBDD(nodes, roots, list(order))
+
+
+def _candidate_orders(k: int) -> List[List[int]]:
+    """Variable orders worth trying.
+
+    Besides the two linear orders, the *interleaved* orders pair input ``i``
+    with input ``i + k/2`` — the right order when the inputs are two
+    operand words laid out one after the other (ripple adders and friends
+    have exponential BDDs in linear order but linear-size ones
+    interleaved).
+    """
+    orders = [list(range(k - 1, -1, -1))]
+    if k > 1:
+        orders.append(list(range(k)))
+        half = (k + 1) // 2
+        interleaved: List[int] = []
+        for i in range(half):
+            interleaved.append(i)
+            if i + half < k:
+                interleaved.append(i + half)
+        orders.append(interleaved[::-1])
+        orders.append(interleaved)
+    return orders
+
+
+def build_shared_bdd(tables: np.ndarray, try_orders: bool = True) -> SharedBDD:
+    """Shared ROBDD over the columns of a ``(2**k, m)`` truth table.
+
+    A small set of candidate variable orders is tried (see
+    :func:`_candidate_orders`) and the smallest diagram wins; with
+    ``try_orders`` False only the descending natural order is built.
+    """
+    tables = np.atleast_2d(np.asarray(tables, dtype=bool))
+    if tables.shape[0] == 1:
+        tables = tables.T
+    n_rows = tables.shape[0]
+    if n_rows == 0 or n_rows & (n_rows - 1):
+        raise SynthesisError(f"table length {n_rows} is not a power of two")
+    k = n_rows.bit_length() - 1
+    orders = _candidate_orders(k) if try_orders else [list(range(k - 1, -1, -1))]
+    best: SharedBDD = None
+    for order in orders:
+        built = _build(tables, order)
+        if best is None or built.n_internal < best.n_internal:
+            best = built
+    return best
+
+
+def bdd_to_gates(
+    builder: CircuitBuilder, bdd: SharedBDD, inputs: Sequence[int]
+) -> List[int]:
+    """Emit one mux per internal node (terminals fold); returns root signals.
+
+    Nodes are created bottom-up; the builder's mux folding turns constant
+    branches into plain AND/OR/NOT gates, so simple BDDs produce simple
+    logic rather than literal mux chains.
+    """
+    sig: Dict[int, int] = {
+        ZERO: builder.const(False),
+        ONE: builder.const(True),
+    }
+    # nodes were appended post-order (children before parents) by _build
+    for nid, (var, lo, hi) in enumerate(bdd.nodes):
+        sig[nid] = builder.mux(inputs[var], sig[lo], sig[hi])
+    return [sig[r] for r in bdd.roots]
+
+
+def bdd_cost(bdd: SharedBDD, mux_area: float = 2.88) -> float:
+    """Area upper bound: every internal node one MUX2 (folding only helps)."""
+    return mux_area * bdd.n_internal

@@ -1,0 +1,114 @@
+"""Optional bridges to external synthesis tools (ABC, Yosys).
+
+The released BLASYS tool drives ABC/Yosys for compressor synthesis; this
+module provides the same integration point.  Everything in this repository
+works without external binaries — these hooks exist so results can be
+cross-checked against an industrial-strength optimizer when one is on
+``PATH`` (the test suite skips otherwise).
+
+The exchange format is BLIF both ways, so any tool that reads and writes
+combinational BLIF can be wired in via :func:`optimize_via_tool`.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+import tempfile
+from typing import List, Optional
+
+from ..errors import SynthesisError
+from ..circuit.blif import read_blif, write_blif
+from ..circuit.netlist import Circuit
+
+#: Default ABC optimization script (the classic resyn2 recipe).
+ABC_SCRIPT = "balance; rewrite; refactor; balance; rewrite; rewrite -z; balance; refactor -z; rewrite -z; balance"
+
+
+def find_tool(name: str) -> Optional[str]:
+    """Absolute path of an external tool, or None if not installed."""
+    return shutil.which(name)
+
+
+def optimize_via_tool(
+    circuit: Circuit,
+    command: List[str],
+    timeout_s: float = 120.0,
+) -> Circuit:
+    """Round-trip a circuit through an external BLIF-to-BLIF command.
+
+    ``command`` may contain the placeholders ``{in}`` and ``{out}`` which
+    are replaced with temporary BLIF paths.
+
+    Raises:
+        SynthesisError: if the tool fails, times out, or emits a netlist
+            with a different interface.
+    """
+    with tempfile.TemporaryDirectory(prefix="repro_ext_") as tmp:
+        src = os.path.join(tmp, "in.blif")
+        dst = os.path.join(tmp, "out.blif")
+        write_blif(circuit, src)
+        argv = [arg.replace("{in}", src).replace("{out}", dst) for arg in command]
+        try:
+            proc = subprocess.run(
+                argv,
+                capture_output=True,
+                text=True,
+                timeout=timeout_s,
+            )
+        except FileNotFoundError as exc:
+            raise SynthesisError(f"external tool not found: {argv[0]}") from exc
+        except subprocess.TimeoutExpired as exc:
+            raise SynthesisError(f"external tool timed out: {argv[0]}") from exc
+        if proc.returncode != 0:
+            raise SynthesisError(
+                f"external tool failed ({proc.returncode}): {proc.stderr[:500]}"
+            )
+        if not os.path.exists(dst):
+            raise SynthesisError("external tool produced no output netlist")
+        optimized = read_blif(dst)
+    if optimized.n_inputs != circuit.n_inputs or optimized.n_outputs != circuit.n_outputs:
+        raise SynthesisError("external tool changed the netlist interface")
+    optimized.attrs = dict(circuit.attrs)
+    return optimized
+
+
+def abc_optimize(
+    circuit: Circuit,
+    script: str = ABC_SCRIPT,
+    abc_path: Optional[str] = None,
+    timeout_s: float = 120.0,
+) -> Circuit:
+    """Optimize a circuit with Berkeley ABC (if installed).
+
+    Raises:
+        SynthesisError: when ABC is unavailable or fails.
+    """
+    abc = abc_path or find_tool("abc")
+    if abc is None:
+        raise SynthesisError("abc binary not found on PATH")
+    command = [
+        abc,
+        "-c",
+        "read {in}; strash; " + script + "; write {out}",
+    ]
+    return optimize_via_tool(circuit, command, timeout_s)
+
+
+def yosys_optimize(
+    circuit: Circuit,
+    yosys_path: Optional[str] = None,
+    timeout_s: float = 120.0,
+) -> Circuit:
+    """Optimize a circuit with Yosys (if installed)."""
+    yosys = yosys_path or find_tool("yosys")
+    if yosys is None:
+        raise SynthesisError("yosys binary not found on PATH")
+    command = [
+        yosys,
+        "-q",
+        "-p",
+        "read_blif {in}; opt; techmap; opt; write_blif {out}",
+    ]
+    return optimize_via_tool(circuit, command, timeout_s)

@@ -1,0 +1,122 @@
+"""Standard-cell library model (65 nm-like, typical corner).
+
+BLASYS needs a cost oracle in the role Synopsys DC + an industrial 65 nm
+library played in the paper: given a mapped netlist, report area (µm²),
+power (µW) and delay (ns).  The numbers below are calibrated against
+publicly known 65 nm standard-cell figures (a NAND2 is ~1.4 µm²; a full
+adder cell is ~7.5 µm² with ~0.1 ns carry delay, which puts a 32-bit ripple
+adder at ~3.2 ns — the regime of the paper's Table 1).
+
+Only relative, monotone behaviour matters for reproducing the paper's
+trends; all constants live here so recalibration is a one-file change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..errors import SynthesisError
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One library cell.
+
+    Attributes:
+        name: Cell name (e.g. ``NAND2``).
+        n_inputs: Input pin count.
+        n_outputs: Output pin count (2 for HA/FA macros).
+        area: Cell area in µm².
+        delay: Worst pin-to-output delay in ns.
+        leakage: Leakage power in nW.
+        switch_energy: Energy per output toggle in fJ (internal + typical
+            wire/pin load).
+    """
+
+    name: str
+    n_inputs: int
+    area: float
+    delay: float
+    leakage: float
+    switch_energy: float
+    n_outputs: int = 1
+
+
+class Library:
+    """A named collection of cells with convenience lookups."""
+
+    def __init__(self, name: str, cells: Iterable[Cell]) -> None:
+        self.name = name
+        self._cells: Dict[str, Cell] = {}
+        for cell in cells:
+            if cell.name in self._cells:
+                raise SynthesisError(f"duplicate cell {cell.name}")
+            self._cells[cell.name] = cell
+
+    def __getitem__(self, name: str) -> Cell:
+        try:
+            return self._cells[name]
+        except KeyError:
+            raise SynthesisError(f"library {self.name} has no cell {name!r}")
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cells
+
+    def get(self, name: str) -> Optional[Cell]:
+        return self._cells.get(name)
+
+    @property
+    def cells(self) -> Tuple[Cell, ...]:
+        return tuple(self._cells.values())
+
+    def nary(self, base: str, arity: int) -> Cell:
+        """Fetch e.g. ``AND3`` for (``AND``, 3); raises if absent."""
+        return self[f"{base}{arity}"]
+
+    def max_arity(self, base: str) -> int:
+        """Largest available arity for a gate family (e.g. ``AND`` -> 4)."""
+        best = 0
+        for cell in self._cells.values():
+            if cell.name.startswith(base) and cell.name[len(base):].isdigit():
+                best = max(best, int(cell.name[len(base):]))
+        return best
+
+
+#: Default clock for power reporting (the paper reports µW at a fixed
+#: operating point; the exact frequency only scales all numbers together).
+DEFAULT_CLOCK_MHZ = 250.0
+
+#: Supply voltage, folded into ``switch_energy`` values (V² at 1.0 V).
+SUPPLY_V = 1.0
+
+
+LIB65 = Library(
+    "generic65",
+    [
+        #    name    ins  area  delay  leak  energy out
+        Cell("INV",    1, 1.08, 0.020,  9.0, 1.85),
+        Cell("BUF",    1, 1.44, 0.035, 11.0, 2.35),
+        Cell("NAND2",  2, 1.44, 0.025, 14.0, 2.60),
+        Cell("NAND3",  3, 1.80, 0.033, 19.0, 3.25),
+        Cell("NAND4",  4, 2.16, 0.041, 24.0, 3.90),
+        Cell("NOR2",   2, 1.44, 0.029, 14.0, 2.75),
+        Cell("NOR3",   3, 1.80, 0.040, 19.0, 3.40),
+        Cell("NOR4",   4, 2.16, 0.050, 24.0, 4.05),
+        Cell("AND2",   2, 1.80, 0.042, 16.0, 3.00),
+        Cell("AND3",   3, 2.16, 0.050, 21.0, 3.65),
+        Cell("AND4",   4, 2.52, 0.058, 26.0, 4.30),
+        Cell("OR2",    2, 1.80, 0.044, 16.0, 3.10),
+        Cell("OR3",    3, 2.16, 0.053, 21.0, 3.80),
+        Cell("OR4",    4, 2.52, 0.061, 26.0, 4.45),
+        Cell("XOR2",   2, 3.24, 0.055, 26.0, 5.45),
+        Cell("XNOR2",  2, 3.24, 0.056, 26.0, 5.45),
+        Cell("MUX2",   3, 2.88, 0.052, 24.0, 4.70),
+        Cell("AOI21",  3, 2.16, 0.036, 18.0, 3.40),
+        Cell("OAI21",  3, 2.16, 0.037, 18.0, 3.40),
+        Cell("HA",     2, 4.68, 0.058, 38.0, 6.80, n_outputs=2),
+        Cell("FA",     3, 7.56, 0.100, 62.0, 10.90, n_outputs=2),
+        Cell("TIE0",   0, 0.72, 0.000,  4.0, 0.00),
+        Cell("TIE1",   0, 0.72, 0.000,  4.0, 0.00),
+    ],
+)

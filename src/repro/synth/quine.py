@@ -1,0 +1,139 @@
+"""Exact two-level minimization (Quine–McCluskey + exact cover).
+
+Exponential in the input count; intended for functions of up to ~8 inputs.
+The test suite uses it as the gold standard the heuristic espresso engine is
+measured against, and the technology mapper uses it for small LUT lowering
+where exactness is cheap.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..errors import SynthesisError
+from .sop import Cover, Cube, on_off_dc_split
+
+#: Refuse exact minimization above this input count.
+MAX_EXACT_INPUTS = 10
+
+
+def prime_implicants(k: int, on: Sequence[int], dc: Sequence[int]) -> List[Cube]:
+    """All prime implicants of the function via iterative cube merging."""
+    care = set(int(m) for m in on) | set(int(m) for m in dc)
+    if not care:
+        return []
+    current: Set[Tuple[int, int]] = {((1 << k) - 1, m) for m in care}
+    primes: Set[Tuple[int, int]] = set()
+    while current:
+        merged: Set[Tuple[int, int]] = set()
+        used: Set[Tuple[int, int]] = set()
+        by_mask = {}
+        for mask, value in current:
+            by_mask.setdefault(mask, []).append(value)
+        for mask, values in by_mask.items():
+            vset = set(values)
+            for value in values:
+                for i in range(k):
+                    bit = 1 << i
+                    if not mask & bit:
+                        continue
+                    partner = value ^ bit
+                    if partner in vset:
+                        merged.add((mask & ~bit, value & ~bit))
+                        used.add((mask, value))
+                        used.add((mask, partner))
+        primes |= current - used
+        current = merged
+    return [Cube(mask, value) for mask, value in sorted(primes)]
+
+
+def _exact_cover(
+    primes: List[Cube], on: np.ndarray
+) -> List[Cube]:
+    """Minimum-cube cover of the ON-set by branch and bound.
+
+    Cost is (cube count, literal count) lexicographically, matching the
+    espresso objective.  Essential primes are extracted first; the residue
+    is solved by depth-first search with a running best bound.
+    """
+    if on.size == 0:
+        return []
+    coverage = np.stack([p.covers(on) for p in primes])  # (P, N)
+
+    chosen: List[int] = []
+    remaining = np.ones(on.size, dtype=bool)
+
+    # Essential primes: an ON minterm covered by exactly one prime.
+    counts = coverage.sum(axis=0)
+    essential_idx = set()
+    for col in np.nonzero(counts == 1)[0]:
+        essential_idx.add(int(np.nonzero(coverage[:, col])[0][0]))
+    for pi in sorted(essential_idx):
+        chosen.append(pi)
+        remaining &= ~coverage[pi]
+
+    candidates = [
+        i for i in range(len(primes)) if i not in essential_idx
+    ]
+    best: List[Optional[List[int]]] = [None]
+    best_cost = [(len(primes) + 1, 0)]
+
+    def cost_of(sel: List[int]) -> Tuple[int, int]:
+        return (
+            len(sel) + len(chosen),
+            sum(primes[i].n_literals for i in sel + chosen),
+        )
+
+    def dfs(sel: List[int], rem: np.ndarray) -> None:
+        if not rem.any():
+            c = cost_of(sel)
+            if c < best_cost[0]:
+                best_cost[0] = c
+                best[0] = list(sel)
+            return
+        if len(sel) + len(chosen) + 1 > best_cost[0][0]:
+            return
+        # Branch on the uncovered minterm with the fewest covering primes.
+        rem_cols = np.nonzero(rem)[0]
+        col_counts = coverage[np.ix_(candidates, rem_cols)].sum(axis=0)
+        target = rem_cols[int(np.argmin(col_counts))]
+        for pi in candidates:
+            if coverage[pi, target] and pi not in sel:
+                dfs(sel + [pi], rem & ~coverage[pi])
+
+    dfs([], remaining)
+    if best[0] is None:
+        return [primes[i] for i in chosen]
+    return [primes[i] for i in sorted(chosen + best[0])]
+
+
+def quine_mccluskey(
+    table: np.ndarray, dc: Optional[np.ndarray] = None
+) -> Cover:
+    """Exact minimum cover of a single-output truth table.
+
+    Args:
+        table: Boolean array of length ``2**k`` (``k <= MAX_EXACT_INPUTS``).
+        dc: Optional don't-care mask.
+
+    Returns:
+        A minimum-cube (then minimum-literal) :class:`Cover`.
+    """
+    table = np.asarray(table, dtype=bool)
+    n = table.shape[0]
+    if n == 0 or n & (n - 1):
+        raise SynthesisError(f"table length {n} is not a power of two")
+    k = n.bit_length() - 1
+    if k > MAX_EXACT_INPUTS:
+        raise SynthesisError(
+            f"exact minimization limited to {MAX_EXACT_INPUTS} inputs, got {k}"
+        )
+    on, off, dcs = on_off_dc_split(table, dc)
+    if on.size == 0:
+        return Cover(k, [])
+    if off.size == 0:
+        return Cover(k, [Cube(0, 0)])
+    primes = prime_implicants(k, on.tolist(), dcs.tolist())
+    return Cover(k, _exact_cover(primes, on))

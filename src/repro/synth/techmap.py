@@ -1,0 +1,460 @@
+"""Technology mapping: generic gate networks onto the standard-cell library.
+
+The mapper runs in three stages:
+
+1. **Lowering** — n-ary gates are decomposed into trees no wider than the
+   library's widest matching cell; XOR chains become XOR2 trees.
+2. **Macro matching** — structural patterns for full/half adders and
+   AOI21/OAI21 are covered by their macro cells when every internal node of
+   the pattern is private to it.  Arithmetic circuits (the BLASYS benchmark
+   set) are dominated by adder cells after this pass, which is what keeps
+   the area/delay model in the same regime as the paper's industrial flow.
+3. **1:1 mapping** — every remaining gate maps directly to its cell.
+
+The result is a :class:`MappedNetlist`: cell instances over the lowered
+circuit's node ids (used as net ids), plus the lowered circuit itself so
+that timing and power analysis can re-simulate it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..errors import SynthesisError
+from ..circuit.builder import CircuitBuilder
+from ..circuit.gate import Op
+from ..circuit.graph import fanout_lists
+from ..circuit.netlist import Circuit
+from .library import Cell, LIB65, Library
+
+
+@dataclass(frozen=True)
+class CellInst:
+    """One placed cell: which nets it reads and which nets it produces."""
+
+    cell: Cell
+    inputs: Tuple[int, ...]
+    outputs: Tuple[int, ...]
+
+
+class MappedNetlist:
+    """A technology-mapped design: cell instances over a lowered circuit."""
+
+    def __init__(
+        self, circuit: Circuit, instances: Sequence[CellInst], library: Library
+    ) -> None:
+        self.circuit = circuit
+        self.instances = list(instances)
+        self.library = library
+
+    @property
+    def area(self) -> float:
+        """Total cell area in µm²."""
+        return sum(inst.cell.area for inst in self.instances)
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.instances)
+
+    @property
+    def leakage_nw(self) -> float:
+        return sum(inst.cell.leakage for inst in self.instances)
+
+    def cell_histogram(self) -> Dict[str, int]:
+        hist: Dict[str, int] = {}
+        for inst in self.instances:
+            hist[inst.cell.name] = hist.get(inst.cell.name, 0) + 1
+        return hist
+
+    def to_circuit(self, name: Optional[str] = None) -> Circuit:
+        """Reconstruct a generic gate netlist from the cell instances.
+
+        Every cell is expanded back into primitive gates according to its
+        function (FA/HA macros into their adder logic, AOI/OAI into their
+        and-or-invert forms).  The result must be functionally equivalent
+        to the mapped circuit — the test suite uses this to *prove* the
+        mapper correct, macros and pin orders included.
+        """
+        builder = CircuitBuilder(name or f"{self.circuit.name}_unmapped")
+        sig: Dict[int, int] = {}
+        for nid in self.circuit.inputs:
+            sig[nid] = builder.input(self.circuit.node(nid).name or f"i{nid}")
+        for inst in self.instances:
+            ins = [sig[f] for f in inst.inputs]
+            outs = _cell_function(builder, inst.cell.name, ins)
+            for net, s in zip(inst.outputs, outs):
+                sig[net] = s
+        for port in self.circuit.outputs:
+            driver = sig.get(port.node)
+            if driver is None:  # output tied to an unmapped const/input net
+                node = self.circuit.node(port.node)
+                if node.op is Op.CONST0:
+                    driver = builder.const(False)
+                elif node.op is Op.CONST1:
+                    driver = builder.const(True)
+                else:  # pragma: no cover - mapping always covers gates
+                    raise SynthesisError(f"net {port.node} has no driver")
+                sig[port.node] = driver
+            builder.output(port.name, driver)
+        out = builder.build(prune=True)
+        out.attrs = dict(self.circuit.attrs)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"MappedNetlist(cells={self.n_cells}, area={self.area:.1f}um2)"
+        )
+
+
+def _cell_function(
+    builder: CircuitBuilder, cell_name: str, ins: List[int]
+) -> List[int]:
+    """Primitive-gate semantics of a library cell; returns output signals."""
+    if cell_name == "INV":
+        return [builder.not_(ins[0])]
+    if cell_name == "BUF":
+        return [ins[0]]
+    if cell_name.startswith("NAND"):
+        return [builder.nand_(*ins)]
+    if cell_name.startswith("NOR"):
+        return [builder.nor_(*ins)]
+    if cell_name.startswith("AND"):
+        return [builder.and_(*ins)]
+    if cell_name.startswith("OR"):
+        return [builder.or_(*ins)]
+    if cell_name == "XOR2":
+        return [builder.xor_(*ins)]
+    if cell_name == "XNOR2":
+        return [builder.xnor_(*ins)]
+    if cell_name == "MUX2":
+        return [builder.mux(*ins)]
+    if cell_name == "AOI21":
+        a, b, c = ins
+        return [builder.nor_(builder.and_(a, b), c)]
+    if cell_name == "OAI21":
+        a, b, c = ins
+        return [builder.nand_(builder.or_(a, b), c)]
+    if cell_name == "HA":
+        s, c = builder.half_adder(*ins)
+        return [s, c]
+    if cell_name == "FA":
+        s, c = builder.full_adder(*ins)
+        return [s, c]
+    if cell_name == "TIE0":
+        return [builder.const(False)]
+    if cell_name == "TIE1":
+        return [builder.const(True)]
+    raise SynthesisError(f"no primitive semantics for cell {cell_name!r}")
+
+
+# ----------------------------------------------------------------------
+# Stage 1: lowering
+# ----------------------------------------------------------------------
+
+_TREE_BASES = {Op.AND: "AND", Op.OR: "OR"}
+_INVERTED_BASES = {Op.NAND: "AND", Op.NOR: "OR"}
+
+
+def lower_for_mapping(circuit: Circuit, library: Library = LIB65) -> Circuit:
+    """Rewrite ``circuit`` so every node matches some library cell arity.
+
+    LUT nodes are not handled here — :func:`repro.synth.synthesis.
+    resynthesize` lowers them to SOP logic first.
+    """
+    builder = CircuitBuilder(circuit.name)
+    sig: Dict[int, int] = {}
+
+    def tree(base_op: Op, fanins: List[int], max_arity: int) -> int:
+        """Balanced decomposition of an associative gate into a cell tree."""
+        layer = list(fanins)
+        while len(layer) > 1:
+            nxt: List[int] = []
+            for start in range(0, len(layer), max_arity):
+                chunk = layer[start : start + max_arity]
+                if len(chunk) == 1:
+                    nxt.append(chunk[0])
+                elif base_op is Op.AND:
+                    nxt.append(builder._add(Op.AND, tuple(sorted(chunk))))
+                elif base_op is Op.OR:
+                    nxt.append(builder._add(Op.OR, tuple(sorted(chunk))))
+                else:  # XOR
+                    nxt.append(builder._add(Op.XOR, tuple(sorted(chunk))))
+            layer = nxt
+        return layer[0]
+
+    for nid, node in enumerate(circuit.nodes):
+        op = node.op
+        ins = [sig[f] for f in node.fanins]
+        if op is Op.INPUT:
+            sig[nid] = builder.input(node.name or f"i{nid}")
+        elif op is Op.CONST0:
+            sig[nid] = builder.const(False)
+        elif op is Op.CONST1:
+            sig[nid] = builder.const(True)
+        elif op is Op.BUF:
+            sig[nid] = ins[0]
+        elif op is Op.NOT:
+            sig[nid] = builder.not_(ins[0])
+        elif op in _TREE_BASES:
+            arity = library.max_arity(_TREE_BASES[op])
+            sig[nid] = tree(op, ins, max(2, arity))
+        elif op in _INVERTED_BASES:
+            arity = library.max_arity(_INVERTED_BASES[op])
+            sig[nid] = builder.not_(tree(Op.AND if op is Op.NAND else Op.OR, ins, max(2, arity)))
+        elif op is Op.XOR:
+            sig[nid] = tree(Op.XOR, ins, 2)
+        elif op is Op.XNOR:
+            sig[nid] = builder.not_(tree(Op.XOR, ins, 2))
+        elif op is Op.MUX:
+            sig[nid] = builder.mux(*ins)
+        elif op is Op.LUT:
+            raise SynthesisError(
+                "LUT nodes must be lowered (see synthesis.resynthesize) "
+                "before technology mapping"
+            )
+        else:  # pragma: no cover - exhaustive over Op
+            raise SynthesisError(f"unmappable op {op}")
+    for port in circuit.outputs:
+        builder.output(port.name, sig[port.node])
+    lowered = builder.build(prune=True)
+    lowered.attrs = dict(circuit.attrs)
+    return lowered
+
+
+# ----------------------------------------------------------------------
+# Stage 2 + 3: covering
+# ----------------------------------------------------------------------
+
+
+def _match_full_adder(
+    circuit: Circuit,
+    s: int,
+    fanouts: List[List[int]],
+    covered: Set[int],
+    po_drivers: Set[int],
+) -> Optional[Tuple[Tuple[int, int, int], Tuple[int, ...], int]]:
+    """Try to root a full-adder pattern at sum node ``s``.
+
+    Expects ``s = XOR2(z, c)`` with ``z = XOR2(a, b)`` and a carry node
+    ``carry = OR2(AND2(a, b), AND2(z, c))``.  Returns
+    ``((a, b, c), internal_nodes, carry)`` on success.
+    """
+    node = circuit.node(s)
+    if node.op is not Op.XOR or node.arity != 2:
+        return None
+    for z, c in (node.fanins, node.fanins[::-1]):
+        zn = circuit.node(z)
+        if zn.op is not Op.XOR or zn.arity != 2 or z in covered:
+            continue
+        a, b = zn.fanins
+        # find the carry: an OR2 of AND2(a,b) and AND2(z,c)
+        for y in fanouts[z]:
+            yn = circuit.node(y)
+            if yn.op is not Op.AND or yn.arity != 2 or y in covered:
+                continue
+            if set(yn.fanins) != {z, c}:
+                continue
+            for carry in fanouts[y]:
+                cn = circuit.node(carry)
+                if cn.op is not Op.OR or cn.arity != 2 or carry in covered:
+                    continue
+                x = cn.fanins[0] if cn.fanins[1] == y else cn.fanins[1]
+                if x == y or x in covered:
+                    continue
+                xn = circuit.node(x)
+                if xn.op is not Op.AND or xn.arity != 2:
+                    continue
+                if set(xn.fanins) != {a, b}:
+                    continue
+                # Privacy: z feeds only {s, y}; x and y feed only the carry.
+                if any(f not in (s, y) for f in fanouts[z]) or z in po_drivers:
+                    continue
+                if any(f != carry for f in fanouts[x]) or x in po_drivers:
+                    continue
+                if any(f != carry for f in fanouts[y]) or y in po_drivers:
+                    continue
+                return (a, b, c), (z, x, y), carry
+    return None
+
+
+def _match_half_adder(
+    circuit: Circuit,
+    s: int,
+    and_index: Dict[Tuple[int, int], int],
+    covered: Set[int],
+) -> Optional[Tuple[Tuple[int, int], int]]:
+    """Try to root a half-adder pattern at sum node ``s`` (XOR2(a, b))."""
+    node = circuit.node(s)
+    if node.op is not Op.XOR or node.arity != 2:
+        return None
+    a, b = sorted(node.fanins)
+    carry = and_index.get((a, b))
+    if carry is None or carry in covered or carry == s:
+        return None
+    return (a, b), carry
+
+
+def _match_aoi_oai(
+    circuit: Circuit,
+    n: int,
+    fanouts: List[List[int]],
+    covered: Set[int],
+    po_drivers: Set[int],
+) -> Optional[Tuple[str, Tuple[int, int, int], Tuple[int, ...]]]:
+    """Match ``NOT(OR2(AND2(a,b), c))`` -> AOI21 or the dual -> OAI21."""
+    node = circuit.node(n)
+    if node.op is not Op.NOT:
+        return None
+    mid = node.fanins[0]
+    mn = circuit.node(mid)
+    if mid in covered or mn.arity != 2 or mid in po_drivers:
+        return None
+    if any(f != n for f in fanouts[mid]):
+        return None
+    if mn.op is Op.OR:
+        inner_op, cell = Op.AND, "AOI21"
+    elif mn.op is Op.AND:
+        inner_op, cell = Op.OR, "OAI21"
+    else:
+        return None
+    for inner, c in (mn.fanins, mn.fanins[::-1]):
+        inn = circuit.node(inner)
+        if inn.op is not inner_op or inn.arity != 2 or inner in covered:
+            continue
+        if inner in po_drivers or any(f != mid for f in fanouts[inner]):
+            continue
+        a, b = inn.fanins
+        return cell, (a, b, c), (inner, mid)
+    return None
+
+
+_DIRECT_CELLS = {
+    Op.NOT: "INV",
+    Op.BUF: "BUF",
+    Op.XOR: "XOR2",
+    Op.XNOR: "XNOR2",
+    Op.MUX: "MUX2",
+    Op.CONST0: "TIE0",
+    Op.CONST1: "TIE1",
+}
+
+
+def tech_map(
+    circuit: Circuit,
+    library: Library = LIB65,
+    match_macros: bool = True,
+) -> MappedNetlist:
+    """Map ``circuit`` onto ``library`` cells.
+
+    The circuit is lowered first (see :func:`lower_for_mapping`).  Returns a
+    :class:`MappedNetlist` whose net ids are node ids of the lowered
+    circuit.
+    """
+    lowered = lower_for_mapping(circuit, library)
+    fanouts = fanout_lists(lowered)
+    po_drivers = set(lowered.output_nodes())
+    covered: Set[int] = set()
+    produced: Set[int] = set()
+    instances: List[CellInst] = []
+
+    if match_macros and "FA" in library:
+        # Full adders first (largest pattern), sums in reverse topo order so
+        # the MSB-side carry chain is grabbed before HA can steal pieces.
+        for s in range(lowered.n_nodes - 1, -1, -1):
+            if s in covered:
+                continue
+            match = _match_full_adder(lowered, s, fanouts, covered, po_drivers)
+            if match is None:
+                continue
+            (a, b, c), internals, carry = match
+            if carry in covered:
+                continue
+            instances.append(CellInst(library["FA"], (a, b, c), (s, carry)))
+            covered.update(internals)
+            covered.update((s, carry))
+            produced.update((s, carry))
+
+    if match_macros and "HA" in library:
+        and_index: Dict[Tuple[int, int], int] = {}
+        for nid, node in enumerate(lowered.nodes):
+            if node.op is Op.AND and node.arity == 2 and nid not in covered:
+                and_index[tuple(sorted(node.fanins))] = nid
+        for s in range(lowered.n_nodes - 1, -1, -1):
+            if s in covered:
+                continue
+            match = _match_half_adder(lowered, s, and_index, covered)
+            if match is None:
+                continue
+            (a, b), carry = match
+            instances.append(CellInst(library["HA"], (a, b), (s, carry)))
+            covered.update((s, carry))
+            produced.update((s, carry))
+
+    if match_macros and "AOI21" in library:
+        for n in range(lowered.n_nodes - 1, -1, -1):
+            if n in covered:
+                continue
+            match = _match_aoi_oai(lowered, n, fanouts, covered, po_drivers)
+            if match is None:
+                continue
+            cell, (a, b, c), internals = match
+            if any(i in covered for i in internals):
+                continue
+            instances.append(CellInst(library[cell], (a, b, c), (n,)))
+            covered.update(internals)
+            covered.add(n)
+            produced.add(n)
+
+    for nid, node in enumerate(lowered.nodes):
+        if nid in covered or node.op is Op.INPUT:
+            continue
+        op = node.op
+        if op in (Op.AND, Op.OR, Op.NAND, Op.NOR):
+            base = {"and": "AND", "or": "OR", "nand": "NAND", "nor": "NOR"}[op.value]
+            cell = library.nary(base, node.arity)
+        elif op in _DIRECT_CELLS:
+            cell = library[_DIRECT_CELLS[op]]
+        else:  # pragma: no cover - lowering guarantees mappability
+            raise SynthesisError(f"node {nid}: no cell for op {op}")
+        instances.append(CellInst(cell, tuple(node.fanins), (nid,)))
+        produced.add(nid)
+
+    return MappedNetlist(lowered, _topo_sort_instances(lowered, instances), library)
+
+
+def _topo_sort_instances(
+    lowered: Circuit, instances: List[CellInst]
+) -> List[CellInst]:
+    """Order instances so every input net is produced before it is read.
+
+    Sorting by output id is *not* sufficient: a multi-output macro (FA/HA)
+    can expose a low-id output that feeds an instance whose own outputs
+    have smaller ids than the macro's largest one.  Downstream consumers
+    (timing analysis, :meth:`MappedNetlist.to_circuit`) rely on producer-
+    before-consumer order, so build it properly with Kahn's algorithm.
+    """
+    producer: Dict[int, int] = {}
+    for idx, inst in enumerate(instances):
+        for out in inst.outputs:
+            producer[out] = idx
+    indeg = [0] * len(instances)
+    succs: Dict[int, List[int]] = {}
+    for idx, inst in enumerate(instances):
+        for net in inst.inputs:
+            src = producer.get(net)
+            if src is not None and src != idx:
+                succs.setdefault(src, []).append(idx)
+                indeg[idx] += 1
+    ready = sorted(i for i, d in enumerate(indeg) if d == 0)
+    ordered: List[CellInst] = []
+    while ready:
+        idx = ready.pop(0)
+        ordered.append(instances[idx])
+        for nxt in succs.get(idx, ()):
+            indeg[nxt] -= 1
+            if indeg[nxt] == 0:
+                ready.append(nxt)
+    if len(ordered) != len(instances):  # pragma: no cover - mapping is acyclic
+        raise SynthesisError("mapped netlist contains a cycle")
+    return ordered

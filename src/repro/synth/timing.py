@@ -1,0 +1,68 @@
+"""Static timing analysis over mapped netlists.
+
+A single worst-case delay per cell (no slew/load model) is enough to
+reproduce the paper's delay column: ripple-carry chains dominate and their
+length scaling is what the numbers track.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .techmap import MappedNetlist
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Result of :func:`static_timing`.
+
+    Attributes:
+        delay_ns: Worst arrival time over all primary outputs.
+        critical_output: Name of the output realizing the worst arrival.
+        critical_path: Net ids from a primary input to that output, in
+            arrival order (empty for constant designs).
+        arrivals: Arrival time per net id.
+    """
+
+    delay_ns: float
+    critical_output: str
+    critical_path: Tuple[int, ...]
+    arrivals: Dict[int, float]
+
+
+def static_timing(mapped: MappedNetlist) -> TimingReport:
+    """Longest-path analysis; instances must be topologically sorted
+    (guaranteed by :func:`repro.synth.techmap.tech_map`)."""
+    arrivals: Dict[int, float] = {}
+    pred: Dict[int, int] = {}
+    for nid in mapped.circuit.inputs:
+        arrivals[nid] = 0.0
+    for inst in mapped.instances:
+        worst_in, worst_net = 0.0, -1
+        for f in inst.inputs:
+            at = arrivals.get(f, 0.0)
+            if at >= worst_in:
+                worst_in, worst_net = at, f
+        out_at = worst_in + inst.cell.delay
+        for out in inst.outputs:
+            arrivals[out] = out_at
+            if worst_net >= 0:
+                pred[out] = worst_net
+
+    best_delay, best_port = 0.0, ""
+    best_net = -1
+    for port in mapped.circuit.outputs:
+        at = arrivals.get(port.node, 0.0)
+        if at >= best_delay:
+            best_delay, best_port, best_net = at, port.name, port.node
+
+    path: List[int] = []
+    seen = set()
+    net = best_net
+    while net >= 0 and net not in seen:
+        seen.add(net)
+        path.append(net)
+        net = pred.get(net, -1)
+    path.reverse()
+    return TimingReport(best_delay, best_port, tuple(path), arrivals)

@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit, CircuitBuilder
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0xB1A5)
+
+
+@pytest.fixture
+def tiny_and_or() -> Circuit:
+    """y0 = a & b, y1 = a | c — a 3-input, 2-output toy circuit."""
+    b = CircuitBuilder("tiny")
+    a = b.input("a")
+    bb = b.input("b")
+    c = b.input("c")
+    b.output("y0", b.and_(a, bb))
+    b.output("y1", b.or_(a, c))
+    return b.build()
+
+
+@pytest.fixture
+def full_adder_circuit() -> Circuit:
+    """One-bit full adder with (sum, carry) outputs."""
+    b = CircuitBuilder("fa")
+    a = b.input("a")
+    x = b.input("b")
+    c = b.input("cin")
+    s, carry = b.full_adder(a, x, c)
+    b.output("sum", s)
+    b.output("cout", carry)
+    return b.build()

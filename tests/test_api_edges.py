@@ -1,0 +1,126 @@
+"""Edge-case coverage for API surfaces not exercised elsewhere."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import ripple_adder
+from repro.circuit import CircuitBuilder, simulate_patterns, truth_table
+from repro.core.explorer import ExplorerConfig, explore
+from repro.errors import CircuitError
+
+
+class TestBuilderEdges:
+    def test_sign_extension(self):
+        b = CircuitBuilder()
+        a = b.input_word("a", 3, signed=True)
+        b.output_word("y", b.extend(a, 5, signed=True), signed=True)
+        c = b.build()
+        tt = truth_table(c)
+        spec = c.attrs["words"][0]
+        for r in range(8):
+            val = r - 8 if r >= 4 else r
+            got = int(spec.to_ints(tt[r : r + 1])[0])
+            assert got == val
+
+    def test_truncation_via_extend(self):
+        b = CircuitBuilder()
+        a = b.input_word("a", 4)
+        b.output_word("y", b.extend(a, 2))
+        c = b.build()
+        spec = c.attrs["words"][0]
+        tt = truth_table(c)
+        for r in range(16):
+            assert int(spec.to_ints(tt[r : r + 1])[0]) == r & 0b11
+
+    def test_equals_width_mismatch(self):
+        b = CircuitBuilder()
+        with pytest.raises(CircuitError):
+            b.equals(b.input_word("a", 2), b.input_word("b", 3))
+
+    def test_mux_word_width_mismatch(self):
+        b = CircuitBuilder()
+        s = b.input("s")
+        with pytest.raises(CircuitError):
+            b.mux_word(s, b.input_word("a", 2), b.input_word("b", 3))
+
+    def test_empty_mul(self):
+        b = CircuitBuilder()
+        assert b.mul([], []) == []
+
+    def test_const_word_wraps_negative(self):
+        b = CircuitBuilder()
+        b.input("d")
+        b.output_word("y", b.const_word(-1, 4))
+        c = b.build()
+        spec = c.attrs["words"][0]
+        assert int(spec.to_ints(truth_table(c)[0:1])[0]) == 15
+
+
+class TestExplorerChosenMap:
+    def test_chosen_variants_recorded(self):
+        circuit = ripple_adder(6)
+        config = ExplorerConfig(
+            n_samples=512, max_inputs=6, max_outputs=6, max_iterations=4
+        )
+        result = explore(circuit, config)
+        committed = [p for p in result.trajectory if p.iteration > 0]
+        assert len(result.chosen) == len(committed)
+        for p in committed:
+            assert (p.window_index, p.f) in result.chosen
+
+    def test_variant_at_falls_back_to_first(self):
+        circuit = ripple_adder(5)
+        config = ExplorerConfig(
+            n_samples=256, max_inputs=6, max_outputs=6, max_iterations=0
+        )
+        result = explore(circuit, config)
+        profile = result.profiles[0]
+        if profile.variants:
+            f = min(profile.variants)
+            v = result.variant_at(profile.window.index, f)
+            assert v is profile.variants[f][0]
+
+
+class TestTieToleranceConfig:
+    def test_zero_scale_behaves(self):
+        circuit = ripple_adder(5)
+        config = ExplorerConfig(
+            n_samples=256, max_inputs=6, max_outputs=6,
+            max_iterations=3, tie_epsilon=0.0, tie_epsilon_scale=0.0,
+        )
+        result = explore(circuit, config)
+        assert len(result.trajectory) == 4
+
+    def test_large_epsilon_prefers_cheap_variants(self):
+        circuit = ripple_adder(8)
+        base = dict(n_samples=1024, max_inputs=8, max_outputs=8, error_cap=0.3)
+        tight = explore(
+            circuit, ExplorerConfig(tie_epsilon=1e-9, tie_epsilon_scale=0.0, **base)
+        )
+        loose = explore(
+            circuit, ExplorerConfig(tie_epsilon=0.05, tie_epsilon_scale=0.0, **base)
+        )
+        # With a generous tie window the area-driven choice cannot be worse
+        # in final estimated area.
+        assert (
+            loose.trajectory[-1].est_area
+            <= tight.trajectory[-1].est_area * 1.25
+        )
+
+
+class TestCircuitMisc:
+    def test_repr_smoke(self):
+        c = ripple_adder(3)
+        assert "inputs=6" in repr(c)
+
+    def test_pruned_keeps_attrs(self):
+        c = ripple_adder(3)
+        c.attrs["custom"] = 42
+        assert c.pruned().attrs["custom"] == 42
+
+    def test_simulate_empty_pattern_set(self):
+        c = ripple_adder(2)
+        out = simulate_patterns(c, np.zeros((0, 4), dtype=np.uint8))
+        assert out.shape == (0, 3)

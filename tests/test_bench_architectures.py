@@ -1,0 +1,99 @@
+"""Functional tests for the alternative arithmetic architectures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import (
+    carry_lookahead_adder,
+    carry_select_adder,
+    ripple_adder,
+    array_multiplier,
+    wallace_multiplier,
+)
+from repro.circuit import equivalent, simulate_patterns, truth_table
+from repro.synth import static_timing, tech_map
+
+
+def _eval_word(circuit, assignments):
+    specs = {w.name: w for w in circuit.attrs["input_words"]}
+    pattern = np.zeros((1, circuit.n_inputs), dtype=np.uint8)
+    for name, value in assignments.items():
+        for bit, port in enumerate(specs[name].indices):
+            pattern[0, port] = (value >> bit) & 1
+    bits = simulate_patterns(circuit, pattern)
+    return int(circuit.attrs["words"][0].to_ints(bits)[0])
+
+
+class TestCarryLookahead:
+    @settings(max_examples=40, deadline=None)
+    @given(a=st.integers(0, 255), b=st.integers(0, 255))
+    def test_adds_correctly(self, a, b):
+        assert _eval_word(carry_lookahead_adder(8), {"a": a, "b": b}) == a + b
+
+    def test_equivalent_to_ripple(self):
+        res = equivalent(carry_lookahead_adder(6), ripple_adder(6))
+        assert res.equivalent and res.proven
+
+    def test_shallower_than_ripple(self):
+        width = 16
+        d_cla = static_timing(
+            tech_map(carry_lookahead_adder(width), match_macros=False)
+        ).delay_ns
+        d_rip = static_timing(
+            tech_map(ripple_adder(width), match_macros=False)
+        ).delay_ns
+        assert d_cla < d_rip
+
+    def test_block_size_one(self):
+        res = equivalent(
+            carry_lookahead_adder(5, block=1), ripple_adder(5)
+        )
+        assert res.equivalent and res.proven
+
+
+class TestCarrySelect:
+    @settings(max_examples=40, deadline=None)
+    @given(a=st.integers(0, 255), b=st.integers(0, 255))
+    def test_adds_correctly(self, a, b):
+        assert _eval_word(carry_select_adder(8), {"a": a, "b": b}) == a + b
+
+    def test_equivalent_to_ripple(self):
+        res = equivalent(carry_select_adder(6, block=3), ripple_adder(6))
+        assert res.equivalent and res.proven
+
+    def test_uneven_final_block(self):
+        res = equivalent(carry_select_adder(7, block=4), ripple_adder(7))
+        assert res.equivalent and res.proven
+
+
+class TestWallace:
+    @settings(max_examples=40, deadline=None)
+    @given(a=st.integers(0, 63), b=st.integers(0, 63))
+    def test_multiplies_correctly(self, a, b):
+        assert _eval_word(wallace_multiplier(6), {"a": a, "b": b}) == a * b
+
+    def test_equivalent_to_array(self):
+        res = equivalent(wallace_multiplier(5), array_multiplier(5))
+        assert res.equivalent and res.proven
+
+    def test_shallower_than_array(self):
+        width = 8
+        d_wal = static_timing(
+            tech_map(wallace_multiplier(width), match_macros=False)
+        ).delay_ns
+        d_arr = static_timing(
+            tech_map(array_multiplier(width), match_macros=False)
+        ).delay_ns
+        assert d_wal < d_arr
+
+    def test_width_one(self):
+        c = wallace_multiplier(1)
+        tt = truth_table(c)
+        assert tt.shape == (4, 2)
+        for r in range(4):
+            a, b = r & 1, (r >> 1) & 1
+            assert int(tt[r, 0]) + 2 * int(tt[r, 1]) == a * b

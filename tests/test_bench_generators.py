@@ -1,0 +1,174 @@
+"""Functional tests for the benchmark generators against golden models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import (
+    BENCHMARKS,
+    BENCHMARK_ORDER,
+    get_benchmark,
+    input_patterns_from_words,
+    random_input_word_values,
+)
+from repro.circuit import simulate_patterns
+
+
+#: Paper Table 1 I/O pin counts.
+EXPECTED_IO = {
+    "adder32": (64, 33),
+    "mult8": (16, 16),
+    "but": (16, 18),
+    "mac": (48, 33),
+    "sad": (48, 33),
+    "fir": (64, 16),
+}
+
+
+def _check_against_golden(name, n_samples=200, seed=1):
+    bench = get_benchmark(name)
+    circuit = bench.factory()
+    rng = np.random.default_rng(seed)
+    values = random_input_word_values(circuit, n_samples, rng)
+    patterns = input_patterns_from_words(circuit, values)
+    out_bits = simulate_patterns(circuit, patterns)
+    expected = bench.golden(values)
+    for spec in circuit.attrs["words"]:
+        got = spec.to_ints(out_bits)
+        np.testing.assert_array_equal(
+            got, expected[spec.name], err_msg=f"{name}:{spec.name}"
+        )
+
+
+class TestTable1IO:
+    @pytest.mark.parametrize("name", BENCHMARK_ORDER)
+    def test_io_counts_match_paper(self, name):
+        circuit = get_benchmark(name).factory()
+        assert (circuit.n_inputs, circuit.n_outputs) == EXPECTED_IO[name]
+
+    def test_registry_complete(self):
+        assert set(BENCHMARK_ORDER) == set(BENCHMARKS)
+        assert len(BENCHMARK_ORDER) == 6
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            get_benchmark("nonesuch")
+
+    def test_lookup_case_insensitive(self):
+        assert get_benchmark("MAC").name == "MAC"
+
+
+class TestGoldenEquivalence:
+    @pytest.mark.parametrize("name", BENCHMARK_ORDER)
+    def test_monte_carlo_against_golden(self, name):
+        _check_against_golden(name)
+
+    @settings(max_examples=25, deadline=None)
+    @given(a=st.integers(0, 2**32 - 1), b=st.integers(0, 2**32 - 1))
+    def test_adder32_exact(self, a, b):
+        from repro.bench import adder32
+
+        circuit = adder32()
+        values = {"a": np.array([a]), "b": np.array([b])}
+        patterns = input_patterns_from_words(circuit, values)
+        bits = simulate_patterns(circuit, patterns)
+        spec = circuit.attrs["words"][0]
+        assert spec.to_ints(bits)[0] == a + b
+
+    @settings(max_examples=25, deadline=None)
+    @given(a=st.integers(0, 255), b=st.integers(0, 255))
+    def test_mult8_exact(self, a, b):
+        from repro.bench import mult8
+
+        circuit = mult8()
+        values = {"a": np.array([a]), "b": np.array([b])}
+        patterns = input_patterns_from_words(circuit, values)
+        bits = simulate_patterns(circuit, patterns)
+        spec = circuit.attrs["words"][0]
+        assert spec.to_ints(bits)[0] == a * b
+
+    @settings(max_examples=25, deadline=None)
+    @given(a=st.integers(0, 255), b=st.integers(0, 255))
+    def test_butterfly_signed_difference(self, a, b):
+        from repro.bench import but
+
+        circuit = but()
+        values = {"a": np.array([a]), "b": np.array([b])}
+        patterns = input_patterns_from_words(circuit, values)
+        bits = simulate_patterns(circuit, patterns)
+        specs = {w.name: w for w in circuit.attrs["words"]}
+        assert specs["x"].to_ints(bits)[0] == a + b
+        assert specs["y"].to_ints(bits)[0] == a - b
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        a=st.integers(0, 255),
+        b=st.integers(0, 255),
+        acc=st.integers(0, 2**32 - 1),
+    )
+    def test_mac_exact(self, a, b, acc):
+        from repro.bench import mac8_32
+
+        circuit = mac8_32()
+        values = {
+            "a": np.array([a]),
+            "b": np.array([b]),
+            "acc": np.array([acc]),
+        }
+        patterns = input_patterns_from_words(circuit, values)
+        bits = simulate_patterns(circuit, patterns)
+        spec = circuit.attrs["words"][0]
+        assert spec.to_ints(bits)[0] == a * b + acc
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        a=st.integers(0, 255),
+        b=st.integers(0, 255),
+        acc=st.integers(0, 2**32 - 1),
+    )
+    def test_sad_exact(self, a, b, acc):
+        from repro.bench import sad8_32
+
+        circuit = sad8_32()
+        values = {
+            "a": np.array([a]),
+            "b": np.array([b]),
+            "acc": np.array([acc]),
+        }
+        patterns = input_patterns_from_words(circuit, values)
+        bits = simulate_patterns(circuit, patterns)
+        spec = circuit.attrs["words"][0]
+        assert spec.to_ints(bits)[0] == abs(a - b) + acc
+
+
+class TestParameterizedGenerators:
+    def test_small_fir_matches_golden(self):
+        from repro.bench import fir
+        from repro.bench.generators import golden_fir
+
+        circuit = fir(taps=2, width=4, out_width=8)
+        rng = np.random.default_rng(3)
+        values = random_input_word_values(circuit, 100, rng)
+        patterns = input_patterns_from_words(circuit, values)
+        bits = simulate_patterns(circuit, patterns)
+        xs = np.stack([values["x0"], values["x1"]], axis=-1)
+        cs = np.stack([values["c0"], values["c1"]], axis=-1)
+        spec = circuit.attrs["words"][0]
+        np.testing.assert_array_equal(spec.to_ints(bits), golden_fir(xs, cs))
+
+    def test_ripple_adder_widths(self):
+        from repro.bench import ripple_adder
+
+        for width in (1, 2, 5):
+            c = ripple_adder(width)
+            assert c.n_inputs == 2 * width
+            assert c.n_outputs == width + 1
+
+    def test_gate_counts_reasonable(self):
+        # Array multiplier should dwarf the adder of the same width.
+        from repro.bench import array_multiplier, ripple_adder
+
+        assert array_multiplier(8).n_gates > 3 * ripple_adder(8).n_gates

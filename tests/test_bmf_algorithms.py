@@ -1,0 +1,244 @@
+"""Tests for ASSO, refinement, exhaustive BMF and the factorize façade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bmf import (
+    asso,
+    asso_sweep,
+    association_candidates,
+    bool_product,
+    exhaustive_bmf,
+    factorize,
+    hamming_distance,
+    identity_result,
+    numeric_weights,
+    refine,
+    update_B_exact,
+    update_C_greedy,
+    weighted_error,
+)
+from repro.errors import FactorizationError
+
+
+def _rank1_matrix(rng, n, m):
+    """A matrix that is exactly factorable at f=1."""
+    b = rng.random(n) < 0.5
+    c = rng.random(m) < 0.6
+    if not b.any():
+        b[0] = True
+    if not c.any():
+        c[0] = True
+    return np.outer(b, c)
+
+
+def _low_rank_matrix(rng, n, m, f):
+    B = rng.random((n, f)) < 0.4
+    C = rng.random((f, m)) < 0.4
+    return bool_product(B, C)
+
+
+class TestAssociationCandidates:
+    def test_diagonal_always_confident(self, rng):
+        M = rng.random((20, 5)) < 0.5
+        M[:, 2] = True  # make sure no empty column for this check
+        cand = association_candidates(M, 1.0)
+        for j in range(5):
+            if M[:, j].any():
+                assert cand[j, j]
+
+    def test_empty_column_no_nan(self):
+        M = np.zeros((4, 3), dtype=bool)
+        M[:, 0] = True
+        cand = association_candidates(M, 0.5)
+        assert cand.shape == (3, 3)
+        assert not cand[1].any()  # empty column has no confident associations
+
+    def test_threshold_monotone(self, rng):
+        M = rng.random((30, 6)) < 0.5
+        loose = association_candidates(M, 0.3)
+        tight = association_candidates(M, 0.9)
+        assert (tight <= loose).all()
+
+
+class TestAsso:
+    def test_rank1_recovered_exactly(self, rng):
+        M = _rank1_matrix(rng, 16, 6)
+        result = asso_sweep(M, 1)
+        assert result.error == 0.0
+        np.testing.assert_array_equal(bool_product(result.B, result.C), M)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 9999))
+    def test_error_non_increasing_in_f(self, seed):
+        rng = np.random.default_rng(seed)
+        M = rng.random((32, 6)) < 0.4
+        errors = [asso_sweep(M, f).error for f in range(1, 6)]
+        assert all(e2 <= e1 + 1e-9 for e1, e2 in zip(errors, errors[1:]))
+
+    def test_result_shapes(self, rng):
+        M = rng.random((16, 5)) < 0.5
+        result = asso(M, 3, tau=0.8)
+        assert result.B.shape == (16, 3)
+        assert result.C.shape == (3, 5)
+
+    def test_error_matches_product(self, rng):
+        M = rng.random((32, 6)) < 0.5
+        result = asso_sweep(M, 2)
+        recomputed = hamming_distance(M, bool_product(result.B, result.C))
+        assert result.error == pytest.approx(recomputed)
+
+    def test_zero_matrix(self):
+        M = np.zeros((8, 4), dtype=bool)
+        result = asso_sweep(M, 2)
+        assert result.error == 0.0
+        assert not bool_product(result.B, result.C).any()
+
+    def test_all_ones_matrix(self):
+        M = np.ones((8, 4), dtype=bool)
+        result = asso_sweep(M, 1)
+        assert result.error == 0.0
+
+    def test_invalid_degree(self, rng):
+        M = rng.random((8, 4)) < 0.5
+        with pytest.raises(FactorizationError):
+            asso(M, 0)
+
+    def test_empty_sweep_rejected(self, rng):
+        M = rng.random((8, 4)) < 0.5
+        with pytest.raises(FactorizationError):
+            asso_sweep(M, 1, taus=())
+
+    def test_weighted_prefers_heavy_columns(self):
+        # Column 3 (MSB) mismatches should be avoided by WQoR even when
+        # that costs more unweighted error elsewhere.
+        rng = np.random.default_rng(42)
+        found_case = False
+        for _ in range(50):
+            M = rng.random((32, 4)) < 0.5
+            w = numeric_weights(4)
+            uni = asso_sweep(M, 2)
+            wtd = asso_sweep(M, 2, weights=w)
+            uni_w_err = weighted_error(M, bool_product(uni.B, uni.C), w)
+            wtd_w_err = weighted_error(M, bool_product(wtd.B, wtd.C), w)
+            # The weighted run can never be worse under its own metric.
+            assert wtd_w_err <= uni_w_err + 1e-9
+            if wtd_w_err < uni_w_err:
+                found_case = True
+        assert found_case, "weighting never changed the outcome in 50 trials"
+
+
+class TestRefine:
+    def test_update_B_exact_is_optimal_vs_bruteforce(self, rng):
+        M = rng.random((8, 4)) < 0.5
+        C = rng.random((2, 4)) < 0.5
+        B = update_B_exact(M, C)
+        # brute force every row
+        for r in range(8):
+            best = min(
+                hamming_distance(
+                    M[r : r + 1],
+                    bool_product(np.array([[(s >> 0) & 1, (s >> 1) & 1]], bool), C),
+                )
+                for s in range(4)
+            )
+            got = hamming_distance(
+                M[r : r + 1], bool_product(B[r : r + 1], C)
+            )
+            assert got == best
+
+    def test_refine_never_hurts(self, rng):
+        for _ in range(10):
+            M = rng.random((16, 5)) < 0.5
+            start = asso_sweep(M, 2)
+            B, C, err = refine(M, start.B, start.C)
+            assert err <= start.error + 1e-9
+
+    def test_update_C_greedy_no_worse(self, rng):
+        M = rng.random((16, 4)) < 0.5
+        B = rng.random((16, 2)) < 0.5
+        C = rng.random((2, 4)) < 0.5
+        before = weighted_error(M, bool_product(B, C))
+        C2 = update_C_greedy(M, B, C)
+        after = weighted_error(M, bool_product(B, C2))
+        assert after <= before
+
+    def test_field_algebra_supported(self, rng):
+        M = rng.random((16, 4)) < 0.5
+        B = rng.random((16, 2)) < 0.5
+        C = rng.random((2, 4)) < 0.5
+        B2, C2, err = refine(M, B, C, algebra="field")
+        assert err == pytest.approx(
+            hamming_distance(M, bool_product(B2, C2, "field"))
+        )
+
+
+class TestExhaustive:
+    def test_finds_zero_error_on_low_rank(self, rng):
+        M = _low_rank_matrix(rng, 8, 3, 2)
+        B, C, err = exhaustive_bmf(M, 2)
+        assert err == 0.0
+
+    def test_optimal_vs_asso(self, rng):
+        for _ in range(5):
+            M = rng.random((8, 4)) < 0.5
+            _, _, exact = exhaustive_bmf(M, 2)
+            heur = asso_sweep(M, 2)
+            assert exact <= heur.error + 1e-9
+
+    def test_size_limit(self, rng):
+        M = rng.random((4, 8)) < 0.5
+        with pytest.raises(FactorizationError):
+            exhaustive_bmf(M, 3)  # 24 C bits > 20
+
+
+class TestFactorizeFacade:
+    def test_asso_method(self, rng):
+        M = rng.random((32, 6)) < 0.5
+        result = factorize(M, 3)
+        assert result.f == 3
+        assert result.method == "asso"
+        assert result.hamming == hamming_distance(M, result.product)
+
+    def test_refine_method_not_worse(self, rng):
+        M = rng.random((32, 6)) < 0.5
+        plain = factorize(M, 2, method="asso")
+        refined = factorize(M, 2, method="asso+refine")
+        assert refined.error <= plain.error + 1e-9
+
+    def test_exhaustive_method(self, rng):
+        M = rng.random((8, 4)) < 0.5
+        result = factorize(M, 2, method="exhaustive")
+        assert result.method == "exhaustive"
+
+    def test_field_algebra(self, rng):
+        M = rng.random((16, 4)) < 0.5
+        result = factorize(M, 2, algebra="field")
+        np.testing.assert_array_equal(
+            result.product, bool_product(result.B, result.C, "field")
+        )
+
+    def test_unknown_method(self, rng):
+        M = rng.random((8, 4)) < 0.5
+        with pytest.raises(FactorizationError):
+            factorize(M, 2, method="magic")
+
+    def test_identity_result_is_exact(self, rng):
+        M = rng.random((16, 5)) < 0.5
+        result = identity_result(M)
+        assert result.error == 0.0
+        assert result.f == 5
+        np.testing.assert_array_equal(result.product, M)
+
+    def test_weighted_error_recorded(self, rng):
+        M = rng.random((16, 4)) < 0.5
+        w = numeric_weights(4)
+        result = factorize(M, 2, weights=w)
+        assert result.error == pytest.approx(
+            weighted_error(M, result.product, w)
+        )
+        assert result.hamming == hamming_distance(M, result.product)

@@ -1,0 +1,129 @@
+"""Tests for boolean matrix algebra primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.bmf import (
+    bool_product,
+    check_weights,
+    factorization_error,
+    hamming_distance,
+    numeric_weights,
+    uniform_weights,
+    weighted_error,
+)
+from repro.errors import FactorizationError
+
+bool_matrix = lambda r, c: arrays(bool, (r, c))
+
+
+class TestBoolProduct:
+    def test_semiring_example(self):
+        B = np.array([[1, 0], [1, 1], [0, 0]], dtype=bool)
+        C = np.array([[1, 0, 1], [0, 1, 1]], dtype=bool)
+        P = bool_product(B, C, "semiring")
+        expect = np.array([[1, 0, 1], [1, 1, 1], [0, 0, 0]], dtype=bool)
+        np.testing.assert_array_equal(P, expect)
+
+    def test_field_example(self):
+        B = np.array([[1, 1]], dtype=bool)
+        C = np.array([[1, 0], [1, 1]], dtype=bool)
+        P = bool_product(B, C, "field")
+        # row = C0 XOR C1 = (0, 1)
+        np.testing.assert_array_equal(P, [[False, True]])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(FactorizationError):
+            bool_product(np.zeros((2, 3), bool), np.zeros((2, 3), bool))
+
+    def test_bad_algebra(self):
+        with pytest.raises(FactorizationError):
+            bool_product(np.zeros((2, 2), bool), np.zeros((2, 2), bool), "ring")
+
+    @settings(max_examples=30, deadline=None)
+    @given(B=bool_matrix(4, 3), C=bool_matrix(3, 5))
+    def test_semiring_matches_naive(self, B, C):
+        P = bool_product(B, C, "semiring")
+        for r in range(4):
+            for j in range(5):
+                expect = any(B[r, l] and C[l, j] for l in range(3))
+                assert P[r, j] == expect
+
+    @settings(max_examples=30, deadline=None)
+    @given(B=bool_matrix(4, 3), C=bool_matrix(3, 5))
+    def test_field_matches_naive(self, B, C):
+        P = bool_product(B, C, "field")
+        for r in range(4):
+            for j in range(5):
+                expect = sum(B[r, l] and C[l, j] for l in range(3)) % 2 == 1
+                assert P[r, j] == expect
+
+    def test_identity_is_neutral(self, rng):
+        M = rng.random((8, 5)) < 0.5
+        I = np.eye(5, dtype=bool)
+        for algebra in ("semiring", "field"):
+            np.testing.assert_array_equal(bool_product(M, I, algebra), M)
+
+
+class TestWeights:
+    def test_uniform(self):
+        np.testing.assert_array_equal(uniform_weights(3), [1.0, 1.0, 1.0])
+
+    def test_numeric_is_increasing(self):
+        w = numeric_weights(5)
+        assert (np.diff(w) > 0).all()
+
+    def test_numeric_normalized_to_m(self):
+        w = numeric_weights(7)
+        assert w.sum() == pytest.approx(7.0)
+
+    def test_numeric_ratio_is_base(self):
+        w = numeric_weights(4, base=2.0)
+        np.testing.assert_allclose(w[1:] / w[:-1], 2.0)
+
+    def test_check_weights_default(self):
+        np.testing.assert_array_equal(check_weights(None, 3), [1, 1, 1])
+
+    def test_check_weights_shape(self):
+        with pytest.raises(FactorizationError):
+            check_weights(np.ones(4), 3)
+
+    def test_check_weights_negative(self):
+        with pytest.raises(FactorizationError):
+            check_weights(np.array([1.0, -1.0]), 2)
+
+    def test_zero_columns_rejected(self):
+        with pytest.raises(FactorizationError):
+            numeric_weights(0)
+
+
+class TestErrors:
+    def test_hamming(self):
+        M = np.array([[1, 0], [0, 1]], dtype=bool)
+        A = np.array([[1, 1], [0, 1]], dtype=bool)
+        assert hamming_distance(M, A) == 1
+
+    def test_weighted_counts_columns(self):
+        M = np.array([[1, 0]], dtype=bool)
+        A = np.array([[0, 1]], dtype=bool)
+        w = np.array([1.0, 4.0])
+        assert weighted_error(M, A, w) == pytest.approx(5.0)
+
+    def test_uniform_weight_equals_hamming(self, rng):
+        M = rng.random((16, 6)) < 0.5
+        A = rng.random((16, 6)) < 0.5
+        assert weighted_error(M, A) == pytest.approx(hamming_distance(M, A))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(FactorizationError):
+            hamming_distance(np.zeros((2, 2), bool), np.zeros((3, 2), bool))
+
+    def test_factorization_error_zero_for_exact(self, rng):
+        M = rng.random((8, 4)) < 0.5
+        I = np.eye(4, dtype=bool)
+        assert factorization_error(M, M, I) == 0.0

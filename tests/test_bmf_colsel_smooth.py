@@ -1,0 +1,140 @@
+"""Tests for column-subset BMF and literal-aware smoothing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bmf import (
+    bool_product,
+    column_select_bmf,
+    factorize,
+    hamming_distance,
+    numeric_weights,
+    smooth_B_ties,
+    update_B_exact,
+    weighted_error,
+)
+from repro.errors import FactorizationError
+
+
+class TestColumnSelect:
+    def test_B_is_column_subset(self, rng):
+        M = rng.random((32, 6)) < 0.5
+        res = column_select_bmf(M, 3)
+        assert len(res.selected) == 3
+        np.testing.assert_array_equal(res.B, M[:, list(res.selected)])
+
+    def test_kept_columns_are_exact(self, rng):
+        M = rng.random((32, 6)) < 0.5
+        res = column_select_bmf(M, 3)
+        approx = bool_product(res.B, res.C)
+        for j in res.selected:
+            np.testing.assert_array_equal(approx[:, j], M[:, j])
+
+    def test_full_degree_is_exact(self, rng):
+        M = rng.random((16, 4)) < 0.5
+        res = column_select_bmf(M, 4)
+        assert res.error == 0.0
+
+    def test_error_non_increasing_in_f(self, rng):
+        M = rng.random((64, 6)) < 0.4
+        errors = [column_select_bmf(M, f).error for f in range(1, 7)]
+        assert all(b <= a + 1e-9 for a, b in zip(errors, errors[1:]))
+
+    def test_error_matches_product(self, rng):
+        M = rng.random((32, 5)) < 0.5
+        res = column_select_bmf(M, 2)
+        assert res.error == pytest.approx(
+            hamming_distance(M, bool_product(res.B, res.C))
+        )
+
+    def test_weighted_selection_prefers_heavy_columns(self):
+        rng = np.random.default_rng(11)
+        M = rng.random((64, 4)) < 0.5
+        w = numeric_weights(4)
+        res = column_select_bmf(M, 1, weights=w)
+        # the kept column should reproduce the heaviest column exactly
+        approx = bool_product(res.B, res.C)
+        np.testing.assert_array_equal(approx[:, 3], M[:, 3])
+
+    def test_field_algebra(self, rng):
+        M = rng.random((16, 4)) < 0.5
+        res = column_select_bmf(M, 2, algebra="field")
+        assert res.error == pytest.approx(
+            hamming_distance(M, bool_product(res.B, res.C, "field"))
+        )
+
+    def test_invalid_degree(self, rng):
+        M = rng.random((8, 3)) < 0.5
+        with pytest.raises(FactorizationError):
+            column_select_bmf(M, 0)
+        with pytest.raises(FactorizationError):
+            column_select_bmf(M, 4)
+
+
+class TestSmoothBTies:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 9999))
+    def test_zero_slack_preserves_optimal_error(self, seed):
+        rng = np.random.default_rng(seed)
+        M = rng.random((32, 5)) < 0.5
+        C = rng.random((2, 5)) < 0.5
+        opt = update_B_exact(M, C)
+        smooth = smooth_B_ties(M, C, slack=0.0)
+        e_opt = weighted_error(M, bool_product(opt, C))
+        e_smooth = weighted_error(M, bool_product(smooth, C))
+        assert e_smooth == pytest.approx(e_opt)
+
+    def test_slack_bounds_extra_error(self, rng):
+        M = rng.random((64, 5)) < 0.5
+        C = rng.random((3, 5)) < 0.5
+        opt_err = weighted_error(M, bool_product(update_B_exact(M, C), C))
+        slack = 1.0
+        smooth = smooth_B_ties(M, C, slack=slack)
+        err = weighted_error(M, bool_product(smooth, C))
+        assert err <= opt_err + slack * M.shape[0] + 1e-9
+
+    def test_negative_slack_rejected(self, rng):
+        M = rng.random((8, 3)) < 0.5
+        C = rng.random((2, 3)) < 0.5
+        with pytest.raises(FactorizationError):
+            smooth_B_ties(M, C, slack=-1.0)
+
+    def test_smoothing_reduces_column_entropy(self):
+        # On a structured table the smoothed B should merge into fewer,
+        # larger cubes than arbitrary tie-breaking.
+        from repro.bench import ripple_adder
+        from repro.circuit import truth_table
+        from repro.synth import espresso
+
+        M = truth_table(ripple_adder(3))  # 64 x 4
+        result = factorize(M, 2, smooth=False)
+        raw_cubes = sum(
+            len(espresso(result.B[:, l])) for l in range(result.B.shape[1])
+        )
+        smoothed = smooth_B_ties(M, result.C)
+        smooth_cubes = sum(
+            len(espresso(smoothed[:, l])) for l in range(smoothed.shape[1])
+        )
+        assert smooth_cubes <= raw_cubes
+
+
+class TestFactorizeSmoothing:
+    def test_smoothing_never_hurts_error(self, rng):
+        for _ in range(10):
+            M = rng.random((32, 5)) < 0.5
+            plain = factorize(M, 2, smooth=False)
+            smoothed = factorize(M, 2, smooth=True)
+            assert smoothed.error <= plain.error + 1e-9
+
+    def test_smooth_slack_changes_product(self, rng):
+        M = rng.random((64, 5)) < 0.5
+        a = factorize(M, 2, smooth_slack=0.0)
+        b = factorize(M, 2, smooth_slack=2.0)
+        # with slack the error may grow but must stay finite and the
+        # factorization valid
+        np.testing.assert_array_equal(b.product, bool_product(b.B, b.C))
+        assert b.error >= a.error - 1e-9

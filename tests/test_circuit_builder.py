@@ -1,0 +1,249 @@
+"""Tests for CircuitBuilder: folding, hashing, and word-level arithmetic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import CircuitBuilder, Op, simulate_patterns, truth_table
+from repro.circuit.words import WordSpec
+from repro.errors import CircuitError
+
+
+def _word_value(bits):
+    return sum(int(b) << i for i, b in enumerate(bits))
+
+
+def _eval_words(circuit, assignments):
+    """Simulate with input words given as {name: int}; returns {name: int}."""
+    in_specs = {w.name: w for w in circuit.attrs["input_words"]}
+    n_in = circuit.n_inputs
+    pattern = np.zeros((1, n_in), dtype=np.uint8)
+    for name, value in assignments.items():
+        spec = in_specs[name]
+        for bit_pos, port_idx in enumerate(spec.indices):
+            pattern[0, port_idx] = (value >> bit_pos) & 1
+    out_bits = simulate_patterns(circuit, pattern)
+    result = {}
+    for spec in circuit.attrs["words"]:
+        result[spec.name] = int(spec.to_ints(out_bits)[0])
+    return result
+
+
+class TestFolding:
+    def test_double_negation_cancelled(self):
+        b = CircuitBuilder()
+        a = b.input("a")
+        assert b.not_(b.not_(a)) == a
+
+    def test_and_with_zero_is_zero(self):
+        b = CircuitBuilder()
+        a = b.input("a")
+        assert b.and_(a, b.const(False)) == b.const(False)
+
+    def test_and_with_one_dropped(self):
+        b = CircuitBuilder()
+        a = b.input("a")
+        assert b.and_(a, b.const(True)) == a
+
+    def test_or_with_one_is_one(self):
+        b = CircuitBuilder()
+        a = b.input("a")
+        assert b.or_(a, b.const(True)) == b.const(True)
+
+    def test_x_and_not_x_is_zero(self):
+        b = CircuitBuilder()
+        a = b.input("a")
+        assert b.and_(a, b.not_(a)) == b.const(False)
+
+    def test_x_or_not_x_is_one(self):
+        b = CircuitBuilder()
+        a = b.input("a")
+        assert b.or_(a, b.not_(a)) == b.const(True)
+
+    def test_xor_with_one_becomes_inverter(self):
+        b = CircuitBuilder()
+        a = b.input("a")
+        y = b.xor_(a, b.const(True))
+        assert b._nodes[y].op is Op.NOT
+
+    def test_xor_self_cancels(self):
+        b = CircuitBuilder()
+        a = b.input("a")
+        assert b.xor_(a, a) == b.const(False)
+
+    def test_mux_constant_select(self):
+        b = CircuitBuilder()
+        a, x = b.input("a"), b.input("b")
+        assert b.mux(b.const(False), a, x) == a
+        assert b.mux(b.const(True), a, x) == x
+
+    def test_mux_zero_one_is_select(self):
+        b = CircuitBuilder()
+        s = b.input("s")
+        assert b.mux(s, b.const(False), b.const(True)) == s
+
+    def test_mux_same_branches(self):
+        b = CircuitBuilder()
+        s, a = b.input("s"), b.input("a")
+        assert b.mux(s, a, a) == a
+
+    def test_constant_lut_folds(self):
+        b = CircuitBuilder()
+        a = b.input("a")
+        assert b.lut([a], np.array([0, 0], dtype=bool)) == b.const(False)
+        assert b.lut([a], np.array([1, 1], dtype=bool)) == b.const(True)
+
+
+class TestStructuralHashing:
+    def test_identical_gates_shared(self):
+        b = CircuitBuilder()
+        a, x = b.input("a"), b.input("b")
+        assert b.and_(a, x) == b.and_(a, x)
+
+    def test_commutative_gates_shared(self):
+        b = CircuitBuilder()
+        a, x = b.input("a"), b.input("b")
+        assert b.and_(a, x) == b.and_(x, a)
+
+    def test_mux_is_not_commutative(self):
+        b = CircuitBuilder()
+        s, a, x = b.input("s"), b.input("a"), b.input("b")
+        assert b.mux(s, a, x) != b.mux(s, x, a)
+
+    def test_lut_hash_includes_table(self):
+        b = CircuitBuilder()
+        a, x = b.input("a"), b.input("b")
+        t1 = np.array([0, 1, 1, 0], dtype=bool)
+        t2 = np.array([1, 1, 1, 0], dtype=bool)
+        assert b.lut([a, x], t1) != b.lut([a, x], t2)
+        assert b.lut([a, x], t1) == b.lut([a, x], t1.copy())
+
+
+class TestWordArithmetic:
+    def _build_binop(self, width, fn_name, out_width=None, signed=False):
+        b = CircuitBuilder()
+        a = b.input_word("a", width)
+        x = b.input_word("b", width)
+        if fn_name == "add":
+            s, c = b.add(a, x)
+            b.output_word("y", s + [c])
+        elif fn_name == "sub":
+            d, _ = b.sub(a, x)
+            b.output_word("y", d, signed=signed)
+        elif fn_name == "abs_diff":
+            b.output_word("y", b.abs_diff(a, x))
+        elif fn_name == "mul":
+            b.output_word("y", b.mul(a, x))
+        elif fn_name == "add_expand":
+            b.output_word("y", b.add_expand(a, x))
+        return b.build()
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=st.integers(0, 15), x=st.integers(0, 15))
+    def test_add(self, a, x):
+        c = self._build_binop(4, "add")
+        assert _eval_words(c, {"a": a, "b": x})["y"] == a + x
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=st.integers(0, 255), x=st.integers(0, 255))
+    def test_abs_diff(self, a, x):
+        c = self._build_binop(8, "abs_diff")
+        assert _eval_words(c, {"a": a, "b": x})["y"] == abs(a - x)
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=st.integers(0, 63), x=st.integers(0, 63))
+    def test_mul(self, a, x):
+        c = self._build_binop(6, "mul")
+        assert _eval_words(c, {"a": a, "b": x})["y"] == a * x
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=st.integers(0, 255), x=st.integers(0, 255))
+    def test_sub_modular(self, a, x):
+        c = self._build_binop(8, "sub")
+        assert _eval_words(c, {"a": a, "b": x})["y"] == (a - x) % 256
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=st.integers(0, 31), x=st.integers(0, 31))
+    def test_add_expand_never_wraps(self, a, x):
+        c = self._build_binop(5, "add_expand")
+        assert _eval_words(c, {"a": a, "b": x})["y"] == a + x
+
+    def test_add_width_mismatch_raises(self):
+        b = CircuitBuilder()
+        with pytest.raises(CircuitError):
+            b.add(b.input_word("a", 3), b.input_word("b", 4))
+
+    def test_negate(self):
+        b = CircuitBuilder()
+        a = b.input_word("a", 4)
+        b.output_word("y", b.negate(a))
+        c = b.build()
+        for v in range(16):
+            assert _eval_words(c, {"a": v})["y"] == (-v) % 16
+
+    def test_mux_word(self):
+        b = CircuitBuilder()
+        s = b.input("s")
+        a = b.input_word("a", 4)
+        x = b.input_word("b", 4)
+        b.output_word("y", b.mux_word(s, a, x))
+        c = b.build()
+        # input order: s at position 0, then a, then b
+        in_specs = {w.name: w for w in c.attrs["input_words"]}
+        pattern = np.zeros((2, c.n_inputs), dtype=np.uint8)
+        pattern[1, 0] = 1  # s=1 in second pattern
+        for bit_pos, port in enumerate(in_specs["a"].indices):
+            pattern[:, port] = (5 >> bit_pos) & 1
+        for bit_pos, port in enumerate(in_specs["b"].indices):
+            pattern[:, port] = (9 >> bit_pos) & 1
+        out = simulate_patterns(c, pattern)
+        spec = c.attrs["words"][0]
+        assert spec.to_ints(out).tolist() == [5, 9]
+
+    def test_less_than_and_equals(self):
+        b = CircuitBuilder()
+        a = b.input_word("a", 4)
+        x = b.input_word("b", 4)
+        b.output("lt", b.less_than(a, x))
+        b.output("eq", b.equals(a, x))
+        c = b.build()
+        tt = truth_table(c)
+        for r in range(256):
+            av = r & 0xF
+            xv = (r >> 4) & 0xF
+            assert tt[r, 0] == (av < xv)
+            assert tt[r, 1] == (av == xv)
+
+    def test_const_word(self):
+        b = CircuitBuilder()
+        b.input("dummy")
+        b.output_word("y", b.const_word(13, 5))
+        c = b.build()
+        assert _eval_words(c, {}) == {"y": 13}
+
+
+class TestWordSpec:
+    def test_unsigned_interpretation(self):
+        spec = WordSpec("w", (0, 1, 2))
+        bits = np.array([[1, 0, 1]])
+        assert spec.to_ints(bits)[0] == 5
+
+    def test_signed_interpretation(self):
+        spec = WordSpec("w", (0, 1, 2), signed=True)
+        bits = np.array([[1, 0, 1]])
+        assert spec.to_ints(bits)[0] == 5 - 8
+
+    def test_max_abs(self):
+        assert WordSpec("w", (0, 1, 2)).max_abs == 7
+        assert WordSpec("w", (0, 1, 2), signed=True).max_abs == 4
+
+    def test_builder_records_words(self):
+        b = CircuitBuilder()
+        a = b.input_word("a", 3, signed=True)
+        b.output_word("y", a, signed=True)
+        c = b.build()
+        assert c.attrs["input_words"][0] == WordSpec("a", (0, 1, 2), True)
+        assert c.attrs["words"][0] == WordSpec("y", (0, 1, 2), True)

@@ -1,0 +1,183 @@
+"""Tests for BLIF round-tripping and the Verilog writer."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import (
+    CircuitBuilder,
+    read_blif,
+    simulate_patterns,
+    truth_table,
+    write_blif,
+    write_verilog,
+)
+from repro.errors import ParseError
+
+
+def _roundtrip(circuit):
+    buf = io.StringIO()
+    write_blif(circuit, buf)
+    buf.seek(0)
+    return read_blif(buf)
+
+
+def _random_circuit(rng, n_inputs=4, n_gates=10):
+    b = CircuitBuilder("rand")
+    sigs = [b.input(f"i{k}") for k in range(n_inputs)]
+    for g in range(n_gates):
+        op = rng.integers(0, 5)
+        picks = rng.choice(len(sigs), size=3, replace=True)
+        x, y, z = (sigs[int(p)] for p in picks)
+        if op == 0:
+            sigs.append(b.and_(x, y))
+        elif op == 1:
+            sigs.append(b.or_(x, y))
+        elif op == 2:
+            sigs.append(b.xor_(x, y))
+        elif op == 3:
+            sigs.append(b.not_(x))
+        else:
+            sigs.append(b.mux(x, y, z))
+    for i, s in enumerate(sigs[-3:]):
+        b.output(f"o{i}", s)
+    return b.build()
+
+
+class TestBlifRoundtrip:
+    def test_tiny_roundtrip(self, tiny_and_or):
+        back = _roundtrip(tiny_and_or)
+        np.testing.assert_array_equal(truth_table(back), truth_table(tiny_and_or))
+
+    def test_full_adder_roundtrip(self, full_adder_circuit):
+        back = _roundtrip(full_adder_circuit)
+        np.testing.assert_array_equal(
+            truth_table(back), truth_table(full_adder_circuit)
+        )
+
+    def test_io_names_preserved(self, tiny_and_or):
+        back = _roundtrip(tiny_and_or)
+        assert back.input_names() == tiny_and_or.input_names()
+        assert back.output_names() == tiny_and_or.output_names()
+
+    def test_constant_outputs(self):
+        b = CircuitBuilder("consts")
+        b.input("a")
+        b.output("zero", b.const(False))
+        b.output("one", b.const(True))
+        back = _roundtrip(b.build())
+        tt = truth_table(back)
+        assert not tt[:, 0].any() and tt[:, 1].all()
+
+    def test_output_directly_from_input(self):
+        b = CircuitBuilder()
+        a = b.input("a")
+        b.output("y", a)
+        back = _roundtrip(b.build())
+        tt = truth_table(back)
+        np.testing.assert_array_equal(tt[:, 0], [False, True])
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_random_circuits_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        c = _random_circuit(rng)
+        back = _roundtrip(c)
+        np.testing.assert_array_equal(truth_table(back), truth_table(c))
+
+
+class TestBlifParsing:
+    def test_offset_cover(self):
+        text = """.model m
+.inputs a b
+.outputs y
+.names a b y
+11 0
+.end
+"""
+        c = read_blif(io.StringIO(text))
+        tt = truth_table(c)
+        np.testing.assert_array_equal(tt[:, 0], [True, True, True, False])
+
+    def test_dont_care_expansion(self):
+        text = """.model m
+.inputs a b c
+.outputs y
+.names a b c y
+1-- 1
+-11 1
+.end
+"""
+        c = read_blif(io.StringIO(text))
+        tt = truth_table(c)[:, 0]
+        for r in range(8):
+            a, b_, c_ = r & 1, (r >> 1) & 1, (r >> 2) & 1
+            assert tt[r] == bool(a or (b_ and c_))
+
+    def test_undriven_signal_raises(self):
+        text = ".model m\n.inputs a\n.outputs y\n.end\n"
+        with pytest.raises(ParseError):
+            read_blif(io.StringIO(text))
+
+    def test_mixed_cover_polarity_raises(self):
+        text = """.model m
+.inputs a
+.outputs y
+.names a y
+1 1
+0 0
+.end
+"""
+        with pytest.raises(ParseError):
+            read_blif(io.StringIO(text))
+
+    def test_unsupported_construct_raises(self):
+        text = ".model m\n.latch a b\n.end\n"
+        with pytest.raises(ParseError):
+            read_blif(io.StringIO(text))
+
+    def test_comments_and_continuations(self):
+        text = """# a comment
+.model m
+.inputs a \\
+b
+.outputs y
+.names a b y  # trailing comment
+11 1
+.end
+"""
+        c = read_blif(io.StringIO(text))
+        assert c.n_inputs == 2
+
+
+class TestVerilogWriter:
+    def test_emits_module_and_assigns(self, full_adder_circuit):
+        buf = io.StringIO()
+        write_verilog(full_adder_circuit, buf)
+        text = buf.getvalue()
+        assert text.startswith("module fa(")
+        assert "endmodule" in text
+        assert "assign" in text
+
+    def test_escapes_bracketed_names(self):
+        b = CircuitBuilder("top")
+        w = b.input_word("a", 2)
+        b.output_word("y", b.invert_word(w))
+        buf = io.StringIO()
+        write_verilog(b.build(), buf)
+        text = buf.getvalue()
+        assert "a[0]" not in text  # brackets must be escaped
+        assert "a_0_" in text
+
+    def test_lut_becomes_sop(self):
+        b = CircuitBuilder()
+        x, y = b.input("x"), b.input("y")
+        b.output("z", b.lut([x, y], np.array([0, 1, 0, 0], dtype=bool)))
+        buf = io.StringIO()
+        write_verilog(b.build(), buf)
+        assert "(x & ~y)" in buf.getvalue()

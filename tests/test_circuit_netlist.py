@@ -1,0 +1,119 @@
+"""Unit tests for the netlist core (gate.py, netlist.py)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit, CircuitBuilder, Node, Op
+from repro.errors import CircuitError
+
+
+class TestNode:
+    def test_arity_enforced_for_not(self):
+        with pytest.raises(CircuitError):
+            Node(Op.NOT, (1, 2))
+
+    def test_arity_enforced_for_and(self):
+        with pytest.raises(CircuitError):
+            Node(Op.AND, (1,))
+
+    def test_mux_requires_three_fanins(self):
+        with pytest.raises(CircuitError):
+            Node(Op.MUX, (0, 1))
+
+    def test_lut_requires_table(self):
+        with pytest.raises(CircuitError):
+            Node(Op.LUT, (0, 1))
+
+    def test_lut_table_length_checked(self):
+        with pytest.raises(CircuitError):
+            Node(Op.LUT, (0, 1), table=np.zeros(3, dtype=bool))
+
+    def test_non_lut_rejects_table(self):
+        with pytest.raises(CircuitError):
+            Node(Op.AND, (0, 1), table=np.zeros(4, dtype=bool))
+
+    def test_source_ops_have_no_fanins(self):
+        assert Op.INPUT.is_source
+        assert Op.CONST0.is_source
+        assert not Op.AND.is_source
+
+
+class TestCircuit:
+    def test_topological_invariant_enforced(self):
+        c = Circuit()
+        c.add_input("a")
+        with pytest.raises(CircuitError):
+            c.add_node(Node(Op.NOT, (5,)))
+
+    def test_output_must_reference_existing_node(self):
+        c = Circuit()
+        with pytest.raises(CircuitError):
+            c.add_output("y", 3)
+
+    def test_gate_count_excludes_sources(self, tiny_and_or):
+        assert tiny_and_or.n_inputs == 3
+        assert tiny_and_or.n_gates == 2
+
+    def test_same_node_can_drive_two_outputs(self):
+        c = Circuit()
+        a = c.add_input("a")
+        c.add_output("y0", a)
+        c.add_output("y1", a)
+        assert c.n_outputs == 2
+        assert c.output_nodes() == [a, a]
+
+    def test_op_histogram(self, tiny_and_or):
+        hist = tiny_and_or.op_histogram()
+        assert hist[Op.INPUT] == 3
+        assert hist[Op.AND] == 1
+        assert hist[Op.OR] == 1
+
+    def test_validate_passes_on_wellformed(self, tiny_and_or):
+        tiny_and_or.validate()
+
+    def test_copy_is_independent(self, tiny_and_or):
+        c2 = tiny_and_or.copy()
+        c2.add_input("extra")
+        assert c2.n_inputs == tiny_and_or.n_inputs + 1
+
+    def test_input_and_output_names(self, tiny_and_or):
+        assert tiny_and_or.input_names() == ["a", "b", "c"]
+        assert tiny_and_or.output_names() == ["y0", "y1"]
+
+
+class TestPruning:
+    def test_dead_gate_removed(self):
+        b = CircuitBuilder()
+        a = b.input("a")
+        x = b.input("b")
+        b.and_(a, x)  # dead
+        b.output("y", b.or_(a, x))
+        c = b.build(prune=False)
+        assert c.n_gates == 2
+        pruned = c.pruned()
+        assert pruned.n_gates == 1
+
+    def test_inputs_survive_pruning(self):
+        b = CircuitBuilder()
+        a = b.input("a")
+        b.input("unused")
+        b.output("y", b.not_(a))
+        c = b.build()  # build prunes by default
+        assert c.n_inputs == 2
+        assert c.input_names() == ["a", "unused"]
+
+    def test_pruning_preserves_function(self, rng):
+        from repro.circuit import simulate_patterns
+
+        b = CircuitBuilder()
+        a = b.input("a")
+        x = b.input("b")
+        b.xor_(a, x)  # dead
+        b.output("y", b.and_(a, x))
+        c = b.build(prune=False)
+        patterns = rng.integers(0, 2, size=(100, 2))
+        np.testing.assert_array_equal(
+            simulate_patterns(c, patterns), simulate_patterns(c.pruned(), patterns)
+        )

@@ -1,0 +1,74 @@
+"""Tests for stimulus generation with per-word magnitude control."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import mac8_32, mult8, sad8_32
+from repro.circuit import (
+    CircuitBuilder,
+    stimulus_input_words,
+    unpack_bits,
+    words_for,
+)
+
+
+def _word_values(circuit, words, name, n):
+    spec = {w.name: w for w in circuit.attrs["input_words"]}[name]
+    bits = unpack_bits(words, n)
+    vals = np.zeros(n, dtype=np.int64)
+    for pos, port in enumerate(spec.indices):
+        vals |= bits[port].astype(np.int64) << pos
+    return vals
+
+
+class TestStimulus:
+    def test_defaults_to_uniform_without_attribute(self, rng):
+        circuit = mult8()
+        assert "stimulus" not in circuit.attrs
+        words = stimulus_input_words(circuit, 512, rng)
+        assert words.shape == (16, words_for(512))
+        vals = _word_values(circuit, words, "a", 512)
+        assert vals.max() > 200  # full 8-bit range exercised
+
+    def test_mac_accumulator_limited(self, rng):
+        circuit = mac8_32()
+        n = 2048
+        words = stimulus_input_words(circuit, n, rng)
+        acc = _word_values(circuit, words, "acc", n)
+        limit = 1 << circuit.attrs["stimulus"]["acc"]
+        assert acc.max() < limit
+        assert acc.max() > limit // 4  # actually exercises the range
+
+    def test_sad_accumulator_limited(self, rng):
+        circuit = sad8_32()
+        n = 2048
+        words = stimulus_input_words(circuit, n, rng)
+        acc = _word_values(circuit, words, "acc", n)
+        assert acc.max() < (1 << circuit.attrs["stimulus"]["acc"])
+
+    def test_operands_stay_uniform(self, rng):
+        circuit = mac8_32()
+        n = 2048
+        words = stimulus_input_words(circuit, n, rng)
+        a = _word_values(circuit, words, "a", n)
+        assert a.max() > 240  # uniform 8-bit
+
+    def test_unworded_inputs_random(self, rng):
+        b = CircuitBuilder()
+        x = b.input("loose")  # not part of any input word
+        w = b.input_word("w", 4)
+        b.output("y", b.xor_(x, w[0]))
+        circuit = b.build()
+        circuit.attrs["stimulus"] = {"w": 2}
+        n = 1024
+        words = stimulus_input_words(circuit, n, rng)
+        loose = unpack_bits(words, n)[0]
+        assert 0.3 < loose.mean() < 0.7
+
+    def test_deterministic_per_seed(self):
+        circuit = mac8_32()
+        a = stimulus_input_words(circuit, 256, np.random.default_rng(3))
+        b = stimulus_input_words(circuit, 256, np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import io
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "--bench", "mult8"])
+        assert args.bench == "mult8"
+        assert args.thresholds == [0.05]
+        assert args.k == 10 and args.m == 10
+
+    def test_thresholds_parsed(self):
+        args = build_parser().parse_args(
+            ["run", "--bench", "mult8", "--thresholds", "0.05", "0.25"]
+        )
+        assert args.thresholds == [0.05, 0.25]
+
+
+class TestCommands:
+    def test_run_without_circuit_fails(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run"])
+
+    def test_run_small_bench(self, capsys, tmp_path):
+        out = tmp_path / "approx.blif"
+        rc = main([
+            "run", "--bench", "but", "--thresholds", "0.2",
+            "--samples", "512", "--k", "8", "--m", "8", "--out", str(out),
+        ])
+        captured = capsys.readouterr().out
+        assert rc == 0
+        assert "baseline" in captured
+        assert out.exists()
+
+    def test_run_blif_input(self, capsys, tmp_path):
+        from repro.bench import ripple_adder
+        from repro.circuit import write_blif
+
+        src = tmp_path / "add.blif"
+        write_blif(ripple_adder(6), str(src))
+        rc = main([
+            "run", "--blif", str(src), "--thresholds", "0.2",
+            "--samples", "512", "--k", "6", "--m", "6",
+        ])
+        assert rc == 0
+
+    def test_verilog_output(self, capsys, tmp_path):
+        out = tmp_path / "approx.v"
+        rc = main([
+            "run", "--bench", "but", "--thresholds", "0.3",
+            "--samples", "512", "--out", str(out),
+        ])
+        assert rc == 0
+        assert out.exists()
+        assert "module" in out.read_text()
+
+    def test_table1_lists_all_benchmarks(self, capsys):
+        rc = main(["table1", "--samples", "256"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for name in ("Adder32", "Mult8", "BUT", "MAC", "SAD", "FIR"):
+            assert name in out
+
+    def test_compare_runs(self, capsys):
+        rc = main([
+            "compare", "--bench", "but", "--thresholds", "0.25",
+            "--samples", "512", "--k", "8", "--m", "8",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "BLASYS" in out and "SALSA" in out

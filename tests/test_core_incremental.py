@@ -1,0 +1,130 @@
+"""Tests for the incremental evaluator: previews/commits must agree with
+full substitution + resimulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import butterfly, ripple_adder
+from repro.circuit import random_input_words, simulate_outputs
+from repro.core.bmf import factorize
+from repro.core.incremental import IncrementalEvaluator
+from repro.errors import SimulationError
+from repro.partition import TableReplacement, decompose, substitute_windows
+
+
+@pytest.fixture
+def setup(rng):
+    circuit = ripple_adder(8)
+    windows = decompose(circuit, 8, 8)
+    n = 1024
+    words = random_input_words(circuit.n_inputs, n, rng)
+    ev = IncrementalEvaluator(circuit, windows, words, n)
+    return circuit, windows, words, ev, n
+
+
+def _reference_outputs(circuit, windows, replacements, words):
+    rebuilt = substitute_windows(
+        circuit,
+        windows,
+        {i: TableReplacement(t) for i, t in replacements.items()},
+    )
+    return simulate_outputs(rebuilt, words)
+
+
+class TestPreview:
+    def test_exact_table_preview_is_identity(self, setup):
+        circuit, windows, words, ev, n = setup
+        w = windows[0]
+        np.testing.assert_array_equal(
+            ev.preview(w.index, w.table(circuit)), ev.exact_outputs
+        )
+
+    def test_preview_matches_full_rebuild(self, setup):
+        circuit, windows, words, ev, n = setup
+        for w in windows:
+            if w.n_outputs < 2:
+                continue
+            table = factorize(w.table(circuit), w.n_outputs - 1).product
+            got = ev.preview(w.index, table)
+            expect = _reference_outputs(circuit, windows, {w.index: table}, words)
+            np.testing.assert_array_equal(got, expect)
+
+    def test_preview_does_not_mutate_state(self, setup):
+        circuit, windows, words, ev, n = setup
+        w = windows[0]
+        table = factorize(w.table(circuit), 1).product
+        before = ev.current_outputs()
+        ev.preview(w.index, table)
+        np.testing.assert_array_equal(ev.current_outputs(), before)
+
+    def test_bad_table_shape_raises(self, setup):
+        circuit, windows, words, ev, n = setup
+        with pytest.raises(SimulationError):
+            ev.preview(windows[0].index, np.zeros((2, 1), dtype=bool))
+
+
+class TestCommit:
+    def test_commit_then_outputs_match_rebuild(self, setup):
+        circuit, windows, words, ev, n = setup
+        committed = {}
+        for w in windows:
+            if w.n_outputs < 2:
+                continue
+            table = factorize(w.table(circuit), w.n_outputs - 1).product
+            ev.commit(w.index, table)
+            committed[w.index] = table
+            expect = _reference_outputs(circuit, windows, committed, words)
+            np.testing.assert_array_equal(ev.current_outputs(), expect)
+
+    def test_preview_on_top_of_commits(self, setup):
+        circuit, windows, words, ev, n = setup
+        multi = [w for w in windows if w.n_outputs >= 2]
+        first, second = multi[0], multi[1]
+        t1 = factorize(first.table(circuit), 1).product
+        ev.commit(first.index, t1)
+        t2 = factorize(second.table(circuit), 1).product
+        got = ev.preview(second.index, t2)
+        expect = _reference_outputs(
+            circuit, windows, {first.index: t1, second.index: t2}, words
+        )
+        np.testing.assert_array_equal(got, expect)
+
+    def test_recommit_overrides(self, setup):
+        circuit, windows, words, ev, n = setup
+        w = [w for w in windows if w.n_outputs >= 3][0]
+        t_low = factorize(w.table(circuit), 1).product
+        t_high = factorize(w.table(circuit), w.n_outputs - 1).product
+        ev.commit(w.index, t_low)
+        ev.commit(w.index, t_high)
+        expect = _reference_outputs(circuit, windows, {w.index: t_high}, words)
+        np.testing.assert_array_equal(ev.current_outputs(), expect)
+
+    def test_committed_map_exposed(self, setup):
+        circuit, windows, words, ev, n = setup
+        w = windows[0]
+        table = factorize(w.table(circuit), 1).product
+        ev.commit(w.index, table)
+        assert w.index in ev.committed
+        np.testing.assert_array_equal(ev.committed_table(w.index), table)
+
+
+class TestInterleavedWindows:
+    def test_butterfly_cross_window_dependencies(self, rng):
+        # Butterfly windows interleave adder/subtractor logic; this is the
+        # regression case for quotient-order propagation.
+        circuit = butterfly(6)
+        windows = decompose(circuit, 8, 8)
+        n = 512
+        words = random_input_words(circuit.n_inputs, n, rng)
+        ev = IncrementalEvaluator(circuit, windows, words, n)
+        committed = {}
+        for w in windows:
+            if w.n_outputs < 2:
+                continue
+            table = factorize(w.table(circuit), max(1, w.n_outputs - 2)).product
+            ev.commit(w.index, table)
+            committed[w.index] = table
+        expect = _reference_outputs(circuit, windows, committed, words)
+        np.testing.assert_array_equal(ev.current_outputs(), expect)

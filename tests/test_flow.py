@@ -1,0 +1,93 @@
+"""Integration tests for the end-to-end BLASYS flow."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import butterfly, ripple_adder
+from repro.core.explorer import ExplorerConfig
+from repro.errors import ExplorationError
+from repro.flow import FlowResult, measure_error, run_blasys
+
+
+@pytest.fixture(scope="module")
+def adder_flow():
+    circuit = ripple_adder(8)
+    config = ExplorerConfig(n_samples=2048, max_inputs=8, max_outputs=8)
+    return circuit, run_blasys(
+        circuit, thresholds=[0.05, 0.25], config=config, final_samples=8192
+    )
+
+
+class TestRunBlasys:
+    def test_returns_flow_result(self, adder_flow):
+        _, result = adder_flow
+        assert isinstance(result, FlowResult)
+        assert result.baseline.area_um2 > 0
+
+    def test_designs_realized_per_threshold(self, adder_flow):
+        _, result = adder_flow
+        assert set(result.designs) <= {0.05, 0.25}
+        assert 0.25 in result.designs
+
+    def test_area_savings_positive_at_loose_threshold(self, adder_flow):
+        _, result = adder_flow
+        design = result.designs[0.25]
+        assert design.savings["area"] > 0
+
+    def test_savings_monotone_in_threshold(self, adder_flow):
+        _, result = adder_flow
+        if 0.05 in result.designs:
+            assert (
+                result.designs[0.25].savings["area"]
+                >= result.designs[0.05].savings["area"] - 1e-9
+            )
+
+    def test_measured_error_respects_regime(self, adder_flow):
+        _, result = adder_flow
+        for thr, design in result.designs.items():
+            # Independent re-measurement should be in the same regime as the
+            # exploration threshold (sampling noise allowed).
+            assert design.measured["mre"] <= 2.0 * thr + 0.02
+
+    def test_summary_mentions_thresholds(self, adder_flow):
+        _, result = adder_flow
+        text = result.summary()
+        assert "baseline" in text
+        assert "thr" in text
+
+    def test_empty_thresholds_rejected(self):
+        with pytest.raises(ExplorationError):
+            run_blasys(ripple_adder(4), thresholds=[])
+
+    def test_interface_preserved(self, adder_flow):
+        circuit, result = adder_flow
+        for design in result.designs.values():
+            assert design.circuit.input_names() == circuit.input_names()
+            assert design.circuit.output_names() == circuit.output_names()
+
+
+class TestMeasureError:
+    def test_zero_for_identical(self):
+        circuit = butterfly(5)
+        metrics = measure_error(circuit, circuit, n_samples=4096)
+        assert metrics["mre"] == 0.0
+        assert metrics["hamming"] == 0.0
+
+    def test_input_mismatch_rejected(self):
+        with pytest.raises(ExplorationError):
+            measure_error(ripple_adder(4), ripple_adder(5), n_samples=128)
+
+    def test_deterministic_given_seed(self):
+        circuit = ripple_adder(6)
+        from repro.core.explorer import ExplorerConfig, explore
+
+        res = explore(
+            circuit,
+            ExplorerConfig(n_samples=512, max_inputs=6, max_outputs=6, max_iterations=4),
+        )
+        approx = res.realize(res.trajectory[-1])
+        a = measure_error(circuit, approx, n_samples=2048, seed=9)
+        b = measure_error(circuit, approx, n_samples=2048, seed=9)
+        assert a == b

@@ -1,0 +1,219 @@
+"""Tests for k×m decomposition and window substitution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import butterfly, mult8, ripple_adder, array_multiplier
+from repro.circuit import (
+    CircuitBuilder,
+    simulate_patterns,
+    truth_table,
+)
+from repro.core.bmf import factorize, identity_result
+from repro.errors import DecompositionError
+from repro.partition import (
+    FactoredReplacement,
+    TableReplacement,
+    Window,
+    decompose,
+    substitute_windows,
+    validate_decomposition,
+)
+
+
+class TestDecompose:
+    @pytest.mark.parametrize("factory,k,m", [
+        (lambda: ripple_adder(8), 10, 10),
+        (lambda: ripple_adder(8), 6, 6),
+        (lambda: butterfly(6), 8, 8),
+        (lambda: array_multiplier(5), 10, 10),
+    ])
+    def test_valid_partition(self, factory, k, m):
+        circuit = factory()
+        windows = decompose(circuit, k, m)
+        validate_decomposition(circuit, windows, k, m)
+
+    def test_covers_every_gate_once(self):
+        circuit = ripple_adder(8)
+        windows = decompose(circuit)
+        members = [v for w in windows for v in w.members]
+        assert sorted(members) == sorted(circuit.gate_ids())
+
+    def test_respects_small_budgets(self):
+        circuit = array_multiplier(4)
+        windows = decompose(circuit, max_inputs=4, max_outputs=3)
+        for w in windows:
+            assert w.n_inputs <= 4
+            assert w.n_outputs <= 3
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(DecompositionError):
+            decompose(ripple_adder(4), max_inputs=0)
+
+    def test_refinement_does_not_break_validity(self):
+        circuit = array_multiplier(5)
+        windows = decompose(circuit, 8, 8, refine_passes=3)
+        validate_decomposition(circuit, windows, 8, 8)
+
+    def test_refinement_does_not_increase_cut(self):
+        circuit = array_multiplier(5)
+        raw = decompose(circuit, 8, 8, refine_passes=0)
+        refined = decompose(circuit, 8, 8, refine_passes=2)
+        cut = lambda ws: sum(w.n_inputs for w in ws)
+        assert cut(refined) <= cut(raw)
+
+    def test_windows_are_multi_output(self):
+        # On arithmetic circuits the clustering should produce genuinely
+        # multi-output windows (that is what BLASYS exploits vs SALSA).
+        circuit = mult8()
+        windows = decompose(circuit)
+        assert max(w.n_outputs for w in windows) >= 3
+
+    def test_single_gate_circuit(self):
+        b = CircuitBuilder()
+        x, y = b.input("x"), b.input("y")
+        b.output("z", b.and_(x, y))
+        circuit = b.build()
+        windows = decompose(circuit)
+        assert len(windows) == 1
+        assert windows[0].n_outputs == 1
+
+
+class TestWindowExtraction:
+    def test_window_table_matches_parent_function(self):
+        circuit = ripple_adder(6)
+        windows = decompose(circuit, 8, 8)
+        # pick the largest window and verify its table against resimulation
+        w = max(windows, key=lambda w: w.n_members)
+        sub = w.subcircuit(circuit)
+        assert sub.n_inputs == w.n_inputs
+        assert sub.n_outputs == w.n_outputs
+        table = w.table(circuit)
+        assert table.shape == (1 << w.n_inputs, w.n_outputs)
+        np.testing.assert_array_equal(table, truth_table(sub))
+
+
+class TestSubstitution:
+    def _exact_roundtrip(self, circuit, k=8, m=8):
+        windows = decompose(circuit, k, m)
+        replacements = {
+            w.index: TableReplacement(w.table(circuit)) for w in windows
+        }
+        rebuilt = substitute_windows(circuit, windows, replacements)
+        assert rebuilt.input_names() == circuit.input_names()
+        assert rebuilt.output_names() == circuit.output_names()
+        rng = np.random.default_rng(0)
+        pats = rng.integers(0, 2, size=(300, circuit.n_inputs), dtype=np.uint8)
+        np.testing.assert_array_equal(
+            simulate_patterns(rebuilt, pats), simulate_patterns(circuit, pats)
+        )
+
+    def test_exact_tables_preserve_function_adder(self):
+        self._exact_roundtrip(ripple_adder(8))
+
+    def test_exact_tables_preserve_function_butterfly(self):
+        self._exact_roundtrip(butterfly(6))
+
+    def test_exact_tables_preserve_function_multiplier(self):
+        self._exact_roundtrip(array_multiplier(5))
+
+    def test_partial_substitution(self):
+        circuit = ripple_adder(8)
+        windows = decompose(circuit, 6, 6)
+        # replace only the first window, exactly
+        w = windows[0]
+        rebuilt = substitute_windows(
+            circuit, windows, {w.index: TableReplacement(w.table(circuit))}
+        )
+        rng = np.random.default_rng(1)
+        pats = rng.integers(0, 2, size=(200, circuit.n_inputs), dtype=np.uint8)
+        np.testing.assert_array_equal(
+            simulate_patterns(rebuilt, pats), simulate_patterns(circuit, pats)
+        )
+
+    def test_factored_replacement_identity_is_exact(self):
+        circuit = ripple_adder(6)
+        windows = decompose(circuit, 8, 8)
+        replacements = {}
+        for w in windows:
+            ident = identity_result(w.table(circuit))
+            replacements[w.index] = FactoredReplacement(ident.B, ident.C)
+        rebuilt = substitute_windows(circuit, windows, replacements)
+        rng = np.random.default_rng(2)
+        pats = rng.integers(0, 2, size=(200, circuit.n_inputs), dtype=np.uint8)
+        np.testing.assert_array_equal(
+            simulate_patterns(rebuilt, pats), simulate_patterns(circuit, pats)
+        )
+
+    def test_factored_replacement_matches_bmf_product(self):
+        circuit = butterfly(5)
+        windows = decompose(circuit, 8, 8)
+        w = max(windows, key=lambda w: w.n_outputs)
+        table = w.table(circuit)
+        result = factorize(table, max(1, w.n_outputs - 1))
+        # Build both forms; they must agree with B∘C's table.
+        lut = substitute_windows(
+            circuit, windows, {w.index: TableReplacement(result.product)}
+        )
+        gates = substitute_windows(
+            circuit, windows, {w.index: FactoredReplacement(result.B, result.C)}
+        )
+        rng = np.random.default_rng(3)
+        pats = rng.integers(0, 2, size=(300, circuit.n_inputs), dtype=np.uint8)
+        np.testing.assert_array_equal(
+            simulate_patterns(lut, pats), simulate_patterns(gates, pats)
+        )
+
+    def test_bad_table_shape_rejected(self):
+        circuit = ripple_adder(4)
+        windows = decompose(circuit, 6, 6)
+        w = windows[0]
+        bad = np.zeros((2, w.n_outputs), dtype=bool)
+        with pytest.raises(DecompositionError):
+            substitute_windows(circuit, windows, {w.index: TableReplacement(bad)})
+
+    def test_unknown_window_rejected(self):
+        circuit = ripple_adder(4)
+        windows = decompose(circuit, 6, 6)
+        with pytest.raises(DecompositionError):
+            substitute_windows(
+                circuit,
+                windows,
+                {999: TableReplacement(np.zeros((4, 1), dtype=bool))},
+            )
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_random_circuits_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        b = CircuitBuilder("rand")
+        sigs = [b.input(f"i{k}") for k in range(5)]
+        for _ in range(25):
+            op = rng.integers(0, 4)
+            x, y = (sigs[int(i)] for i in rng.choice(len(sigs), 2))
+            if op == 0:
+                sigs.append(b.and_(x, y))
+            elif op == 1:
+                sigs.append(b.or_(x, y))
+            elif op == 2:
+                sigs.append(b.xor_(x, y))
+            else:
+                sigs.append(b.not_(x))
+        for i, s in enumerate(sigs[-4:]):
+            b.output(f"o{i}", s)
+        circuit = b.build()
+        if circuit.n_gates == 0:
+            return
+        windows = decompose(circuit, 5, 4)
+        validate_decomposition(circuit, windows, 5, 4)
+        replacements = {
+            w.index: TableReplacement(w.table(circuit)) for w in windows
+        }
+        rebuilt = substitute_windows(circuit, windows, replacements)
+        np.testing.assert_array_equal(
+            truth_table(rebuilt), truth_table(circuit)
+        )

@@ -1,0 +1,168 @@
+"""Cross-module property tests: fuzzing the whole pipeline.
+
+These tests wire several subsystems together on randomly generated
+circuits and check the global invariants that the flow's correctness rests
+on: lowering and resynthesis preserve function, incremental evaluation
+agrees with rebuild-and-resimulate under *arbitrary* (not just factored)
+window tables, realization agrees with the simulated trajectory, and the
+field-algebra flow works end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import butterfly, ripple_adder
+from repro.circuit import (
+    CircuitBuilder,
+    equivalent,
+    random_input_words,
+    simulate_outputs,
+    truth_table,
+)
+from repro.core.incremental import IncrementalEvaluator
+from repro.core.explorer import ExplorerConfig, explore
+from repro.flow import measure_error
+from repro.partition import (
+    TableReplacement,
+    decompose,
+    substitute_windows,
+    validate_decomposition,
+)
+from repro.synth import lower_for_mapping, resynthesize
+
+
+def _random_circuit(rng, n_inputs=5, n_gates=30, n_outputs=4):
+    b = CircuitBuilder("fuzz")
+    sigs = [b.input(f"i{k}") for k in range(n_inputs)]
+    for _ in range(n_gates):
+        op = rng.integers(0, 6)
+        picks = rng.choice(len(sigs), size=3, replace=True)
+        x, y, z = (sigs[int(p)] for p in picks)
+        if op == 0:
+            sigs.append(b.and_(x, y))
+        elif op == 1:
+            sigs.append(b.or_(x, y))
+        elif op == 2:
+            sigs.append(b.xor_(x, y))
+        elif op == 3:
+            sigs.append(b.not_(x))
+        elif op == 4:
+            sigs.append(b.mux(x, y, z))
+        else:
+            sigs.append(b.nand_(x, y))
+    for i, s in enumerate(sigs[-n_outputs:]):
+        b.output(f"o{i}", s)
+    return b.build()
+
+
+class TestLoweringProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 9999))
+    def test_lowering_preserves_function(self, seed):
+        rng = np.random.default_rng(seed)
+        c = _random_circuit(rng)
+        np.testing.assert_array_equal(
+            truth_table(lower_for_mapping(c)), truth_table(c)
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 9999))
+    def test_resynthesis_preserves_function(self, seed):
+        rng = np.random.default_rng(seed)
+        c = _random_circuit(rng)
+        np.testing.assert_array_equal(
+            truth_table(resynthesize(c)), truth_table(c)
+        )
+
+
+class TestIncrementalFuzz:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2000))
+    def test_arbitrary_tables_match_rebuild(self, seed):
+        """Commit *random* tables (not factored ones) to random windows in a
+        random order; the incremental cache must track a full rebuild."""
+        rng = np.random.default_rng(seed)
+        circuit = _random_circuit(rng, n_inputs=6, n_gates=40)
+        if circuit.n_gates < 3:
+            return
+        windows = decompose(circuit, 5, 4)
+        validate_decomposition(circuit, windows, 5, 4)
+        n = 512
+        words = random_input_words(circuit.n_inputs, n, rng)
+        ev = IncrementalEvaluator(circuit, windows, words, n)
+        committed = {}
+        order = rng.permutation(len(windows))
+        for wi in order[: min(4, len(windows))]:
+            w = windows[int(wi)]
+            table = rng.random((1 << w.n_inputs, w.n_outputs)) < 0.5
+            ev.commit(w.index, table)
+            committed[w.index] = table
+            rebuilt = substitute_windows(
+                circuit,
+                windows,
+                {i: TableReplacement(t) for i, t in committed.items()},
+            )
+            np.testing.assert_array_equal(
+                ev.current_outputs(), simulate_outputs(rebuilt, words)
+            )
+
+
+class TestExplorationRealization:
+    @pytest.mark.parametrize("algebra", ["semiring", "field"])
+    def test_realized_design_matches_committed_tables(self, algebra):
+        """The realized netlist must compute exactly what the exploration
+        simulated: errors measured on realization equal the trajectory's
+        (same seed, same samples)."""
+        circuit = ripple_adder(6)
+        config = ExplorerConfig(
+            n_samples=1024,
+            max_inputs=6,
+            max_outputs=6,
+            max_iterations=5,
+            algebra=algebra,
+        )
+        result = explore(circuit, config)
+        point = result.trajectory[-1]
+        realized = result.realize(point)
+        # re-measure on the exploration's own sample seed
+        measured = measure_error(
+            circuit,
+            realized,
+            n_samples=config.n_samples,
+            seed=config.seed,
+            spec=config.qor,
+        )
+        assert measured["mre"] == pytest.approx(point.qor, abs=1e-12)
+
+    def test_field_algebra_flow_end_to_end(self):
+        circuit = butterfly(5)
+        config = ExplorerConfig(
+            n_samples=1024, max_inputs=8, max_outputs=8,
+            error_cap=0.3, algebra="field",
+        )
+        result = explore(circuit, config)
+        assert len(result.trajectory) > 2
+        point = result.best_point(0.3)
+        realized = result.realize(point)
+        assert realized.output_names() == circuit.output_names()
+
+
+class TestSubstitutionEquivalenceProof:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2000))
+    def test_exact_substitution_proven_equivalent(self, seed):
+        rng = np.random.default_rng(seed)
+        circuit = _random_circuit(rng, n_inputs=5, n_gates=25)
+        if circuit.n_gates == 0:
+            return
+        windows = decompose(circuit, 5, 4)
+        replacements = {
+            w.index: TableReplacement(w.table(circuit)) for w in windows
+        }
+        rebuilt = substitute_windows(circuit, windows, replacements)
+        res = equivalent(circuit, rebuilt)
+        assert res.equivalent and res.proven

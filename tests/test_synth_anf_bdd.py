@@ -1,0 +1,163 @@
+"""Tests for the multi-level synthesis paths: ANF and shared BDDs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import ripple_adder
+from repro.circuit import CircuitBuilder, truth_table
+from repro.errors import SynthesisError
+from repro.synth import (
+    anf_coefficients,
+    anf_cost,
+    anf_terms,
+    anf_to_gates,
+    bdd_cost,
+    bdd_to_gates,
+    build_shared_bdd,
+    synthesize_output,
+    synthesize_outputs_shared,
+    synthesize_table,
+    tech_map,
+)
+
+
+def _parity_table(k):
+    idx = np.arange(1 << k)
+    out = np.zeros(1 << k, dtype=bool)
+    for i in range(k):
+        out ^= ((idx >> i) & 1).astype(bool)
+    return out
+
+
+class TestAnf:
+    def test_xor_anf_is_linear(self):
+        terms = anf_terms(_parity_table(4))
+        assert sorted(terms) == [1, 2, 4, 8]
+
+    def test_and_anf_single_term(self):
+        table = np.zeros(8, dtype=bool)
+        table[7] = True  # a & b & c
+        assert anf_terms(table) == [7]
+
+    def test_constant_one(self):
+        assert anf_terms(np.ones(4, dtype=bool)) == [0]
+
+    def test_constant_zero(self):
+        assert anf_terms(np.zeros(4, dtype=bool)) == []
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 9999), k=st.integers(1, 6))
+    def test_moebius_roundtrip(self, seed, k):
+        """Evaluating the ANF must reproduce the truth table."""
+        rng = np.random.default_rng(seed)
+        table = rng.random(1 << k) < 0.5
+        terms = anf_terms(table)
+        idx = np.arange(1 << k)
+        recon = np.zeros(1 << k, dtype=bool)
+        for t in terms:
+            recon ^= (idx & t) == t
+        np.testing.assert_array_equal(recon, table)
+
+    def test_anf_gates_equivalent(self, rng):
+        table = rng.random(32) < 0.5
+        b = CircuitBuilder()
+        ins = [b.input(f"x{i}") for i in range(5)]
+        b.output("y", anf_to_gates(b, anf_terms(table), ins))
+        got = truth_table(b.build())[:, 0]
+        np.testing.assert_array_equal(got, table)
+
+    def test_cost_prefers_parity(self):
+        k = 6
+        assert anf_cost(anf_terms(_parity_table(k))) < 20
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(SynthesisError):
+            anf_coefficients(np.zeros(6, dtype=bool))
+
+
+class TestSharedBdd:
+    def test_adder_tables_have_compact_shared_bdd(self):
+        tt = truth_table(ripple_adder(4))
+        bdd = build_shared_bdd(tt)
+        # carry-chain sharing: far fewer nodes than the 2^k bound
+        assert bdd.n_internal < 40
+
+    def test_single_output_xor(self):
+        bdd = build_shared_bdd(_parity_table(5))
+        assert bdd.n_internal == 9  # parity BDD: 2 per level except top
+
+    def test_roots_per_output(self, rng):
+        tables = rng.random((16, 3)) < 0.5
+        bdd = build_shared_bdd(tables)
+        assert len(bdd.roots) == 3
+
+    def test_constant_column(self):
+        tables = np.zeros((8, 2), dtype=bool)
+        tables[:, 1] = True
+        bdd = build_shared_bdd(tables)
+        assert bdd.n_internal == 0
+        assert bdd.roots[0] == -1 and bdd.roots[1] == -2
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 9999), k=st.integers(1, 6), m=st.integers(1, 4))
+    def test_gates_equivalent(self, seed, k, m):
+        rng = np.random.default_rng(seed)
+        tables = rng.random((1 << k, m)) < 0.5
+        bdd = build_shared_bdd(tables)
+        b = CircuitBuilder()
+        ins = [b.input(f"x{i}") for i in range(k)]
+        for j, sig in enumerate(bdd_to_gates(b, bdd, ins)):
+            b.output(f"y{j}", sig)
+        got = truth_table(b.build())
+        np.testing.assert_array_equal(got, tables)
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(SynthesisError):
+            build_shared_bdd(np.zeros((6, 2), dtype=bool))
+
+    def test_cost_counts_nodes(self, rng):
+        tables = rng.random((32, 2)) < 0.5
+        bdd = build_shared_bdd(tables)
+        assert bdd_cost(bdd) == pytest.approx(2.88 * bdd.n_internal)
+
+
+class TestBestOfSynthesis:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 9999), k=st.integers(1, 6))
+    def test_single_output_equivalence(self, seed, k):
+        rng = np.random.default_rng(seed)
+        table = rng.random(1 << k) < 0.5
+        b = CircuitBuilder()
+        ins = [b.input(f"x{i}") for i in range(k)]
+        b.output("y", synthesize_output(b, table, ins))
+        got = truth_table(b.build())[:, 0]
+        np.testing.assert_array_equal(got, table)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 9999))
+    def test_shared_equivalence(self, seed):
+        rng = np.random.default_rng(seed)
+        tables = rng.random((32, 4)) < 0.5
+        b = CircuitBuilder()
+        ins = [b.input(f"x{i}") for i in range(5)]
+        for j, sig in enumerate(synthesize_outputs_shared(b, tables, ins)):
+            b.output(f"y{j}", sig)
+        np.testing.assert_array_equal(truth_table(b.build()), tables)
+
+    def test_parity_synthesizes_compactly(self):
+        # The ANF/BDD paths must avoid the exponential SOP for XOR-8.
+        table = _parity_table(8)
+        circuit = synthesize_table(table, "xor8")
+        mapped = tech_map(circuit, match_macros=False)
+        assert mapped.area < 40  # a 7-gate XOR tree, not a 128-cube cover
+
+    def test_adder_slice_beats_flat_sop(self):
+        tt = truth_table(ripple_adder(4))
+        circuit = synthesize_table(tt, "add4")
+        mapped = tech_map(circuit, match_macros=False)
+        # flat SOP of a 9-output adder table would be hundreds of µm²
+        assert mapped.area < 150

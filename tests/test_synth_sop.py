@@ -1,0 +1,113 @@
+"""Tests for cube/cover data structures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SynthesisError
+from repro.synth import Cover, Cube, cover_from_minterms, on_off_dc_split
+
+
+class TestCube:
+    def test_value_outside_mask_rejected(self):
+        with pytest.raises(SynthesisError):
+            Cube(mask=0b01, value=0b10)
+
+    def test_literal_count(self):
+        assert Cube(0b1011, 0b0011).n_literals == 3
+        assert Cube(0, 0).n_literals == 0
+
+    def test_covers_minterms(self):
+        cube = Cube(0b011, 0b001)  # x0=1, x1=0, x2 free
+        got = cube.covers(np.arange(8))
+        np.testing.assert_array_equal(got, [False, True, False, False, False, True, False, False])
+
+    def test_full_cube_is_tautology(self):
+        assert Cube(0, 0).covers(np.arange(16)).all()
+
+    def test_contains_cube(self):
+        big = Cube(0b001, 0b001)  # x0=1
+        small = Cube(0b011, 0b001)  # x0=1, x1=0
+        assert big.contains_cube(small)
+        assert not small.contains_cube(big)
+
+    def test_contains_disjoint(self):
+        a = Cube(0b001, 0b001)
+        b = Cube(0b001, 0b000)
+        assert not a.contains_cube(b)
+
+    def test_without_literal(self):
+        cube = Cube(0b11, 0b11)
+        raised = cube.without_literal(0)
+        assert raised == Cube(0b10, 0b10)
+
+    def test_string_roundtrip(self):
+        for text in ["-01", "111", "---", "0-1"]:
+            assert Cube.from_string(text).to_string(3) == text
+
+    def test_bad_string_char(self):
+        with pytest.raises(SynthesisError):
+            Cube.from_string("1x0")
+
+    def test_from_minterm(self):
+        c = Cube.from_minterm(5, 3)
+        assert c.covers_one(5)
+        assert sum(c.covers(np.arange(8))) == 1
+
+
+class TestCover:
+    def test_evaluate_or_of_cubes(self):
+        cover = Cover(2, [Cube.from_string("1-"), Cube.from_string("-1")])
+        np.testing.assert_array_equal(cover.evaluate(), [False, True, True, True])
+
+    def test_literal_total(self):
+        cover = Cover(3, [Cube.from_string("1-0"), Cube.from_string("111")])
+        assert cover.n_literals == 5
+
+    def test_implements_with_dc(self):
+        on = np.array([False, True, False, True])
+        dc = np.array([True, False, False, False])
+        cover = Cover(2, [Cube.from_string("--")])  # always 1
+        assert not cover.implements(on)
+        cover2 = Cover(2, [Cube.from_string("1-")])  # x0
+        assert cover2.implements(on)
+        assert cover2.implements(on, dc)
+
+    def test_cover_from_minterms(self):
+        cover = cover_from_minterms(3, [0, 7])
+        table = cover.evaluate()
+        assert table[0] and table[7]
+        assert table.sum() == 2
+
+    def test_empty_cover_is_zero(self):
+        assert not Cover(3).evaluate().any()
+
+
+class TestOnOffDcSplit:
+    def test_split_without_dc(self):
+        table = np.array([True, False, True, False])
+        on, off, dc = on_off_dc_split(table)
+        np.testing.assert_array_equal(on, [0, 2])
+        np.testing.assert_array_equal(off, [1, 3])
+        assert dc.size == 0
+
+    def test_split_with_dc(self):
+        table = np.array([True, False, True, False])
+        dc_mask = np.array([False, True, False, False])
+        on, off, dc = on_off_dc_split(table, dc_mask)
+        np.testing.assert_array_equal(on, [0, 2])
+        np.testing.assert_array_equal(off, [3])
+        np.testing.assert_array_equal(dc, [1])
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 999))
+    def test_partition_property(self, seed):
+        rng = np.random.default_rng(seed)
+        table = rng.random(16) < 0.5
+        dc_mask = rng.random(16) < 0.2
+        on, off, dc = on_off_dc_split(table, dc_mask)
+        combined = np.sort(np.concatenate([on, off, dc]))
+        np.testing.assert_array_equal(combined, np.arange(16))

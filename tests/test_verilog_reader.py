@@ -1,0 +1,153 @@
+"""Tests for the structural Verilog reader (incl. writer round-trips)."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import butterfly, ripple_adder
+from repro.circuit import (
+    CircuitBuilder,
+    read_verilog,
+    truth_table,
+    write_verilog,
+)
+from repro.errors import ParseError
+
+
+def _roundtrip(circuit):
+    buf = io.StringIO()
+    write_verilog(circuit, buf)
+    return read_verilog(io.StringIO(buf.getvalue()))
+
+
+class TestRoundtrip:
+    def test_full_adder(self, full_adder_circuit):
+        back = _roundtrip(full_adder_circuit)
+        np.testing.assert_array_equal(
+            truth_table(back), truth_table(full_adder_circuit)
+        )
+
+    def test_ripple_adder(self):
+        c = ripple_adder(5)
+        np.testing.assert_array_equal(
+            truth_table(_roundtrip(c)), truth_table(c)
+        )
+
+    def test_butterfly_with_mux_and_xor(self):
+        c = butterfly(4)
+        np.testing.assert_array_equal(
+            truth_table(_roundtrip(c)), truth_table(c)
+        )
+
+    def test_lut_circuit(self, rng):
+        b = CircuitBuilder("lutty")
+        ins = [b.input(f"i{k}") for k in range(4)]
+        b.output("y", b.lut(ins, rng.random(16) < 0.5))
+        c = b.build()
+        np.testing.assert_array_equal(
+            truth_table(_roundtrip(c)), truth_table(c)
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 5000))
+    def test_random_circuits(self, seed):
+        rng = np.random.default_rng(seed)
+        b = CircuitBuilder("rand")
+        sigs = [b.input(f"i{k}") for k in range(4)]
+        for _ in range(15):
+            op = rng.integers(0, 5)
+            x, y, z = (sigs[int(i)] for i in rng.choice(len(sigs), 3))
+            sigs.append(
+                [b.and_(x, y), b.or_(x, y), b.xor_(x, y), b.not_(x),
+                 b.mux(x, y, z)][op]
+            )
+        b.output("o", sigs[-1])
+        c = b.build()
+        np.testing.assert_array_equal(
+            truth_table(_roundtrip(c)), truth_table(c)
+        )
+
+
+class TestHandwritten:
+    def test_simple_module(self):
+        text = """
+        // a comment
+        module m(a, b, y);
+          input a; input b;
+          output y;
+          wire w0;
+          assign w0 = a & ~b;
+          assign y = w0 | (a ^ b);
+        endmodule
+        """
+        c = read_verilog(io.StringIO(text))
+        tt = truth_table(c)[:, 0]
+        for r in range(4):
+            a, b = r & 1, (r >> 1) & 1
+            assert tt[r] == bool((a and not b) or (a ^ b))
+
+    def test_ternary_semantics(self):
+        text = """module m(s, a, b, y);
+          input s, a, b; output y;
+          assign y = s ? b : a;
+        endmodule"""
+        c = read_verilog(io.StringIO(text))
+        tt = truth_table(c)[:, 0]
+        for r in range(8):
+            s, a, b = r & 1, (r >> 1) & 1, (r >> 2) & 1
+            assert tt[r] == bool(b if s else a)
+
+    def test_constants(self):
+        text = """module m(a, y0, y1);
+          input a; output y0, y1;
+          assign y0 = a & 1'b0;
+          assign y1 = a | 1'b1;
+        endmodule"""
+        c = read_verilog(io.StringIO(text))
+        tt = truth_table(c)
+        assert not tt[:, 0].any() and tt[:, 1].all()
+
+    def test_block_comments_stripped(self):
+        text = """module m(a, y); /* block
+        comment */ input a; output y;
+        assign y = ~a;
+        endmodule"""
+        c = read_verilog(io.StringIO(text))
+        np.testing.assert_array_equal(truth_table(c)[:, 0], [True, False])
+
+
+class TestErrors:
+    def test_missing_module(self):
+        with pytest.raises(ParseError):
+            read_verilog(io.StringIO("assign y = a;"))
+
+    def test_undriven_output(self):
+        text = "module m(a, y); input a; output y; endmodule"
+        with pytest.raises(ParseError):
+            read_verilog(io.StringIO(text))
+
+    def test_undeclared_signal_in_expr(self):
+        text = "module m(a, y); input a; output y; assign y = a & ghost; endmodule"
+        with pytest.raises(ParseError):
+            read_verilog(io.StringIO(text))
+
+    def test_double_drive(self):
+        text = """module m(a, y); input a; output y;
+        wire w; assign w = a; assign w = ~a; assign y = w; endmodule"""
+        with pytest.raises(ParseError):
+            read_verilog(io.StringIO(text))
+
+    def test_unsupported_statement(self):
+        text = "module m(clk, y); input clk; output y; always @(posedge clk) y <= 1; endmodule"
+        with pytest.raises(ParseError):
+            read_verilog(io.StringIO(text))
+
+    def test_malformed_expression(self):
+        text = "module m(a, y); input a; output y; assign y = a &; endmodule"
+        with pytest.raises(ParseError):
+            read_verilog(io.StringIO(text))
