@@ -24,6 +24,7 @@ from . import core  # noqa: F401
 from . import eval  # noqa: F401
 from . import flow  # noqa: F401
 from . import partition  # noqa: F401
+from . import runtime  # noqa: F401
 from . import synth  # noqa: F401
 
 __all__ = [
@@ -35,5 +36,6 @@ __all__ = [
     "eval",
     "flow",
     "partition",
+    "runtime",
     "synth",
 ]

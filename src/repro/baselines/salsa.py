@@ -167,7 +167,9 @@ def profile_salsa_windows(
         table = w.table(circuit)  # (2^k, 1)
         column = table[:, 0]
         exact_area = (
-            costing.window_area(circuit, w) if config.estimate_area else 0.0
+            costing.window_area(w.subcircuit(circuit))
+            if config.estimate_area
+            else 0.0
         )
         profile = WindowProfile(
             w, table, exact_area, None, levels=exact_level

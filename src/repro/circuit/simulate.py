@@ -125,13 +125,36 @@ def words_to_patterns(words: np.ndarray, n: int) -> np.ndarray:
     return unpack_bits(words, n).T
 
 
-def _lut_eval(table: np.ndarray, fanin_words: Sequence[np.ndarray]) -> np.ndarray:
+def mask_tail_words(words: np.ndarray, n_valid: int) -> np.ndarray:
+    """Zero the bits of ``words`` beyond ``n_valid`` patterns, in place.
+
+    Enforces the packed-word tail-bit invariant (see DESIGN.md): bits past
+    the pattern count carry no information and must be zero wherever code
+    compares packed arrays directly.
+    """
+    w_valid = words_for(n_valid)
+    if w_valid < words.shape[-1]:
+        words[..., w_valid:] = 0
+    if w_valid:
+        words[..., w_valid - 1] &= tail_mask(n_valid)
+    return words
+
+
+def _lut_eval(
+    table: np.ndarray,
+    fanin_words: Sequence[np.ndarray],
+    n_valid: Optional[int] = None,
+) -> np.ndarray:
     """Evaluate a LUT on packed fanin values.
 
     Unpacks the fanins to per-pattern indices, gathers through the table and
     repacks.  Cost is linear in pattern count; LUTs are only used for
     window-substitution candidates so this stays off the hot path of plain
     gate evaluation.
+
+    Tail bits beyond ``n_valid`` index the table with garbage (all-zero
+    fanin tails hit ``table[0]``, which may be 1), so when the pattern
+    count is known the output tail is masked back to zero.
     """
     k = len(fanin_words)
     w = fanin_words[0].shape[0]
@@ -140,10 +163,19 @@ def _lut_eval(table: np.ndarray, fanin_words: Sequence[np.ndarray]) -> np.ndarra
     for i, fw in enumerate(fanin_words):
         idx |= unpack_bits(fw, n).astype(np.uint32) << np.uint32(i)
     out_bits = np.asarray(table, dtype=np.uint8)[idx]
-    return pack_bits(out_bits)
+    out = pack_bits(out_bits)
+    if n_valid is not None:
+        mask_tail_words(out, n_valid)
+    return out
 
 
-def _eval_node(op: Op, ins: Sequence[np.ndarray], table, w: int) -> np.ndarray:
+def _eval_node(
+    op: Op,
+    ins: Sequence[np.ndarray],
+    table,
+    w: int,
+    n_valid: Optional[int] = None,
+) -> np.ndarray:
     """Evaluate one node on packed fanin value arrays of width ``w`` words."""
     if op is Op.CONST0:
         return np.zeros(w, dtype=np.uint64)
@@ -172,17 +204,24 @@ def _eval_node(op: Op, ins: Sequence[np.ndarray], table, w: int) -> np.ndarray:
         s, a, b = ins
         return (a & ~s) | (b & s)
     if op is Op.LUT:
-        return _lut_eval(table, ins)
+        return _lut_eval(table, ins, n_valid)
     raise SimulationError(f"cannot evaluate op {op}")  # pragma: no cover
 
 
-def simulate_full(circuit: Circuit, input_words: np.ndarray) -> np.ndarray:
+def simulate_full(
+    circuit: Circuit,
+    input_words: np.ndarray,
+    n_samples: Optional[int] = None,
+) -> np.ndarray:
     """Evaluate every node; returns a ``(n_nodes, W)`` packed value matrix.
 
     Args:
         circuit: The netlist to evaluate.
         input_words: Packed values for the primary inputs, shape
             ``(n_inputs, W)`` in circuit input order.
+        n_samples: When given, LUT node outputs are tail-masked to this
+            pattern count (gate tails stay unspecified either way — mask
+            before comparing packed values; see DESIGN.md).
     """
     input_words = np.atleast_2d(np.asarray(input_words, dtype=np.uint64))
     if input_words.shape[0] != circuit.n_inputs:
@@ -198,7 +237,7 @@ def simulate_full(circuit: Circuit, input_words: np.ndarray) -> np.ndarray:
             next_input += 1
         else:
             ins = [values[f] for f in node.fanins]
-            values[nid] = _eval_node(node.op, ins, node.table, w)
+            values[nid] = _eval_node(node.op, ins, node.table, w, n_samples)
     return values
 
 
@@ -211,21 +250,28 @@ def simulate_outputs(
     circuit: Circuit,
     input_words: np.ndarray,
     chunk_words: int = 2048,
+    n_samples: Optional[int] = None,
 ) -> np.ndarray:
     """Evaluate only primary outputs, chunking over the pattern axis.
 
     Memory use is bounded by ``n_nodes * chunk_words * 8`` bytes regardless
     of total pattern count.  Returns packed outputs of shape
-    ``(n_outputs, W)``.
+    ``(n_outputs, W)``.  ``n_samples`` (which must match ``W`` when given)
+    tail-masks LUT outputs as in :func:`simulate_full`.
     """
     input_words = np.atleast_2d(np.asarray(input_words, dtype=np.uint64))
     w = input_words.shape[1]
     if w <= chunk_words:
-        return output_words_from_values(circuit, simulate_full(circuit, input_words))
+        return output_words_from_values(
+            circuit, simulate_full(circuit, input_words, n_samples)
+        )
     out = np.zeros((circuit.n_outputs, w), dtype=np.uint64)
     for start in range(0, w, chunk_words):
         stop = min(start + chunk_words, w)
-        vals = simulate_full(circuit, input_words[:, start:stop])
+        chunk_n = None
+        if n_samples is not None:
+            chunk_n = min(n_samples, stop * WORD_BITS) - start * WORD_BITS
+        vals = simulate_full(circuit, input_words[:, start:stop], chunk_n)
         out[:, start:stop] = output_words_from_values(circuit, vals)
     return out
 

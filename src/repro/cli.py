@@ -38,6 +38,8 @@ def _config(args) -> ExplorerConfig:
         strategy=args.strategy,
         weight_mode=args.weights,
         seed=args.seed,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
     )
 
 
@@ -51,9 +53,16 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--samples", type=int, default=4096,
                    help="Monte-Carlo samples during exploration")
     p.add_argument("--strategy", choices=["full", "lazy"], default="lazy")
+    # "significance" is the paper's WQoR flow (§3.2) and the ExplorerConfig
+    # default; "uniform" is Figure 4's control arm.
     p.add_argument("--weights", choices=["uniform", "significance"],
-                   default="uniform", help="BMF QoR weighting (§3.2)")
+                   default="significance", help="BMF QoR weighting (§3.2)")
     p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="parallel profiling worker processes (0 = all cores)")
+    p.add_argument("--cache-dir",
+                   help="persistent profiling cache directory; warm runs "
+                        "skip factorization and variant synthesis")
 
 
 def _cmd_run(args) -> int:

@@ -33,6 +33,7 @@ from ..circuit.stimulus import stimulus_input_words
 from ..partition.decompose import decompose
 from ..partition.substitute import substitute_windows
 from ..partition.windows import Window
+from ..runtime import ProfileCache, RuntimeStats
 from ..synth.espresso import EspressoOptions
 from ..synth.library import LIB65, Library
 from .bmf.asso import DEFAULT_TAUS
@@ -78,6 +79,11 @@ class ExplorerConfig:
         refine_passes: Decomposition refinement passes.
         estimate_area: Synthesize per-variant area estimates during
             profiling (needed for area trajectories).
+        jobs: Worker processes for the profiling phase (``0`` = all cores,
+            ``1`` = serial); profiles are byte-identical whatever the count.
+        cache_dir: Directory for the persistent profiling cache (None
+            disables caching).  Warm runs skip all BMF factorization and
+            variant synthesis.
     """
 
     max_inputs: int = 10
@@ -101,6 +107,8 @@ class ExplorerConfig:
     estimate_area: bool = True
     library: Library = LIB65
     espresso: EspressoOptions = EspressoOptions()
+    jobs: int = 1
+    cache_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.strategy not in STRATEGIES:
@@ -144,6 +152,8 @@ class ExplorationResult:
     chosen: Dict[Tuple[int, int], "CandidateVariant"] = field(
         default_factory=dict
     )
+    #: Profiling work/cache accounting; None when profiles were passed in.
+    runtime_stats: Optional[RuntimeStats] = None
 
     def points_within(self, threshold: float) -> List[TrajectoryPoint]:
         return [p for p in self.trajectory if p.qor <= threshold]
@@ -236,7 +246,10 @@ def explore(
             circuit, config.max_inputs, config.max_outputs, config.refine_passes
         )
     windows = list(windows)
+    runtime_stats: Optional[RuntimeStats] = None
     if profiles is None:
+        runtime_stats = RuntimeStats()
+        cache = ProfileCache(config.cache_dir) if config.cache_dir else None
         profiles = profile_windows(
             circuit,
             windows,
@@ -249,6 +262,9 @@ def explore(
             espresso_options=config.espresso,
             estimate_area=config.estimate_area,
             match_macros=config.match_macros,
+            jobs=config.jobs,
+            cache=cache,
+            runtime_stats=runtime_stats,
         )
     profiles = list(profiles)
     profile_by_index = {p.window.index: p for p in profiles}
@@ -262,7 +278,8 @@ def explore(
 
     fs: Dict[int, int] = {p.window.index: p.max_degree for p in profiles}
     result = ExplorationResult(
-        circuit, windows, profiles, [], 0.0, config
+        circuit, windows, profiles, [], 0.0, config,
+        runtime_stats=runtime_stats,
     )
     baseline_area = _estimated_area(profiles, fs, result.chosen)
     result.baseline_est_area = baseline_area
@@ -283,13 +300,15 @@ def explore(
 
         Candidates whose measured error is within the tie tolerance of the
         best count as equivalent and resolve by estimated area (see
-        :class:`ExplorerConfig`).
+        :class:`ExplorerConfig`).  All of the window's candidates run
+        through one batched evaluator pass (shared input unpack).
         """
+        variants = profile_by_index[idx].variants[fs[idx] - 1]
+        outputs = evaluator.preview_batch(idx, [v.table for v in variants])
         scored = []
-        for variant in profile_by_index[idx].variants[fs[idx] - 1]:
+        for variant, out in zip(variants, outputs):
             result.n_evaluations += 1
-            err = qor_eval.evaluate(evaluator.preview(idx, variant.table))
-            scored.append((err, variant))
+            scored.append((qor_eval.evaluate(out), variant))
         best_err = min(err for err, _ in scored)
         eps = max(config.tie_epsilon, config.tie_epsilon_scale * current)
         tied = [(err, v) for err, v in scored if err <= best_err + eps]

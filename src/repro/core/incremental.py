@@ -11,17 +11,27 @@ of the whole circuit:
 * committed window substitutions are folded into the cache;
 * a candidate preview re-evaluates only what changes downstream of the
   candidate window, reading everything else from the cache, and leaves the
-  cache untouched.
+  cache untouched;
+* :meth:`preview_batch` evaluates *all* candidate tables of one window in a
+  single pass — the window's packed input index vector is built once and
+  shared across the candidates, which is the hot path of the explorer's
+  per-iteration candidate scan.
 
 Evaluation sweeps follow the *quotient* topological order (see
 :mod:`repro.partition.plan`): once a window is substituted, its outputs
 depend on all window inputs, including inputs with larger node ids than the
 outputs — raw id order would read stale values there.
+
+Tail-bit invariant (see DESIGN.md): packed words hold ``n_samples`` valid
+bits; the remainder of the final word is unspecified for plain gates but
+masked to zero for LUT/window-table outputs (an all-zero fanin tail would
+otherwise read ``table[0]``, which may be 1).  Dirty tracking compares only
+the valid bits, so tail garbage can never spuriously mark a node dirty.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -30,8 +40,10 @@ from ..circuit.netlist import Circuit
 from ..circuit.simulate import (
     WORD_BITS,
     _eval_node,
+    mask_tail_words,
     pack_bits,
     simulate_full,
+    tail_mask,
     unpack_bits,
 )
 from ..partition.plan import quotient_plan
@@ -51,7 +63,8 @@ class IncrementalEvaluator:
         self.circuit = circuit
         self.windows = list(windows)
         self.n = n_samples
-        self._values = simulate_full(circuit, input_words)
+        self._tail = tail_mask(n_samples)
+        self._values = simulate_full(circuit, input_words, n_samples)
         self._n_words = self._values.shape[1]
         self._committed: Dict[int, np.ndarray] = {}
         self._plan = quotient_plan(circuit, windows)
@@ -77,42 +90,70 @@ class IncrementalEvaluator:
         return dict(self._committed)
 
     # ------------------------------------------------------------------
-    def _lut_outputs(
-        self, w: Window, table: np.ndarray, overlay: Dict[int, np.ndarray]
-    ) -> Dict[int, np.ndarray]:
-        """Evaluate a window's table; returns {output node id: packed}."""
+    def _valid_equal(self, a: np.ndarray, b: np.ndarray) -> bool:
+        """Equality over the ``n_samples`` valid bits only."""
+        if not np.array_equal(a[:-1], b[:-1]):
+            return False
+        return bool((a[-1] ^ b[-1]) & self._tail == 0)
+
+    def _check_table(self, w: Window, table: np.ndarray) -> np.ndarray:
         table = np.asarray(table, dtype=bool)
         if table.shape != (1 << w.n_inputs, w.n_outputs):
             raise SimulationError(
                 f"window {w.index}: table shape {table.shape} does not match "
                 f"({w.n_inputs} inputs, {w.n_outputs} outputs)"
             )
+        return table
+
+    def _input_index(
+        self, w: Window, overlay: Dict[int, np.ndarray]
+    ) -> np.ndarray:
+        """Per-pattern table row index from the window's packed inputs."""
         idx = np.zeros(self._n_words * WORD_BITS, dtype=np.uint32)
         for bit, nid in enumerate(w.inputs):
             vals = overlay.get(nid, self._values[nid])
             idx |= unpack_bits(vals, self._n_words * WORD_BITS).astype(
                 np.uint32
             ) << np.uint32(bit)
+        return idx
+
+    def _gather_outputs(
+        self, w: Window, table: np.ndarray, idx: np.ndarray
+    ) -> Dict[int, np.ndarray]:
+        """{output node id: packed, tail-masked values} via ``table[idx]``."""
         return {
-            nid: pack_bits(table[idx, pos].astype(np.uint8))
+            nid: mask_tail_words(
+                pack_bits(table[idx, pos].astype(np.uint8)), self.n
+            )
             for pos, nid in enumerate(w.outputs)
         }
 
+    def _lut_outputs(
+        self, w: Window, table: np.ndarray, overlay: Dict[int, np.ndarray]
+    ) -> Dict[int, np.ndarray]:
+        """Evaluate a window's table; returns {output node id: packed}."""
+        table = self._check_table(w, table)
+        return self._gather_outputs(w, table, self._input_index(w, overlay))
+
     def _sweep(
-        self, replacements: Dict[int, np.ndarray]
+        self,
+        replacements: Dict[int, np.ndarray],
+        seeds: Optional[Dict[int, Dict[int, np.ndarray]]] = None,
     ) -> Dict[int, np.ndarray]:
         """Re-evaluate the circuit under ``replacements`` (window index ->
         table), returning only the node values that differ from the cache.
 
         ``replacements`` must already include the committed map (possibly
         with overrides); the sweep runs in quotient topological order and
-        prunes units whose inputs are all clean.
+        prunes units whose inputs are all clean.  ``seeds`` supplies
+        precomputed output values for whole windows (the batched preview
+        path); a seeded window is recorded without re-evaluation.
         """
         overlay: Dict[int, np.ndarray] = {}
         dirty = np.zeros(self.circuit.n_nodes, dtype=bool)
 
         def record(nid: int, new: np.ndarray) -> None:
-            if not np.array_equal(new, self._values[nid]):
+            if not self._valid_equal(new, self._values[nid]):
                 overlay[nid] = new
                 dirty[nid] = True
 
@@ -124,7 +165,14 @@ class IncrementalEvaluator:
                 if not any(dirty[f] for f in node.fanins):
                     continue
                 ins = [overlay.get(f, self._values[f]) for f in node.fanins]
-                record(key, _eval_node(node.op, ins, node.table, self._n_words))
+                record(
+                    key,
+                    _eval_node(node.op, ins, node.table, self._n_words, self.n),
+                )
+                continue
+            if seeds is not None and key in seeds:
+                for nid, vals in seeds[key].items():
+                    record(nid, vals)
                 continue
             w = self._window_by_index[key]
             table = replacements.get(key)
@@ -143,22 +191,44 @@ class IncrementalEvaluator:
                         continue
                     ins = [overlay.get(f, self._values[f]) for f in node.fanins]
                     record(
-                        nid, _eval_node(node.op, ins, node.table, self._n_words)
+                        nid,
+                        _eval_node(
+                            node.op, ins, node.table, self._n_words, self.n
+                        ),
                     )
         return overlay
 
     # ------------------------------------------------------------------
+    def preview_batch(
+        self, index: int, tables: Sequence[np.ndarray]
+    ) -> List[np.ndarray]:
+        """Outputs for each candidate ``table`` of window ``index``.
+
+        All candidates share one unpack of the window's input values (the
+        per-variant cost of the naive loop); each then sweeps only its own
+        downstream cone.  The cache is not modified, and element ``i`` is
+        byte-identical to ``preview(index, tables[i])``.
+        """
+        w = self._window_by_index[index]
+        # Nothing upstream of the window changes in a preview, so the
+        # committed cache is the correct input state for every candidate.
+        idx = self._input_index(w, {})
+        out_nodes = self.circuit.output_nodes()
+        results: List[np.ndarray] = []
+        for table in tables:
+            table = self._check_table(w, table)
+            seed = self._gather_outputs(w, table, idx)
+            overlay = self._sweep(dict(self._committed), seeds={index: seed})
+            out = np.empty((len(out_nodes), self._n_words), dtype=np.uint64)
+            for row, nid in enumerate(out_nodes):
+                out[row] = overlay.get(nid, self._values[nid])
+            results.append(out)
+        return results
+
     def preview(self, index: int, table: np.ndarray) -> np.ndarray:
         """Outputs if window ``index`` used ``table`` (committed state
         otherwise); the cache is not modified."""
-        replacements = dict(self._committed)
-        replacements[index] = np.asarray(table, dtype=bool)
-        overlay = self._sweep(replacements)
-        out_nodes = self.circuit.output_nodes()
-        result = np.empty((len(out_nodes), self._n_words), dtype=np.uint64)
-        for row, nid in enumerate(out_nodes):
-            result[row] = overlay.get(nid, self._values[nid])
-        return result
+        return self.preview_batch(index, [table])[0]
 
     def commit(self, index: int, table: np.ndarray) -> None:
         """Permanently substitute window ``index`` with ``table``."""

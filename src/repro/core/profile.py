@@ -19,20 +19,27 @@ Two factorization families are profiled:
 The default ``hybrid`` selection keeps, per degree, the cone variant unless
 the general factorization is substantially more accurate — matching the
 paper's observed behaviour of smooth area reduction with occasional bumps.
-Espresso covers and variant areas are memoized by content; identical
-windows (e.g. ripple-adder slices) hit the cache.
+
+Profiling is dispatched through :mod:`repro.runtime`: each window becomes
+one self-contained :class:`WindowTask` (truth table + weights + standalone
+subcircuit + parameters) executed by the module-level worker
+:func:`profile_window_task`, so the work parallelizes across processes,
+same-run duplicate windows (e.g. ripple-adder slices) are computed once,
+and results persist in an optional content-addressed on-disk cache.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..circuit.builder import CircuitBuilder
 from ..circuit.netlist import Circuit
 from ..circuit.words import WordSpec
+from ..runtime import ProfileCache, RuntimeStats, array_token, run_tasks
+from ..runtime.cache import canonical_circuit_bytes
 from ..synth.espresso import EspressoOptions
 from ..synth.library import LIB65, Library
 from ..synth.synthesis import resynthesize, synthesize_outputs_shared
@@ -110,6 +117,90 @@ class WindowProfile:
         return self.levels if self.levels is not None else self.window.n_outputs
 
 
+@dataclass(frozen=True)
+class ProfileParams:
+    """Everything besides the window itself that profiling depends on.
+
+    One frozen record shared by all of a run's :class:`WindowTask`\\ s; its
+    :meth:`cache_token` is part of every cache key (see DESIGN.md).  The
+    WQoR weighting mode is *not* here — the weight vector itself travels
+    with each task.
+    """
+
+    method: str = "asso"
+    algebra: str = "semiring"
+    taus: Tuple[float, ...] = tuple(DEFAULT_TAUS)
+    selection: str = "hybrid"
+    library: Library = LIB65
+    espresso: EspressoOptions = EspressoOptions()
+    estimate_area: bool = True
+    match_macros: bool = False
+
+    def cache_token(self) -> bytes:
+        e = self.espresso
+        # The library token covers cell contents (name + area per cell),
+        # not just the library name — a same-named library with different
+        # areas must not serve stale cached costs.
+        cells = ",".join(
+            f"{c.name}:{c.area!r}"
+            for c in sorted(self.library.cells, key=lambda c: c.name)
+        )
+        return "|".join(
+            [
+                self.method,
+                self.algebra,
+                ",".join(repr(t) for t in self.taus),
+                self.selection,
+                f"{self.library.name}[{cells}]",
+                repr((e.quality, e.literal_order_msb_first, e.seed)),
+                repr((self.estimate_area, self.match_macros)),
+            ]
+        ).encode()
+
+
+@dataclass(frozen=True)
+class WindowTask:
+    """A self-contained profiling work item for one window.
+
+    Attributes:
+        table: The window's exact truth table.
+        weights: WQoR weight vector, or None for uniform.
+        sub: The window as a standalone circuit (needed for cone and exact
+            areas); None when ``estimate_area`` is off.
+        params: Shared profiling parameters.
+    """
+
+    table: np.ndarray
+    weights: Optional[np.ndarray]
+    sub: Optional[Circuit]
+    params: ProfileParams
+
+    def cache_key(self) -> str:
+        sub_token = (
+            canonical_circuit_bytes(self.sub) if self.sub is not None else b"~"
+        )
+        return ProfileCache.key_of(
+            array_token(self.table),
+            array_token(self.weights),
+            self.params.cache_token(),
+            sub_token,
+        )
+
+
+@dataclass
+class WindowTaskResult:
+    """Worker output: window identity comes from task order, not payload.
+
+    The work counters feed :class:`repro.runtime.RuntimeStats`; cache hits
+    contribute zero, which is how tests assert warm runs do no BMF work.
+    """
+
+    exact_area: float
+    variants: Dict[int, List[CandidateVariant]]
+    n_factorizations: int = 0
+    n_syntheses: int = 0
+
+
 class _VariantCosting:
     """Memoized synthesis of factored window implementations."""
 
@@ -119,6 +210,7 @@ class _VariantCosting:
         self.library = library
         self.options = options
         self.match_macros = match_macros
+        self.n_syntheses = 0
         self._cache: Dict[bytes, float] = {}
 
     def factored_area(self, B: np.ndarray, C: np.ndarray, algebra: str) -> float:
@@ -126,6 +218,7 @@ class _VariantCosting:
         hit = self._cache.get(key)
         if hit is not None:
             return hit
+        self.n_syntheses += 1
         builder = CircuitBuilder("variant")
         k = int(np.log2(B.shape[0]))
         ins = [builder.input(f"x{i}") for i in range(k)]
@@ -146,21 +239,19 @@ class _VariantCosting:
         self._cache[key] = area
         return area
 
-    def cone_area(
-        self,
-        circuit: Circuit,
-        window: Window,
-        replacement: ConeReplacement,
-    ) -> float:
-        """Area of a cone variant: kept cone + decompressor gates."""
-        sub = window.subcircuit(circuit)
+    def cone_area(self, sub: Circuit, replacement: ConeReplacement) -> float:
+        """Area of a cone variant: kept cone + decompressor gates.
+
+        ``sub`` is the window materialized as a standalone circuit; the
+        replacement is spliced into it and the result re-mapped.
+        """
+        self.n_syntheses += 1
         sub_window = Window(
             0,
             tuple(range(len(sub.inputs), sub.n_nodes)),
             tuple(sub.inputs),
             tuple(sub.output_nodes()),
         )
-        # Splice the replacement into the standalone window circuit and map.
         approx = substitute_windows(
             sub, [sub_window], {0: replacement}, espresso_options=self.options
         )
@@ -170,12 +261,91 @@ class _VariantCosting:
             match_macros=self.match_macros,
         ).area
 
-    def window_area(self, circuit: Circuit, window: Window) -> float:
+    def window_area(self, sub: Circuit) -> float:
+        self.n_syntheses += 1
         return tech_map(
-            resynthesize(window.subcircuit(circuit), options=self.options),
+            resynthesize(sub, options=self.options),
             self.library,
             match_macros=self.match_macros,
         ).area
+
+
+def profile_window_task(task: WindowTask) -> WindowTaskResult:
+    """Profile one window in isolation (the process-pool worker entry).
+
+    Pure function of the task's contents — this is what makes parallel
+    runs byte-identical to serial ones and results content-cacheable.
+    """
+    p = task.params
+    n_outputs = int(task.table.shape[1])
+    costing = _VariantCosting(p.library, p.espresso, p.match_macros)
+    n_factorizations = 0
+
+    def build_variant(f: int, rail: Optional[np.ndarray]) -> CandidateVariant:
+        """One candidate at degree ``f`` under one weighting (hybrid rule)."""
+        nonlocal n_factorizations
+        bmf_variant = None
+        cone_variant = None
+        if p.selection in ("bmf", "hybrid"):
+            result = factorize(
+                task.table, f, weights=rail, algebra=p.algebra,
+                method=p.method, taus=p.taus,
+            )
+            n_factorizations += 1
+            area = (
+                costing.factored_area(result.B, result.C, p.algebra)
+                if p.estimate_area
+                else 0.0
+            )
+            bmf_variant = CandidateVariant(
+                f, result.product, result.B, result.C, area, result.error,
+                FactoredReplacement(result.B, result.C, p.algebra), "bmf",
+            )
+        if p.selection in ("cone", "hybrid"):
+            cs = column_select_bmf(task.table, f, weights=rail, algebra=p.algebra)
+            n_factorizations += 1
+            replacement = ConeReplacement(cs.selected, cs.C, p.algebra)
+            area = (
+                costing.cone_area(task.sub, replacement)
+                if p.estimate_area
+                else 0.0
+            )
+            cone_variant = CandidateVariant(
+                f, bool_product(cs.B, cs.C, p.algebra), cs.B, cs.C, area,
+                cs.error, replacement, "cone",
+            )
+        if bmf_variant is None:
+            return cone_variant
+        if cone_variant is None:
+            return bmf_variant
+        take_bmf = bmf_variant.bmf_error < (
+            HYBRID_ERROR_FACTOR * cone_variant.bmf_error
+        )
+        return bmf_variant if take_bmf else cone_variant
+
+    exact_area = costing.window_area(task.sub) if p.estimate_area else 0.0
+    variants: Dict[int, List[CandidateVariant]] = {}
+    # Dual-rail candidates: the weighted factorization protects
+    # numerically significant wires (right at tight error budgets); the
+    # uniform one is free to break them (right at loose budgets, e.g.
+    # cutting an adder's carry chain).  The explorer picks per step by
+    # measured whole-circuit error.
+    weight_rails = (
+        [task.weights] if task.weights is None else [task.weights, None]
+    )
+    for f in range(1, n_outputs):
+        by_table: Dict[bytes, CandidateVariant] = {}
+        for rail in weight_rails:
+            variant = build_variant(f, rail)
+            key = variant.table.tobytes()
+            held = by_table.get(key)
+            # identical tables measure identically; keep the cheaper
+            if held is None or variant.area < held.area:
+                by_table[key] = variant
+        variants[f] = list(by_table.values())
+    return WindowTaskResult(
+        exact_area, variants, n_factorizations, costing.n_syntheses
+    )
 
 
 def output_significance(circuit: Circuit) -> np.ndarray:
@@ -230,6 +400,9 @@ def profile_windows(
     espresso_options: EspressoOptions = EspressoOptions(),
     estimate_area: bool = True,
     match_macros: bool = False,
+    jobs: int = 1,
+    cache: Optional[ProfileCache] = None,
+    runtime_stats: Optional[RuntimeStats] = None,
 ) -> List[WindowProfile]:
     """Run the profiling phase over all windows.
 
@@ -246,10 +419,16 @@ def profile_windows(
         match_macros: Allow FA/HA macro cells in the area oracle.  Off by
             default so exact windows and re-synthesized variants are costed
             through an identical gate-level model.
+        jobs: Worker processes for per-window tasks (``0`` = all cores,
+            ``1`` = serial).  Results are byte-identical whatever the count.
+        cache: Optional persistent :class:`~repro.runtime.ProfileCache`;
+            hits skip factorization and synthesis entirely.
+        runtime_stats: Optional accumulator updated in place with task,
+            cache, and work counters.
 
     Returns:
         One :class:`WindowProfile` per window with variants for every
-        ``f`` in ``1 .. m_i - 1``.
+        ``f`` in ``1 .. m_i - 1``, in window order.
     """
     if weight_mode not in WEIGHT_MODES:
         raise ValueError(
@@ -259,69 +438,36 @@ def profile_windows(
         raise ValueError(
             f"unknown selection {selection!r}; expected {SELECTIONS}"
         )
+    windows = list(windows)  # consumed twice; accept one-shot iterables
     sig = output_significance(circuit) if weight_mode != "uniform" else None
-    costing = _VariantCosting(library, espresso_options, match_macros)
-
-    def build_variant(table, f, weights, w) -> CandidateVariant:
-        """One candidate at degree ``f`` under one weighting (hybrid rule)."""
-        bmf_variant = None
-        cone_variant = None
-        if selection in ("bmf", "hybrid"):
-            result = factorize(
-                table, f, weights=weights, algebra=algebra,
-                method=method, taus=taus,
-            )
-            area = (
-                costing.factored_area(result.B, result.C, algebra)
-                if estimate_area
-                else 0.0
-            )
-            bmf_variant = CandidateVariant(
-                f, result.product, result.B, result.C, area, result.error,
-                FactoredReplacement(result.B, result.C, algebra), "bmf",
-            )
-        if selection in ("cone", "hybrid"):
-            cs = column_select_bmf(table, f, weights=weights, algebra=algebra)
-            replacement = ConeReplacement(cs.selected, cs.C, algebra)
-            area = (
-                costing.cone_area(circuit, w, replacement)
-                if estimate_area
-                else 0.0
-            )
-            cone_variant = CandidateVariant(
-                f, bool_product(cs.B, cs.C, algebra), cs.B, cs.C, area,
-                cs.error, replacement, "cone",
-            )
-        if bmf_variant is None:
-            return cone_variant
-        if cone_variant is None:
-            return bmf_variant
-        take_bmf = bmf_variant.bmf_error < (
-            HYBRID_ERROR_FACTOR * cone_variant.bmf_error
-        )
-        return bmf_variant if take_bmf else cone_variant
-
-    profiles: List[WindowProfile] = []
+    params = ProfileParams(
+        method=method,
+        algebra=algebra,
+        taus=tuple(taus),
+        selection=selection,
+        library=library,
+        espresso=espresso_options,
+        estimate_area=estimate_area,
+        match_macros=match_macros,
+    )
+    tasks: List[WindowTask] = []
     for w in windows:
         table = w.table(circuit)
         weights = window_weights(circuit, w, weight_mode, sig)
-        exact_area = costing.window_area(circuit, w) if estimate_area else 0.0
-        profile = WindowProfile(w, table, exact_area, weights)
-        # Dual-rail candidates: the weighted factorization protects
-        # numerically significant wires (right at tight error budgets); the
-        # uniform one is free to break them (right at loose budgets, e.g.
-        # cutting an adder's carry chain).  The explorer picks per step by
-        # measured whole-circuit error.
-        weight_rails = [weights] if weights is None else [weights, None]
-        for f in range(1, w.n_outputs):
-            by_table: Dict[bytes, CandidateVariant] = {}
-            for rail in weight_rails:
-                variant = build_variant(table, f, rail, w)
-                key = variant.table.tobytes()
-                held = by_table.get(key)
-                # identical tables measure identically; keep the cheaper
-                if held is None or variant.area < held.area:
-                    by_table[key] = variant
-            profile.variants[f] = list(by_table.values())
-        profiles.append(profile)
-    return profiles
+        sub = w.subcircuit(circuit) if estimate_area else None
+        tasks.append(WindowTask(table, weights, sub, params))
+    payloads, _ = run_tasks(
+        tasks,
+        profile_window_task,
+        key_fn=WindowTask.cache_key,
+        cache=cache,
+        jobs=jobs,
+        stats=runtime_stats,
+    )
+    return [
+        WindowProfile(
+            w, task.table, payload.exact_area, task.weights,
+            dict(payload.variants),
+        )
+        for w, task, payload in zip(windows, tasks, payloads)
+    ]

@@ -58,6 +58,8 @@ class FlowResult:
     baseline: DesignMetrics
     exploration: ExplorationResult
     designs: Dict[float, RealizedDesign] = field(default_factory=dict)
+    #: Metric that drove exploration; the summary reports it, not always mre.
+    qor_metric: str = "mre"
 
     def summary(self) -> str:
         """Human-readable per-threshold savings table (Table 2 style)."""
@@ -67,11 +69,18 @@ class FlowResult:
         ]
         for thr in sorted(self.designs):
             d = self.designs[thr]
+            val = d.measured[self.qor_metric]
+            shown = (
+                f"{val:.2%}" if self.qor_metric in ("mre", "nmae") else f"{val:.4g}"
+            )
             lines.append(
                 f"  thr={thr:>5.0%}  area-{d.savings['area']:5.1f}%  "
                 f"power-{d.savings['power']:5.1f}%  delay-{d.savings['delay']:5.1f}%  "
-                f"(measured rel.err {d.measured['mre']:.2%})"
+                f"(measured {self.qor_metric} {shown})"
             )
+        stats = self.exploration.runtime_stats
+        if stats is not None:
+            lines.append(f"  {stats.summary()}")
         return "\n".join(lines)
 
 
@@ -85,16 +94,20 @@ def measure_error(
     """Monte-Carlo error metrics of ``approximate`` vs ``accurate``.
 
     Uses a sample set independent of the one that guided exploration, like
-    the paper's final 10^6-vector evaluation.
+    the paper's final 10^6-vector evaluation.  All metrics are returned;
+    ``spec`` additionally exposes its configured metric under the ``"qor"``
+    key so callers can read the driving metric uniformly.
     """
     if accurate.n_inputs != approximate.n_inputs:
         raise ExplorationError("circuits have different input counts")
     rng = np.random.default_rng(seed)
     words = stimulus_input_words(accurate, n_samples, rng)
-    exact_out = simulate_outputs(accurate, words)
-    approx_out = simulate_outputs(approximate, words)
+    exact_out = simulate_outputs(accurate, words, n_samples=n_samples)
+    approx_out = simulate_outputs(approximate, words, n_samples=n_samples)
     evaluator = QoREvaluator(accurate, exact_out, n_samples, spec)
-    return evaluator.metrics(approx_out)
+    metrics = evaluator.metrics(approx_out)
+    metrics["qor"] = metrics[spec.metric]
+    return metrics
 
 
 def run_blasys(
@@ -115,8 +128,14 @@ def run_blasys(
             average relative error) to realize designs for.
         config: Exploration configuration; its ``threshold`` is overridden
             with ``max(thresholds)`` unless it is already an exhaustive
-            (``None`` + ``error_cap``) setup.
+            (``None`` + ``error_cap``) setup.  A configured threshold below
+            ``max(thresholds)`` raises :class:`ExplorationError` instead of
+            silently realizing nothing at the larger thresholds.
         final_samples: Sample count for the independent error re-measurement.
+
+    Raises:
+        ExplorationError: No thresholds given, or ``config.threshold`` is
+            inconsistent with (smaller than) the requested thresholds.
 
     Returns:
         A :class:`FlowResult` with baseline metrics, the full exploration
@@ -125,8 +144,16 @@ def run_blasys(
     if not thresholds:
         raise ExplorationError("need at least one threshold")
     config = config or ExplorerConfig()
+    top = max(thresholds)
     if config.threshold is None and config.error_cap is None:
-        config = _replace_threshold(config, max(thresholds))
+        config = _replace_threshold(config, top)
+    elif config.threshold is not None and config.threshold < top:
+        raise ExplorationError(
+            f"config.threshold={config.threshold} is below the largest "
+            f"requested threshold {top}; exploration would stop early and "
+            "silently produce no design there — raise config.threshold "
+            "(or leave it None) or drop the larger thresholds"
+        )
 
     baseline = evaluate_design(
         circuit,
@@ -137,7 +164,9 @@ def run_blasys(
     )
     exploration = explore(circuit, config)
 
-    result = FlowResult(circuit, baseline, exploration)
+    result = FlowResult(
+        circuit, baseline, exploration, qor_metric=config.qor.metric
+    )
     for thr in thresholds:
         point = exploration.best_point(thr)
         if point is None or point.iteration == 0:
@@ -150,7 +179,9 @@ def run_blasys(
             clock_mhz=clock_mhz,
             match_macros=config.match_macros,
         )
-        measured = measure_error(circuit, realized, final_samples)
+        measured = measure_error(
+            circuit, realized, final_samples, spec=config.qor
+        )
         result.designs[thr] = RealizedDesign(
             threshold=thr,
             point=point,

@@ -1,0 +1,43 @@
+"""Execution runtime: parallel task dispatch and persistent result caching.
+
+The profiling phase of BLASYS (BMF sweep + per-variant synthesis for every
+window) is embarrassingly parallel across windows and fully deterministic
+given a window's truth table and the profiling parameters.  This package
+exploits both properties:
+
+* :mod:`repro.runtime.parallel` — a process-pool map with deterministic
+  result ordering (``jobs=1`` degrades to a plain serial loop).
+* :mod:`repro.runtime.cache` — a content-addressed on-disk cache keyed by a
+  canonical hash of the task inputs, so threshold sweeps and repeated CLI
+  invocations skip redundant factorization/synthesis work entirely.
+* :mod:`repro.runtime.driver` — the task driver tying the two together:
+  same-run duplicate tasks are computed once, cache hits short-circuit
+  dispatch, and a :class:`~repro.runtime.driver.RuntimeStats` record counts
+  the work actually performed.
+
+The driver is deliberately generic (tasks in, payloads out, ordering
+preserved); window profiling in :mod:`repro.core.profile` is its first
+client, and later sharding/async work is expected to reuse the same seam.
+"""
+
+from __future__ import annotations
+
+from .cache import (
+    CACHE_VERSION,
+    ProfileCache,
+    array_token,
+    canonical_circuit_bytes,
+)
+from .driver import RuntimeStats, run_tasks
+from .parallel import parallel_map, resolve_jobs
+
+__all__ = [
+    "CACHE_VERSION",
+    "ProfileCache",
+    "RuntimeStats",
+    "array_token",
+    "canonical_circuit_bytes",
+    "parallel_map",
+    "resolve_jobs",
+    "run_tasks",
+]

@@ -1,0 +1,125 @@
+"""Persistent content-addressed cache for profiling results.
+
+Cache entries are keyed by a SHA-256 hash over a *canonical* serialization
+of everything the result depends on — never by file names, window indices,
+or other run-local identity.  For window profiling the key material is:
+
+* the window truth table (dtype, shape, raw bytes);
+* the WQoR weight vector (or a marker for uniform weighting);
+* the profiling parameters (BMF method, algebra, tau sweep, selection
+  policy, library name, espresso options, area/macro flags);
+* the canonical structure of the window's standalone subcircuit (ops,
+  fanins, LUT tables, output wiring — names excluded), because cone and
+  exact areas reuse the window's own gates.
+
+Identical windows (e.g. ripple-adder slices) therefore share one entry,
+and a threshold sweep or repeated CLI run on the same design hits on every
+window.  The key scheme is documented in DESIGN.md; bump
+:data:`CACHE_VERSION` whenever profiling output semantics change.
+
+Values are stored as one pickle file per key, written atomically
+(temp file + ``os.replace``) so concurrent runs sharing a cache directory
+never observe torn entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+#: Bumped when cached payload semantics change; part of every key.
+CACHE_VERSION = b"blasys-profile-v1"
+
+
+def array_token(arr: Optional[np.ndarray], none: bytes = b"~") -> bytes:
+    """Canonical bytes of an array (dtype + shape + data), or ``none``."""
+    if arr is None:
+        return none
+    a = np.ascontiguousarray(arr)
+    return repr((a.dtype.str, a.shape)).encode() + a.tobytes()
+
+
+def canonical_circuit_bytes(circuit) -> bytes:
+    """Canonical structural serialization of a circuit.
+
+    Covers ops, fanin wiring, LUT tables, and output order — everything
+    that determines simulation and synthesis results.  Node and port
+    *names* are deliberately excluded so structurally identical windows
+    extracted from different parents (or different indices) collide.
+    """
+    parts = []
+    for node in circuit.nodes:
+        table = (
+            b""
+            if node.table is None
+            else np.asarray(node.table, dtype=np.uint8).tobytes()
+        )
+        fanins = ",".join(str(f) for f in node.fanins)
+        parts.append(f"{node.op.value}:{fanins}:".encode() + table)
+    parts.append(
+        ("out=" + ",".join(str(p.node) for p in circuit.outputs)).encode()
+    )
+    return b";".join(parts)
+
+
+class ProfileCache:
+    """On-disk pickle store addressed by SHA-256 content keys.
+
+    Attributes:
+        hits / misses / stores: Access counters for this process's view of
+            the cache (reset per instance, not persisted).
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    @staticmethod
+    def key_of(*tokens: bytes) -> str:
+        """Hash canonical byte tokens into a hex cache key."""
+        digest = hashlib.sha256(CACHE_VERSION)
+        for token in tokens:
+            digest.update(b"\x00")
+            digest.update(token)
+        return digest.hexdigest()
+
+    def _file(self, key: str) -> Path:
+        return self.path / f"{key}.pkl"
+
+    def get(self, key: str):
+        """The stored value for ``key``, or None (corrupt entries = miss)."""
+        try:
+            with open(self._file(key), "rb") as fh:
+                value = pickle.load(fh)
+        except (FileNotFoundError, EOFError, pickle.UnpicklingError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value) -> None:
+        """Store ``value`` under ``key`` atomically."""
+        fd, tmp = tempfile.mkstemp(dir=self.path, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, self._file(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.path.glob("*.pkl"))

@@ -1,0 +1,64 @@
+"""Process-pool execution with deterministic result ordering.
+
+Profiling tasks are CPU-bound pure functions of their (picklable) inputs,
+which makes a :class:`concurrent.futures.ProcessPoolExecutor` the right
+tool: no shared state, no GIL contention, and ``executor.map`` already
+returns results in submission order, so parallel runs are byte-identical
+to serial ones.
+
+``jobs=1`` (the default everywhere) never touches multiprocessing — it is
+a plain loop, so single-job behaviour is unchanged on platforms where
+process pools are restricted.  Pool *creation* failures (sandboxes without
+semaphores, exotic platforms) degrade to the serial loop with a warning
+rather than failing the run.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, List, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_jobs(jobs: int) -> int:
+    """Normalize a job count: ``0`` (or negative/None) means all cores."""
+    if not jobs or jobs <= 0:
+        return max(os.cpu_count() or 1, 1)
+    return int(jobs)
+
+
+def parallel_map(
+    fn: Callable[[T], R], items: Sequence[T], jobs: int = 1
+) -> List[R]:
+    """``[fn(x) for x in items]`` across ``jobs`` worker processes.
+
+    Results are returned in input order regardless of completion order.
+    ``fn`` and every item must be picklable when ``jobs > 1``.  Worker
+    exceptions propagate to the caller.
+    """
+    items = list(items)
+    jobs = min(resolve_jobs(jobs), max(len(items), 1))
+    if jobs == 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    try:
+        pool = ProcessPoolExecutor(max_workers=jobs)
+    except (OSError, PermissionError) as exc:  # pragma: no cover
+        warnings.warn(
+            f"process pool unavailable ({exc}); running serially", RuntimeWarning
+        )
+        return [fn(item) for item in items]
+    try:
+        with pool:
+            return list(pool.map(fn, items))
+    except BrokenProcessPool as exc:  # pragma: no cover
+        # Workers died (sandbox restrictions, fork failure) — distinct from
+        # an exception *raised by fn*, which propagates to the caller above.
+        warnings.warn(
+            f"process pool broke ({exc}); re-running serially", RuntimeWarning
+        )
+        return [fn(item) for item in items]

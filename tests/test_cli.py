@@ -20,6 +20,23 @@ class TestParser:
         assert args.bench == "mult8"
         assert args.thresholds == [0.05]
         assert args.k == 10 and args.m == 10
+        assert args.jobs == 1 and args.cache_dir is None
+
+    def test_default_weights_match_paper_flow(self):
+        # Regression: the CLI used to default to "uniform" (Figure 4's
+        # control arm) while ExplorerConfig and the paper use WQoR.
+        from repro.core.explorer import ExplorerConfig
+
+        args = build_parser().parse_args(["run", "--bench", "mult8"])
+        assert args.weights == "significance"
+        assert args.weights == ExplorerConfig().weight_mode
+
+    def test_runtime_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["run", "--bench", "mult8", "--jobs", "0", "--cache-dir", "/tmp/c"]
+        )
+        assert args.jobs == 0
+        assert args.cache_dir == "/tmp/c"
 
     def test_thresholds_parsed(self):
         args = build_parser().parse_args(
@@ -72,6 +89,19 @@ class TestCommands:
         assert rc == 0
         for name in ("Adder32", "Mult8", "BUT", "MAC", "SAD", "FIR"):
             assert name in out
+
+    def test_run_with_cache_and_jobs(self, capsys, tmp_path):
+        argv = [
+            "run", "--bench", "but", "--thresholds", "0.2",
+            "--samples", "512", "--k", "8", "--m", "8",
+            "--jobs", "2", "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "runtime:" in cold and "runtime:" in warm
+        assert " 0 factorizations" in warm and " 0 syntheses" in warm
 
     def test_compare_runs(self, capsys):
         rc = main([

@@ -5,13 +5,16 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.bench import butterfly, ripple_adder
-from repro.circuit import random_input_words, simulate_outputs
+from repro.circuit import CircuitBuilder, random_input_words, simulate_outputs
+from repro.circuit.simulate import unpack_bits
 from repro.core.bmf import factorize
 from repro.core.incremental import IncrementalEvaluator
 from repro.errors import SimulationError
-from repro.partition import TableReplacement, decompose, substitute_windows
+from repro.partition import TableReplacement, Window, decompose, substitute_windows
 
 
 @pytest.fixture
@@ -108,6 +111,146 @@ class TestCommit:
         ev.commit(w.index, table)
         assert w.index in ev.committed
         np.testing.assert_array_equal(ev.committed_table(w.index), table)
+
+
+def _inverted_inputs_circuit():
+    """Three NOT-fed gates in one window.
+
+    The window's inputs are inverters, so the packed tail bits of its fanins
+    are *ones* (NOT of the zero padding) — the adversarial case for LUT
+    tail-bit handling: the tail indexes table row ``2^k - 1``, not row 0.
+    """
+    b = CircuitBuilder("inv")
+    a, x, y = b.input("a"), b.input("b"), b.input("c")
+    na, nx, ny = b.not_(a), b.not_(x), b.not_(y)
+    g1 = b.and_(na, nx)
+    g2 = b.xor_(nx, ny)
+    b.output("y0", g1)
+    b.output("y1", g2)
+    circuit = b.build()
+    window = Window(
+        0,
+        members=(g1, g2),
+        inputs=tuple(sorted((na, nx, ny))),
+        outputs=(g1, g2),
+    )
+    return circuit, window
+
+
+class TestTailBitInvariant:
+    """Regressions for the packed-word tail-bit bug (see DESIGN.md):
+    table rows indexed by garbage tail bits must never leak into dirty
+    tracking or preview/commit results."""
+
+    def test_tail_only_table_change_is_clean(self):
+        circuit, window = _inverted_inputs_circuit()
+        n = 40  # not a multiple of 64 -> 24 garbage tail bits
+        rng = np.random.default_rng(3)
+        # keep the all-zero primary pattern out of the valid samples, so
+        # table row 7 (all window inputs high) is reachable *only* via the
+        # tail garbage
+        patterns = rng.integers(0, 2, size=(n, 3), dtype=np.uint8)
+        patterns[(patterns.sum(axis=1) == 0), rng.integers(0, 3)] = 1
+        from repro.circuit import patterns_to_words
+
+        words = patterns_to_words(patterns)
+        ev = IncrementalEvaluator(circuit, [window], words, n)
+        table = window.table(circuit).copy()
+        table[7] = ~table[7]  # visible only through tail bits
+        preview = ev.preview(0, table)
+        np.testing.assert_array_equal(preview, ev.exact_outputs)
+        ev.commit(0, table)
+        np.testing.assert_array_equal(ev.current_outputs(), ev.exact_outputs)
+
+    def test_lut_table0_one_preview_matches_resimulation(self):
+        """table[0] = 1 with a non-multiple-of-64 sample count: valid bits
+        of preview/commit match a from-scratch resimulation bit-exactly."""
+        circuit = ripple_adder(6)
+        windows = decompose(circuit, 6, 6)
+        n = 100
+        rng = np.random.default_rng(11)
+        words = random_input_words(circuit.n_inputs, n, rng)
+        ev = IncrementalEvaluator(circuit, windows, words, n)
+        w = next(w for w in windows if w.n_outputs >= 2)
+        table = ~w.table(circuit)  # inverted: table[0] == ~exact[0]
+        assert table[0].any()
+        got = unpack_bits(ev.preview(w.index, table), n)
+        rebuilt = substitute_windows(
+            circuit, windows, {w.index: TableReplacement(table)}
+        )
+        expect = unpack_bits(simulate_outputs(rebuilt, words, n_samples=n), n)
+        np.testing.assert_array_equal(got, expect)
+        ev.commit(w.index, table)
+        np.testing.assert_array_equal(
+            unpack_bits(ev.current_outputs(), n), expect
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(1, 200))
+    def test_property_preview_commit_match_resimulation(self, seed, n):
+        """Property: for arbitrary sample counts (including n % 64 != 0)
+        and arbitrary replacement tables (table[0] free to be 1), preview
+        and commit agree with simulate_full-style resimulation on every
+        valid bit."""
+        rng = np.random.default_rng(seed)
+        circuit = ripple_adder(4)
+        windows = decompose(circuit, 4, 4)
+        words = random_input_words(circuit.n_inputs, n, rng)
+        ev = IncrementalEvaluator(circuit, windows, words, n)
+        committed = {}
+        for w in windows:
+            table = rng.random((1 << w.n_inputs, w.n_outputs)) < 0.5
+            got = unpack_bits(ev.preview(w.index, table), n)
+            trial = dict(committed)
+            trial[w.index] = table
+            rebuilt = substitute_windows(
+                circuit,
+                windows,
+                {i: TableReplacement(t) for i, t in trial.items()},
+            )
+            expect = unpack_bits(
+                simulate_outputs(rebuilt, words, n_samples=n), n
+            )
+            np.testing.assert_array_equal(got, expect)
+            ev.commit(w.index, table)
+            committed[w.index] = table
+            np.testing.assert_array_equal(
+                unpack_bits(ev.current_outputs(), n), expect
+            )
+
+
+class TestPreviewBatch:
+    def test_batch_matches_individual_previews(self, setup):
+        circuit, windows, words, ev, n = setup
+        w = next(w for w in windows if w.n_outputs >= 3)
+        exact = w.table(circuit)
+        tables = [
+            factorize(exact, f).product for f in range(1, w.n_outputs)
+        ] + [exact, ~exact]
+        batch = ev.preview_batch(w.index, tables)
+        assert len(batch) == len(tables)
+        for table, out in zip(tables, batch):
+            np.testing.assert_array_equal(out, ev.preview(w.index, table))
+
+    def test_batch_on_top_of_commits(self, setup):
+        circuit, windows, words, ev, n = setup
+        multi = [w for w in windows if w.n_outputs >= 2]
+        first, second = multi[0], multi[1]
+        ev.commit(first.index, factorize(first.table(circuit), 1).product)
+        tables = [
+            factorize(second.table(circuit), f).product
+            for f in range(1, second.n_outputs)
+        ]
+        batch = ev.preview_batch(second.index, tables)
+        for table, out in zip(tables, batch):
+            np.testing.assert_array_equal(out, ev.preview(second.index, table))
+
+    def test_batch_does_not_mutate_state(self, setup):
+        circuit, windows, words, ev, n = setup
+        w = windows[0]
+        before = ev.current_outputs()
+        ev.preview_batch(w.index, [factorize(w.table(circuit), 1).product])
+        np.testing.assert_array_equal(ev.current_outputs(), before)
 
 
 class TestInterleavedWindows:

@@ -7,6 +7,7 @@ import pytest
 
 from repro.bench import butterfly, ripple_adder
 from repro.core.explorer import ExplorerConfig
+from repro.core.qor import QoRSpec
 from repro.errors import ExplorationError
 from repro.flow import FlowResult, measure_error, run_blasys
 
@@ -66,6 +67,71 @@ class TestRunBlasys:
         for design in result.designs.values():
             assert design.circuit.input_names() == circuit.input_names()
             assert design.circuit.output_names() == circuit.output_names()
+
+
+class TestQoRSpecHonored:
+    """Regression: run_blasys used to re-measure and report with the
+    default mre spec even when config.qor drove exploration with another
+    metric."""
+
+    def test_hamming_driven_flow_reports_hamming(self):
+        circuit = ripple_adder(6)
+        config = ExplorerConfig(
+            n_samples=1024, max_inputs=6, max_outputs=6,
+            qor=QoRSpec("hamming"),
+        )
+        # thresholds are in the explorer's metric: mean flipped bits/sample
+        result = run_blasys(
+            circuit, thresholds=[1.5], config=config, final_samples=2048
+        )
+        assert result.qor_metric == "hamming"
+        assert result.designs, "hamming-driven exploration found no design"
+        for design in result.designs.values():
+            assert design.measured["qor"] == design.measured["hamming"]
+            # the filter must have applied to the driving metric
+            assert design.point.qor <= 1.5
+        assert "hamming" in result.summary()
+
+    def test_measure_error_exposes_spec_metric_as_qor(self):
+        circuit = butterfly(5)
+        for metric in ("mre", "mae", "hamming"):
+            measured = measure_error(
+                circuit, circuit, n_samples=512, spec=QoRSpec(metric)
+            )
+            assert measured["qor"] == measured[metric]
+
+
+class TestThresholdConsistency:
+    """Regression: a config.threshold below max(thresholds) used to stop
+    exploration early and silently realize nothing at larger thresholds."""
+
+    def test_too_small_config_threshold_rejected(self):
+        config = ExplorerConfig(
+            n_samples=256, max_inputs=6, max_outputs=6, threshold=0.05
+        )
+        with pytest.raises(ExplorationError, match="below the largest"):
+            run_blasys(ripple_adder(6), thresholds=[0.05, 0.25], config=config)
+
+    def test_matching_config_threshold_accepted(self):
+        config = ExplorerConfig(
+            n_samples=512, max_inputs=6, max_outputs=6, threshold=0.25
+        )
+        result = run_blasys(
+            ripple_adder(6), thresholds=[0.25], config=config,
+            final_samples=1024,
+        )
+        assert isinstance(result, FlowResult)
+
+    def test_error_cap_sweeps_unaffected(self):
+        config = ExplorerConfig(
+            n_samples=512, max_inputs=6, max_outputs=6, error_cap=0.5,
+            max_iterations=3,
+        )
+        result = run_blasys(
+            ripple_adder(6), thresholds=[0.25], config=config,
+            final_samples=1024,
+        )
+        assert isinstance(result, FlowResult)
 
 
 class TestMeasureError:
