@@ -5,6 +5,7 @@ from .netlist import Circuit, PortRef
 from .builder import CircuitBuilder
 from .words import WordSpec, default_output_word, words_from_attrs
 from .simulate import (
+    bit_count,
     exhaustive_input_words,
     pack_bits,
     patterns_to_words,
@@ -50,6 +51,7 @@ __all__ = [
     "miter",
     "fanout_lists",
     "levels",
+    "bit_count",
     "pack_bits",
     "patterns_to_words",
     "popcount_words",

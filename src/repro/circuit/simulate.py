@@ -65,6 +65,35 @@ def tail_mask(n: int) -> np.uint64:
     return np.uint64((1 << rem) - 1)
 
 
+#: Per-byte set-bit counts; the portable fallback for :func:`bit_count`.
+_POPCOUNT_LUT = np.array(
+    [bin(v).count("1") for v in range(256)], dtype=np.uint8
+)
+
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+
+def _bit_count_lut(words: np.ndarray) -> np.ndarray:
+    """Lookup-table popcount: per-element set-bit counts as int64."""
+    by = words.view(np.uint8).reshape(words.shape + (8,))
+    return _POPCOUNT_LUT[by].sum(axis=-1, dtype=np.int64)
+
+
+def bit_count(words: np.ndarray) -> np.ndarray:
+    """Per-element popcount of a uint64 array, as int64.
+
+    Uses ``np.bitwise_count`` (numpy >= 2.0) when available and a per-byte
+    lookup table otherwise; either way the result has the input's shape and
+    never materializes an unpacked bit array.  This is the shared popcount
+    primitive for both simulation statistics and the packed BMF kernels
+    (:mod:`repro.core.bmf.packed`).
+    """
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    if _HAS_BITWISE_COUNT:
+        return np.bitwise_count(words).astype(np.int64)
+    return _bit_count_lut(words)
+
+
 def popcount_words(words: np.ndarray, n: Optional[int] = None) -> int:
     """Count set bits in a packed array, optionally restricted to ``n`` patterns."""
     words = np.ascontiguousarray(words, dtype=np.uint64)
@@ -77,7 +106,7 @@ def popcount_words(words: np.ndarray, n: Optional[int] = None) -> int:
         else:
             words = flat[:, :w].copy()
             words[:, -1] &= tail_mask(n)
-    return int(np.unpackbits(words.view(np.uint8)).sum())
+    return int(bit_count(words).sum())
 
 
 def exhaustive_input_words(k: int) -> np.ndarray:

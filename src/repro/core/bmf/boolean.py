@@ -91,13 +91,21 @@ def weighted_error(
     A: np.ndarray,
     weights: Optional[np.ndarray] = None,
 ) -> float:
-    """Weighted Hamming distance between two boolean matrices."""
+    """Weighted Hamming distance between two boolean matrices.
+
+    Canonical form (the kernel determinism contract, see DESIGN.md "BMF
+    kernel"): exact integer mismatch counts per column, combined with the
+    weights as one ``np.dot``.  The packed kernels compute the identical
+    expression from popcounts, so dense and packed errors are bit-for-bit
+    equal, not merely close.
+    """
     M = np.asarray(M, dtype=bool)
     A = np.asarray(A, dtype=bool)
     if M.shape != A.shape:
         raise FactorizationError(f"shape mismatch {M.shape} vs {A.shape}")
     w = check_weights(weights, M.shape[1])
-    return float(((M ^ A).astype(float) @ w).sum())
+    counts = (M ^ A).sum(axis=0, dtype=np.int64)
+    return float(np.dot(counts.astype(np.float64), w))
 
 
 def hamming_distance(M: np.ndarray, A: np.ndarray) -> int:

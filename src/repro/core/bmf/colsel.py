@@ -12,17 +12,35 @@ monotonically with ``f``.  Empirically its error matches general ASSO on
 most circuit windows (arithmetic truth tables' best OR-basis vectors tend
 to be the output columns themselves), making it the default partner of
 ASSO in the profiler's hybrid selection.
+
+The forward selection is **prefix-stable in f**: each pick depends only on
+the cover state of the previous picks, so the degree-``f`` selection is
+the ``f``-prefix of the degree-``m`` run.  :func:`column_select_ladder`
+exploits that — one selection pass, then only the cheap per-output
+decompressor fit (:func:`repro.core.bmf.packed.fit_C_packed`) runs per
+degree.  Both the selection
+scoring and the fit run on the packed-column kernel of
+:mod:`repro.core.bmf.packed` (popcounts instead of dense reductions over
+the ``2**k`` rows).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ...circuit.simulate import bit_count
 from ...errors import FactorizationError
-from .boolean import bool_product, check_weights, weighted_error
+from .boolean import check_weights
+from .packed import (
+    PackedColumns,
+    fit_C_packed,
+    mismatch_counts,
+    packed_bool_product,
+    weighted_counts_error,
+)
 
 
 @dataclass(frozen=True)
@@ -42,40 +60,66 @@ class ColumnSelectResult:
     error: float
 
 
-def _fit_C(
-    M: np.ndarray,
-    B: np.ndarray,
-    weights: np.ndarray,
-    algebra: str,
-) -> np.ndarray:
-    """Greedy per-output fit of the decompressor matrix.
+def _selection_order(
+    Pm: PackedColumns, f_max: int, w: np.ndarray
+) -> List[int]:
+    """Forward selection of ``f_max`` columns on the packed matrix.
 
-    Best-improvement greedy: at every step the single basis addition that
-    reduces the output's weighted error the most is taken, until no
-    addition helps.  (First-improvement can block the exact solution when
-    a foreign column happens to be tried before the output's own.)
+    Mirrors the dense scoring exactly: per candidate column the weighted
+    cover gain is computed from integer popcounts with the same float
+    expression (``counts * w`` then ``maximum(good - bad, 0).sum()``), and
+    ties keep the lowest column index (strict ``>`` improvement).
     """
+    m = Pm.m
+    cov = PackedColumns.zeros(m, Pm.n_rows)
+    selected: List[int] = []
+    for _ in range(f_max):
+        best_j, best_gain = None, -np.inf
+        uncovered_ones = Pm.words & ~cov.words  # tails stay zero (M tails are)
+        for j in range(m):
+            if j in selected:
+                continue
+            col = Pm.words[j]
+            good = bit_count(uncovered_ones & col[None, :]).sum(axis=1)
+            bad = bit_count(~Pm.words & ~cov.words & col[None, :]).sum(axis=1)
+            good_w = good.astype(float) * w
+            bad_w = bad.astype(float) * w
+            gain = np.maximum(good_w - bad_w, 0.0).sum()
+            if gain > best_gain:
+                best_j, best_gain = j, gain
+        selected.append(best_j)
+        col = Pm.words[best_j]
+        good = bit_count(uncovered_ones & col[None, :]).sum(axis=1)
+        bad = bit_count(~Pm.words & ~cov.words & col[None, :]).sum(axis=1)
+        use = good.astype(float) * w > bad.astype(float) * w
+        cov.words[use] |= col[None, :]
+    return selected
+
+
+def _result_at(
+    M: np.ndarray,
+    Pm: PackedColumns,
+    selected: List[int],
+    w: np.ndarray,
+    algebra: str,
+) -> ColumnSelectResult:
+    """Materialize the degree-``len(selected)`` result: fit ``C``, score."""
+    B = M[:, selected]
+    basis_words = Pm.words[selected]
+    C = fit_C_packed(Pm, basis_words, w, algebra)
+    approx = packed_bool_product(PackedColumns(basis_words, Pm.n_rows), C, algebra)
+    err = weighted_counts_error(mismatch_counts(Pm, approx), w)
+    return ColumnSelectResult(B, C, tuple(int(j) for j in selected), float(err))
+
+
+def _check_colsel_args(M: np.ndarray, f: int) -> Tuple[np.ndarray, int, int]:
+    M = np.asarray(M, dtype=bool)
+    if M.ndim != 2:
+        raise FactorizationError("M must be 2-D")
     n, m = M.shape
-    f = B.shape[1]
-    C = np.zeros((f, m), dtype=bool)
-    for j in range(m):
-        target = M[:, j]
-        cur = np.zeros(n, dtype=bool)
-        err = float(np.where(target != cur, weights[j], 0.0).sum())
-        while True:
-            best_l, best_err, best_vec = None, err, None
-            for l in range(f):
-                if C[l, j]:
-                    continue
-                trial = (cur | B[:, l]) if algebra == "semiring" else (cur ^ B[:, l])
-                trial_err = float(np.where(target != trial, weights[j], 0.0).sum())
-                if trial_err < best_err:
-                    best_l, best_err, best_vec = l, trial_err, trial
-            if best_l is None:
-                break
-            C[best_l, j] = True
-            err, cur = best_err, best_vec
-    return C
+    if not 1 <= f <= m:
+        raise FactorizationError(f"need 1 <= f <= {m}, got {f}")
+    return M, n, m
 
 
 def column_select_bmf(
@@ -97,35 +141,31 @@ def column_select_bmf(
         weights: Per-column error weights (§3.2 WQoR).
         algebra: ``"semiring"`` or ``"field"``.
     """
-    M = np.asarray(M, dtype=bool)
-    if M.ndim != 2:
-        raise FactorizationError("M must be 2-D")
-    n, m = M.shape
-    if not 1 <= f <= m:
-        raise FactorizationError(f"need 1 <= f <= {m}, got {f}")
+    M, _, m = _check_colsel_args(M, f)
     w = check_weights(weights, m)
+    Pm = PackedColumns.from_dense(M)
+    selected = _selection_order(Pm, f, w)
+    return _result_at(M, Pm, selected, w, algebra)
 
-    selected: list = []
-    covered = np.zeros_like(M)
-    for _ in range(f):
-        best_j, best_gain = None, -np.inf
-        for j in range(m):
-            if j in selected:
-                continue
-            col = M[:, j][:, None]  # (n, 1)
-            good = ((M & ~covered) & col).sum(axis=0).astype(float) * w
-            bad = ((~M & ~covered) & col).sum(axis=0).astype(float) * w
-            gain = np.maximum(good - bad, 0.0).sum()
-            if gain > best_gain:
-                best_j, best_gain = j, gain
-        selected.append(best_j)
-        col = M[:, best_j][:, None]
-        good = ((M & ~covered) & col).sum(axis=0).astype(float) * w
-        bad = ((~M & ~covered) & col).sum(axis=0).astype(float) * w
-        use = good > bad
-        covered |= col & use[None, :]
 
-    B = M[:, selected]
-    C = _fit_C(M, B, w, algebra)
-    err = weighted_error(M, bool_product(B, C, algebra), w)
-    return ColumnSelectResult(B, C, tuple(int(j) for j in selected), float(err))
+def column_select_ladder(
+    M: np.ndarray,
+    f_max: int,
+    weights: Optional[np.ndarray] = None,
+    algebra: str = "semiring",
+) -> Dict[int, ColumnSelectResult]:
+    """Column-subset BMF for **every** degree ``1 .. f_max`` at once.
+
+    One forward-selection pass to ``f_max``; per degree only the greedy
+    decompressor fit re-runs on the selection prefix.  By prefix stability
+    ``column_select_ladder(M, F)[f]`` equals ``column_select_bmf(M, f)``
+    field-for-field for every ``f <= F``.
+    """
+    M, _, m = _check_colsel_args(M, f_max)
+    w = check_weights(weights, m)
+    Pm = PackedColumns.from_dense(M)
+    selected = _selection_order(Pm, f_max, w)
+    return {
+        f: _result_at(M, Pm, selected[:f], w, algebra)
+        for f in range(1, f_max + 1)
+    }

@@ -5,17 +5,27 @@ alternating refinement, exhaustive for tiny instances) behind one call and
 returns a :class:`BMFResult` that records everything downstream consumers
 need: the factors, the algebra, the weighted and unweighted errors, and the
 approximate matrix itself.
+
+:func:`factorize_ladder` is the degree-ladder companion: it produces the
+results for **every** degree ``1 .. f_max`` from one greedy descent per
+association threshold (the ASSO greedy is prefix-stable in ``f``, see
+:mod:`repro.core.bmf.asso`), instead of re-running the descent per degree.
+Both entry points share the same per-degree finalization
+(:func:`_finalize_degree`), so ``factorize_ladder(M, F)[f]`` is
+byte-identical to ``factorize(M, f)`` — the contract that lets the
+profiler switch to the ladder without invalidating cached profiles
+(DESIGN.md "BMF kernel").
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from ...errors import FactorizationError
-from .asso import DEFAULT_TAUS, asso_sweep
+from .asso import DEFAULT_TAUS, asso_ladder, asso_sweep
 from .boolean import (
     bool_product,
     check_weights,
@@ -87,31 +97,90 @@ def factorize(
     Returns:
         A :class:`BMFResult`.
     """
+    M, w = _check_factorize_args(M, f, weights, method)
+    if method == "exhaustive":
+        B, C, _ = exhaustive_bmf(M, f, w, algebra)
+    else:
+        seed = asso_sweep(M, f, taus, w)
+        B, C = _repair_seed(M, seed.B, seed.C, w, algebra, method)
+    return _finalize_degree(M, f, B, C, w, algebra, method, smooth, smooth_slack)
+
+
+def factorize_ladder(
+    M: np.ndarray,
+    f_max: int,
+    weights: Optional[np.ndarray] = None,
+    algebra: str = "semiring",
+    method: str = "asso",
+    taus: Sequence[float] = DEFAULT_TAUS,
+    smooth: bool = True,
+    smooth_slack: float = 0.0,
+) -> Dict[int, BMFResult]:
+    """Factor ``M`` at every degree ``1 .. f_max`` with one descent per tau.
+
+    For the ASSO-based methods the greedy threshold sweep — the dominant
+    cost — runs once per ``tau`` over the whole degree ladder
+    (:func:`repro.core.bmf.asso.asso_ladder`); only the cheap per-degree
+    finalization (field/refine repair, ``B`` smoothing, scoring) runs per
+    degree.  The exhaustive method has no prefix structure and simply
+    falls back to per-degree calls.
+
+    Returns:
+        ``{f: BMFResult}`` with every entry byte-identical to
+        ``factorize(M, f, ...)`` under the same arguments.
+    """
+    M, w = _check_factorize_args(M, f_max, weights, method)
+    if method == "exhaustive":
+        return {
+            f: factorize(
+                M, f, weights, algebra, method, taus, smooth, smooth_slack
+            )
+            for f in range(1, f_max + 1)
+        }
+    seeds = asso_ladder(M, f_max, taus, w)
+    results: Dict[int, BMFResult] = {}
+    for f in range(1, f_max + 1):
+        seed = seeds[f]
+        B, C = _repair_seed(M, seed.B, seed.C, w, algebra, method)
+        results[f] = _finalize_degree(
+            M, f, B, C, w, algebra, method, smooth, smooth_slack
+        )
+    return results
+
+
+def _check_factorize_args(M, f, weights, method):
     M = np.asarray(M, dtype=bool)
     if M.ndim != 2:
         raise FactorizationError("M must be a 2-D boolean matrix")
-    n, m = M.shape
-    w = check_weights(weights, m)
+    if f < 1:
+        raise FactorizationError(f"factorization degree must be >= 1, got {f}")
+    w = check_weights(weights, M.shape[1])
     if method not in METHODS:
         raise FactorizationError(f"unknown method {method!r}; expected {METHODS}")
+    return M, w
 
-    if method == "exhaustive":
-        B, C, err = exhaustive_bmf(M, f, w, algebra)
-    else:
-        if algebra == "field" and method.startswith("asso"):
-            # ASSO's candidate generation is semiring-specific; seed with a
-            # semiring run, then repair under the field algebra.
-            seed = asso_sweep(M, f, taus, w)
-            B, C, err = refine(M, seed.B, seed.C, w, algebra)
-        else:
-            result = asso_sweep(M, f, taus, w)
-            B, C, err = result.B, result.C, result.error
-        if method == "asso+refine":
-            B, C, err = refine(M, B, C, w, algebra)
 
+def _repair_seed(M, B, C, w, algebra, method):
+    """Per-degree repair of an ASSO seed: field re-fit and/or refinement.
+
+    ASSO's candidate generation is semiring-specific; under the field
+    algebra the seed is repaired by alternating refinement.  This is
+    per-degree work shared verbatim by :func:`factorize` and
+    :func:`factorize_ladder` — only the seed's origin (sweep vs ladder
+    snapshot) differs, and those coincide by prefix stability.
+    """
+    if algebra == "field":
+        B, C, _ = refine(M, B, C, w, algebra)
+    if method == "asso+refine":
+        B, C, _ = refine(M, B, C, w, algebra)
+    return B, C
+
+
+def _finalize_degree(M, f, B, C, w, algebra, method, smooth, smooth_slack):
+    """Smooth ``B`` and score — the common tail of both factorize paths."""
+    n = M.shape[0]
     if smooth and f <= MAX_EXACT_F and n and not (n & (n - 1)):
         B = smooth_B_ties(M, C, w, algebra, slack=smooth_slack)
-
     approx = bool_product(B, C, algebra)
     return BMFResult(
         B=B,

@@ -28,7 +28,7 @@ import numpy as np
 
 from ...errors import FactorizationError
 from .boolean import bool_product
-from .factorizer import BMFResult, factorize
+from .factorizer import BMFResult, factorize_ladder
 
 
 def _log2_binomial(n: int, k: int) -> float:
@@ -89,8 +89,9 @@ def select_degree_mdl(
         log2(n + 1) + log2(m + 1) + _vector_cost(n * m, int(M.sum()))
     )
     best_f, best_cost, best_result = 0, costs[0], None
+    ladder = factorize_ladder(M, top, algebra=algebra, method=method) if top else {}
     for f in range(1, top + 1):
-        result = factorize(M, f, algebra=algebra, method=method)
+        result = ladder[f]
         cost = description_length(M, result.B, result.C, algebra)
         costs[f] = cost
         if cost < best_cost:

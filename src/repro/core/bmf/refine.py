@@ -20,8 +20,16 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ...circuit.simulate import bit_count
 from ...errors import FactorizationError
 from .boolean import bool_product, check_weights, weighted_error
+from .packed import (
+    PackedColumns,
+    combine_columns,
+    mismatch_counts,
+    packed_bool_product,
+    weighted_counts_error,
+)
 
 #: Exact B-row re-solve is exponential in f; refuse above this.
 MAX_EXACT_F = 16
@@ -87,24 +95,42 @@ def update_C_greedy(
 
     Flips any single entry of ``C`` whose flip strictly reduces the
     weighted error, until a pass makes no change (or ``max_passes``).
+
+    Flip scoring runs on the packed-column kernel: flipping ``C[l, j]``
+    only changes product column ``j``, so a trial costs one packed column
+    re-accumulation plus a popcount instead of a full dense product.  The
+    trial error is the canonical ``dot(counts, w)`` of
+    :func:`repro.core.bmf.boolean.weighted_error`, so accept/reject
+    decisions are bit-for-bit those of the dense descent.
     """
     M = np.asarray(M, dtype=bool)
     B = np.asarray(B, dtype=bool)
     C = np.asarray(C, dtype=bool).copy()
     w = check_weights(weights, M.shape[1])
-    error = weighted_error(M, bool_product(B, C, algebra), w)
     f, m = C.shape
+
+    Pm = PackedColumns.from_dense(M)
+    basis = PackedColumns.from_dense(B)
+    prod = packed_bool_product(basis, C, algebra)
+    counts = mismatch_counts(Pm, prod).astype(np.float64)
+    error = weighted_counts_error(counts, w)
     for _ in range(max_passes):
         improved = False
         for level in range(f):
             for j in range(m):
                 C[level, j] = not C[level, j]
-                trial = weighted_error(M, bool_product(B, C, algebra), w)
+                new_col = combine_columns(basis.words, C[:, j], algebra)
+                new_cnt = int(bit_count(Pm.words[j] ^ new_col).sum())
+                old_cnt = counts[j]
+                counts[j] = new_cnt
+                trial = weighted_counts_error(counts, w)
                 if trial < error:
                     error = trial
+                    prod.words[j] = new_col
                     improved = True
                 else:
                     C[level, j] = not C[level, j]
+                    counts[j] = old_cnt
         if not improved:
             break
     return C

@@ -26,6 +26,16 @@ subcircuit + parameters) executed by the module-level worker
 :func:`profile_window_task`, so the work parallelizes across processes,
 same-run duplicate windows (e.g. ripple-adder slices) are computed once,
 and results persist in an optional content-addressed on-disk cache.
+
+The worker runs on the **degree ladder**: both greedy kernels are
+prefix-stable in ``f``, so one descent per (tau, weight rail) produces the
+results for every degree (``factorize_ladder`` / ``column_select_ladder``)
+instead of one descent per degree — an ``O(m)`` reduction in factorization
+work with byte-identical output.  :func:`profile_window_task_reference`
+keeps the literal per-degree path; the test suite runs both and asserts
+equality, which is the contract that keeps existing
+:class:`~repro.runtime.ProfileCache` entries valid (DESIGN.md "BMF
+kernel").
 """
 
 from __future__ import annotations
@@ -44,9 +54,9 @@ from ..synth.espresso import EspressoOptions
 from ..synth.library import LIB65, Library
 from ..synth.synthesis import resynthesize, synthesize_outputs_shared
 from ..synth.techmap import tech_map
-from .bmf import bool_product, factorize
+from .bmf import bool_product, factorize, factorize_ladder
 from .bmf.asso import DEFAULT_TAUS
-from .bmf.colsel import column_select_bmf
+from .bmf.colsel import column_select_bmf, column_select_ladder
 from ..partition.substitute import (
     ConeReplacement,
     FactoredReplacement,
@@ -193,12 +203,18 @@ class WindowTaskResult:
 
     The work counters feed :class:`repro.runtime.RuntimeStats`; cache hits
     contribute zero, which is how tests assert warm runs do no BMF work.
+    ``n_factorizations`` counts factorization *calls* (each internally a
+    full tau sweep) — one per ladder on the ladder path, one per degree on
+    the legacy reference path — and ``n_ladder_levels`` the degree results
+    those calls produced, so ``n_ladder_levels / n_factorizations`` is the
+    amortization the ladder achieves.
     """
 
     exact_area: float
     variants: Dict[int, List[CandidateVariant]]
     n_factorizations: int = 0
     n_syntheses: int = 0
+    n_ladder_levels: int = 0
 
 
 class _VariantCosting:
@@ -270,11 +286,130 @@ class _VariantCosting:
         ).area
 
 
+def _bmf_candidate(
+    costing: _VariantCosting, p: ProfileParams, result
+) -> CandidateVariant:
+    """Wrap one general-BMF factorization as a profiled candidate."""
+    area = (
+        costing.factored_area(result.B, result.C, p.algebra)
+        if p.estimate_area
+        else 0.0
+    )
+    return CandidateVariant(
+        result.f, result.product, result.B, result.C, area, result.error,
+        FactoredReplacement(result.B, result.C, p.algebra), "bmf",
+    )
+
+
+def _cone_candidate(
+    costing: _VariantCosting, p: ProfileParams, task: WindowTask, f: int, cs
+) -> CandidateVariant:
+    """Wrap one column-subset factorization as a profiled candidate."""
+    replacement = ConeReplacement(cs.selected, cs.C, p.algebra)
+    area = (
+        costing.cone_area(task.sub, replacement) if p.estimate_area else 0.0
+    )
+    return CandidateVariant(
+        f, bool_product(cs.B, cs.C, p.algebra), cs.B, cs.C, area,
+        cs.error, replacement, "cone",
+    )
+
+
+def _pick_hybrid(
+    bmf_variant: Optional[CandidateVariant],
+    cone_variant: Optional[CandidateVariant],
+) -> CandidateVariant:
+    """The hybrid rule: cone unless general BMF is substantially better."""
+    if bmf_variant is None:
+        return cone_variant
+    if cone_variant is None:
+        return bmf_variant
+    take_bmf = bmf_variant.bmf_error < (
+        HYBRID_ERROR_FACTOR * cone_variant.bmf_error
+    )
+    return bmf_variant if take_bmf else cone_variant
+
+
+def _weight_rails(task: WindowTask) -> List[Optional[np.ndarray]]:
+    # Dual-rail candidates: the weighted factorization protects
+    # numerically significant wires (right at tight error budgets); the
+    # uniform one is free to break them (right at loose budgets, e.g.
+    # cutting an adder's carry chain).  The explorer picks per step by
+    # measured whole-circuit error.
+    return [task.weights] if task.weights is None else [task.weights, None]
+
+
 def profile_window_task(task: WindowTask) -> WindowTaskResult:
     """Profile one window in isolation (the process-pool worker entry).
 
     Pure function of the task's contents — this is what makes parallel
     runs byte-identical to serial ones and results content-cacheable.
+
+    Factorization runs on the degree ladder: one greedy descent per
+    (weight rail, kernel family) covers every degree ``1 .. m-1`` (the
+    ladder calls below), instead of the ``O(m)`` per-degree descents of
+    :func:`profile_window_task_reference` — with byte-identical variants.
+    """
+    p = task.params
+    n_outputs = int(task.table.shape[1])
+    costing = _VariantCosting(p.library, p.espresso, p.match_macros)
+    n_factorizations = 0
+    n_ladder_levels = 0
+    rails = _weight_rails(task)
+
+    bmf_ladders: Dict[int, Dict[int, object]] = {}
+    cone_ladders: Dict[int, Dict[int, object]] = {}
+    if n_outputs > 1:
+        for idx, rail in enumerate(rails):
+            if p.selection in ("bmf", "hybrid"):
+                bmf_ladders[idx] = factorize_ladder(
+                    task.table, n_outputs - 1, weights=rail,
+                    algebra=p.algebra, method=p.method, taus=p.taus,
+                )
+                n_factorizations += 1
+                n_ladder_levels += n_outputs - 1
+            if p.selection in ("cone", "hybrid"):
+                cone_ladders[idx] = column_select_ladder(
+                    task.table, n_outputs - 1, weights=rail, algebra=p.algebra
+                )
+                n_factorizations += 1
+                n_ladder_levels += n_outputs - 1
+
+    exact_area = costing.window_area(task.sub) if p.estimate_area else 0.0
+    variants: Dict[int, List[CandidateVariant]] = {}
+    for f in range(1, n_outputs):
+        by_table: Dict[bytes, CandidateVariant] = {}
+        for idx in range(len(rails)):
+            bmf_variant = (
+                _bmf_candidate(costing, p, bmf_ladders[idx][f])
+                if idx in bmf_ladders
+                else None
+            )
+            cone_variant = (
+                _cone_candidate(costing, p, task, f, cone_ladders[idx][f])
+                if idx in cone_ladders
+                else None
+            )
+            variant = _pick_hybrid(bmf_variant, cone_variant)
+            key = variant.table.tobytes()
+            held = by_table.get(key)
+            # identical tables measure identically; keep the cheaper
+            if held is None or variant.area < held.area:
+                by_table[key] = variant
+        variants[f] = list(by_table.values())
+    return WindowTaskResult(
+        exact_area, variants, n_factorizations, costing.n_syntheses,
+        n_ladder_levels,
+    )
+
+
+def profile_window_task_reference(task: WindowTask) -> WindowTaskResult:
+    """The legacy per-degree worker: one greedy descent per (degree, rail).
+
+    Kept verbatim as the executable specification of
+    :func:`profile_window_task` — the kernel-equivalence tests and
+    ``benchmarks/bench_bmf_kernel.py`` run both and assert byte-identical
+    profiles, which is the cache-compatibility contract of DESIGN.md.
     """
     p = task.params
     n_outputs = int(task.table.shape[1])
@@ -282,7 +417,6 @@ def profile_window_task(task: WindowTask) -> WindowTaskResult:
     n_factorizations = 0
 
     def build_variant(f: int, rail: Optional[np.ndarray]) -> CandidateVariant:
-        """One candidate at degree ``f`` under one weighting (hybrid rule)."""
         nonlocal n_factorizations
         bmf_variant = None
         cone_variant = None
@@ -292,59 +426,27 @@ def profile_window_task(task: WindowTask) -> WindowTaskResult:
                 method=p.method, taus=p.taus,
             )
             n_factorizations += 1
-            area = (
-                costing.factored_area(result.B, result.C, p.algebra)
-                if p.estimate_area
-                else 0.0
-            )
-            bmf_variant = CandidateVariant(
-                f, result.product, result.B, result.C, area, result.error,
-                FactoredReplacement(result.B, result.C, p.algebra), "bmf",
-            )
+            bmf_variant = _bmf_candidate(costing, p, result)
         if p.selection in ("cone", "hybrid"):
             cs = column_select_bmf(task.table, f, weights=rail, algebra=p.algebra)
             n_factorizations += 1
-            replacement = ConeReplacement(cs.selected, cs.C, p.algebra)
-            area = (
-                costing.cone_area(task.sub, replacement)
-                if p.estimate_area
-                else 0.0
-            )
-            cone_variant = CandidateVariant(
-                f, bool_product(cs.B, cs.C, p.algebra), cs.B, cs.C, area,
-                cs.error, replacement, "cone",
-            )
-        if bmf_variant is None:
-            return cone_variant
-        if cone_variant is None:
-            return bmf_variant
-        take_bmf = bmf_variant.bmf_error < (
-            HYBRID_ERROR_FACTOR * cone_variant.bmf_error
-        )
-        return bmf_variant if take_bmf else cone_variant
+            cone_variant = _cone_candidate(costing, p, task, f, cs)
+        return _pick_hybrid(bmf_variant, cone_variant)
 
     exact_area = costing.window_area(task.sub) if p.estimate_area else 0.0
     variants: Dict[int, List[CandidateVariant]] = {}
-    # Dual-rail candidates: the weighted factorization protects
-    # numerically significant wires (right at tight error budgets); the
-    # uniform one is free to break them (right at loose budgets, e.g.
-    # cutting an adder's carry chain).  The explorer picks per step by
-    # measured whole-circuit error.
-    weight_rails = (
-        [task.weights] if task.weights is None else [task.weights, None]
-    )
     for f in range(1, n_outputs):
         by_table: Dict[bytes, CandidateVariant] = {}
-        for rail in weight_rails:
+        for rail in _weight_rails(task):
             variant = build_variant(f, rail)
             key = variant.table.tobytes()
             held = by_table.get(key)
-            # identical tables measure identically; keep the cheaper
             if held is None or variant.area < held.area:
                 by_table[key] = variant
         variants[f] = list(by_table.values())
     return WindowTaskResult(
-        exact_area, variants, n_factorizations, costing.n_syntheses
+        exact_area, variants, n_factorizations, costing.n_syntheses,
+        n_ladder_levels=n_factorizations,
     )
 
 

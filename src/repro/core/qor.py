@@ -77,6 +77,13 @@ class QoREvaluator:
         self._exact_vals = {
             w.name: w.to_ints(self._exact_bits) for w in self.words
         }
+        # Relative-error denominators depend only on the exact outputs;
+        # hoisted out of evaluate()/metrics(), which sit on the explorer's
+        # per-candidate hot path.
+        self._rel_denoms = {
+            name: np.maximum(np.abs(vals), 1).astype(float)
+            for name, vals in self._exact_vals.items()
+        }
 
     # ------------------------------------------------------------------
     def metrics(self, approx_output_words: np.ndarray) -> Dict[str, float]:
@@ -89,8 +96,7 @@ class QoREvaluator:
             exact = self._exact_vals[w.name]
             approx = w.to_ints(bits)
             diff = np.abs(exact - approx).astype(float)
-            denom = np.maximum(np.abs(exact), 1).astype(float)
-            rel_terms.append(diff / denom)
+            rel_terms.append(diff / self._rel_denoms[w.name])
             abs_terms.append(diff)
             nabs_terms.append(diff / max(w.max_abs, 1))
         hamming = float((bits != self._exact_bits).sum()) / self.n
@@ -112,7 +118,7 @@ class QoREvaluator:
             approx = w.to_ints(bits)
             diff = np.abs(exact - approx).astype(float)
             if self.spec.metric == "mre":
-                terms.append(diff / np.maximum(np.abs(exact), 1))
+                terms.append(diff / self._rel_denoms[w.name])
             elif self.spec.metric == "mae":
                 terms.append(diff)
             else:  # nmae

@@ -34,7 +34,12 @@ from typing import Optional
 import numpy as np
 
 #: Bumped when cached payload semantics change; part of every key.
-CACHE_VERSION = b"blasys-profile-v1"
+#: v2: the packed BMF kernel's canonical `dot(counts, w)` weighted error
+#: can differ in the last ulp from v1's row-major matmul sums under
+#: non-dyadic WQoR weights, and ASSO gain scoring moved off BLAS — v1
+#: payloads are no longer guaranteed byte-identical to fresh computation,
+#: and serving them would break the warm == cold determinism invariant.
+CACHE_VERSION = b"blasys-profile-v2"
 
 
 def array_token(arr: Optional[np.ndarray], none: bytes = b"~") -> bytes:

@@ -32,7 +32,14 @@ class RuntimeStats:
         tasks_computed: Tasks actually executed (not served by cache/dedup).
         cache_hits / cache_misses: Persistent-cache lookups.
         dedup_hits: Tasks served by an identical task in the same run.
-        n_factorizations: BMF/column-select factorizations performed.
+        n_factorizations: Factorization *calls* performed — one per ladder
+            invocation on the ladder profiling path, one per degree on the
+            legacy per-degree path.  (Each call internally sweeps every
+            association threshold, so absolute greedy-descent counts on
+            the ASSO path are ``len(taus)`` times this.)
+        n_ladder_levels: Degree results those calls produced; the ratio
+            ``n_ladder_levels / n_factorizations`` is the ladder's
+            amortization factor (1.0 on the per-degree path).
         n_syntheses: Synthesis/tech-map area evaluations performed.
         jobs: Resolved worker count of the last run.
     """
@@ -43,6 +50,7 @@ class RuntimeStats:
     cache_misses: int = 0
     dedup_hits: int = 0
     n_factorizations: int = 0
+    n_ladder_levels: int = 0
     n_syntheses: int = 0
     jobs: int = 1
 
@@ -51,7 +59,8 @@ class RuntimeStats:
             f"runtime: {self.tasks_computed}/{self.n_tasks} tasks computed "
             f"(jobs={self.jobs}), cache {self.cache_hits} hit / "
             f"{self.cache_misses} miss, {self.dedup_hits} deduped, "
-            f"{self.n_factorizations} factorizations, "
+            f"{self.n_factorizations} factorizations "
+            f"({self.n_ladder_levels} degree results), "
             f"{self.n_syntheses} syntheses"
         )
 
@@ -59,6 +68,7 @@ class RuntimeStats:
 def _count_work(stats: RuntimeStats, payloads: Sequence) -> None:
     for payload in payloads:
         stats.n_factorizations += getattr(payload, "n_factorizations", 0)
+        stats.n_ladder_levels += getattr(payload, "n_ladder_levels", 0)
         stats.n_syntheses += getattr(payload, "n_syntheses", 0)
 
 
