@@ -1,0 +1,283 @@
+"""Exploration-engine benchmark: cone-scheduled compiled sweeps vs. the
+interpreted reference evaluator.
+
+Measures the three levers of the compiled engine (see DESIGN.md
+"Exploration engine") on the paper's headline configuration — mult8 at the
+k = m = 10 window budget — and writes the results to ``BENCH_explore.json``
+at the repository root so the perf trajectory accumulates across PRs:
+
+* **candidate-preview throughput** — the explorer's per-iteration candidate
+  scan (every active window's next-degree variants through
+  ``preview_batch``) timed against both engines, from the exact state and
+  from a mid-exploration state (half the windows committed); outputs are
+  asserted byte-identical per candidate.
+* **sweep units touched** — quotient-plan units visited per preview: the
+  full plan on the reference path vs. the candidate's cone on the compiled
+  path (``RuntimeStats.n_sweep_units``).
+* **end-to-end explore()** — Algorithm 1 at paper window budgets, wall
+  time per engine, with the trajectories asserted byte-identical
+  (qor floats, areas, window choices, degree vectors — all of it).
+
+Runs standalone (no pytest plugins needed)::
+
+    PYTHONPATH=src python benchmarks/bench_explore.py          # full
+    PYTHONPATH=src python benchmarks/bench_explore.py --smoke  # CI
+
+and doubles as a pytest smoke test (``test_explore_engine_smoke``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+OUT_PATH = REPO_ROOT / "BENCH_explore.json"
+
+#: The headline configuration: the paper's window budget on mult8.
+BENCH_NAME = "mult8"
+WINDOW = 10
+SAMPLES_FULL = 4096
+SAMPLES_SMOKE = 512
+ITERATIONS_FULL = 30
+ITERATIONS_SMOKE = 4
+
+#: Required on the full run (the committed BENCH_explore.json).
+MIN_PREVIEW_SPEEDUP = 3.0
+MIN_EXPLORE_SPEEDUP = 2.0
+
+
+def _setup(smoke: bool):
+    from repro.bench import get_benchmark
+    from repro.core.profile import profile_windows
+    from repro.partition import decompose
+
+    circuit = get_benchmark(BENCH_NAME).factory()
+    windows = decompose(circuit, WINDOW, WINDOW)
+    # estimate_area=False isolates the evaluation engine: variant areas
+    # only feed tie-breaking/reporting and are identical on both engines.
+    profiles = profile_windows(circuit, windows, estimate_area=False)
+    return circuit, windows, profiles
+
+
+def _make_pair(circuit, windows, n_samples, seed=7):
+    from repro.circuit.stimulus import stimulus_input_words
+    from repro.core.engine import CompiledEvaluator
+    from repro.core.incremental import IncrementalEvaluator
+    from repro.runtime import RuntimeStats
+
+    rng = np.random.default_rng(seed)
+    words = stimulus_input_words(circuit, n_samples, rng)
+    ref_stats, comp_stats = RuntimeStats(), RuntimeStats()
+    ref = IncrementalEvaluator(circuit, windows, words, n_samples, stats=ref_stats)
+    comp = CompiledEvaluator(circuit, windows, words, n_samples, stats=comp_stats)
+    return ref, comp, ref_stats, comp_stats
+
+
+def _scan_tables(profiles):
+    """The explorer's candidate scan: every window's next-degree tables."""
+    scan = []
+    for p in profiles:
+        f = p.max_degree - 1
+        if f >= 1 and f in p.variants:
+            scan.append((p.window.index, [v.table for v in p.variants[f]]))
+    return scan
+
+
+def _preview_throughput(circuit, windows, profiles, n_samples, iterations):
+    """Candidate-scan throughput over a replayed exploration.
+
+    Replays the explorer's hot loop state-by-state: at each iteration both
+    engines scan every active window's next-degree candidates (the
+    reference one ``preview_batch`` per window, the compiled engine one
+    stacked ``preview_scan``), the winner is committed to both, and only
+    the scan time is accumulated.  Memoization and its commit-time
+    invalidation behave exactly as in production, and every preview output
+    is asserted byte-identical (n_samples is a multiple of 64, so there
+    are no tail bits and full-word equality must hold).
+    """
+    from repro.core.qor import QoREvaluator
+
+    ref, comp, ref_stats, comp_stats = _make_pair(circuit, windows, n_samples)
+    qor = QoREvaluator(circuit, ref.exact_outputs, n_samples)
+    by_index = {p.window.index: p for p in profiles}
+    fs = {p.window.index: p.max_degree for p in profiles}
+
+    # Warm-up: compile schedules/cones outside the timed region.  Copied
+    # tables keep the warm-up out of the memo cache (fresh identities), so
+    # the first timed iteration starts cold for both engines.
+    warm = [(i, [t.copy() for t in ts]) for i, ts in _scan_tables(profiles)]
+    comp.preview_scan(warm)
+    for index, tables in warm:
+        ref.preview_batch(index, tables)
+
+    ref_s = comp_s = 0.0
+    n_previews = 0
+    ref_units0, comp_units0 = ref_stats.n_sweep_units, comp_stats.n_sweep_units
+    memo0 = comp_stats.n_preview_cache_hits
+    for _ in range(iterations):
+        scan = []
+        for index, f in fs.items():
+            if f > 1 and (f - 1) in by_index[index].variants:
+                tables = [v.table for v in by_index[index].variants[f - 1]]
+                scan.append((index, tables))
+        if not scan:
+            break
+        t0 = time.perf_counter()
+        ref_outs = [
+            ref.preview_batch(index, tables) for index, tables in scan
+        ]
+        t1 = time.perf_counter()
+        comp_outs = comp.preview_scan(scan)
+        t2 = time.perf_counter()
+        ref_s += t1 - t0
+        comp_s += t2 - t1
+        # Byte-identity of every preview, then commit the greedy winner.
+        best = None
+        for (index, tables), r_outs, c_outs in zip(scan, ref_outs, comp_outs):
+            for table, r_out, (c_out, _) in zip(tables, r_outs, c_outs):
+                np.testing.assert_array_equal(c_out, r_out)
+                err = qor.evaluate(r_out)
+                n_previews += 1
+                if best is None or err < best[0]:
+                    best = (err, index, table)
+        _, index, table = best
+        ref.commit(index, table)
+        comp.commit(index, table)
+        fs[index] -= 1
+    return {
+        "iterations_replayed": iterations,
+        "n_previews": n_previews,
+        "reference": {
+            "wall_s": round(ref_s, 4),
+            "previews_per_sec": round(n_previews / ref_s, 1),
+            "sweep_units_per_preview": round(
+                (ref_stats.n_sweep_units - ref_units0) / n_previews, 1
+            ),
+        },
+        "compiled": {
+            "wall_s": round(comp_s, 4),
+            "previews_per_sec": round(n_previews / comp_s, 1),
+            "memoized_previews": comp_stats.n_preview_cache_hits - memo0,
+            "sweep_units_per_preview": round(
+                (comp_stats.n_sweep_units - comp_units0) / n_previews, 1
+            ),
+        },
+        "preview_speedup": round(ref_s / comp_s, 3),
+        "outputs_byte_identical": True,  # asserted above
+    }
+
+
+def _explore_end_to_end(circuit, windows, profiles, n_samples, max_iterations):
+    from repro.core.explorer import ExplorerConfig, explore
+
+    def run(engine):
+        config = ExplorerConfig(
+            max_inputs=WINDOW,
+            max_outputs=WINDOW,
+            n_samples=n_samples,
+            max_iterations=max_iterations,
+            strategy="full",
+            engine=engine,
+        )
+        t0 = time.perf_counter()
+        result = explore(circuit, config, windows=windows, profiles=profiles)
+        return time.perf_counter() - t0, result
+
+    ref_s, ref = run("reference")
+    comp_s, comp = run("compiled")
+    key = lambda r: [
+        (p.iteration, p.window_index, p.f, p.qor, p.est_area, p.fs)
+        for p in r.trajectory
+    ]
+    identical = key(ref) == key(comp) and ref.n_evaluations == comp.n_evaluations
+    return {
+        "n_samples": n_samples,
+        "max_iterations": max_iterations,
+        "iterations_run": len(comp.trajectory) - 1,
+        "n_evaluations": comp.n_evaluations,
+        "reference": {
+            "wall_s": round(ref_s, 4),
+            "sweep_units": ref.runtime_stats.n_sweep_units,
+        },
+        "compiled": {
+            "wall_s": round(comp_s, 4),
+            "sweep_units": comp.runtime_stats.n_sweep_units,
+            "cones_compiled": comp.runtime_stats.n_cones_compiled,
+        },
+        "explore_speedup": round(ref_s / comp_s, 3),
+        "trajectories_byte_identical": identical,
+    }
+
+
+def run(smoke: bool = False, write: bool = True) -> dict:
+    circuit, windows, profiles = _setup(smoke)
+    n_samples = SAMPLES_SMOKE if smoke else SAMPLES_FULL
+    report = {
+        "bench": "explore_engine",
+        "smoke": smoke,
+        "benchmark": BENCH_NAME,
+        "window": WINDOW,
+        "n_windows": len(windows),
+        "n_nodes": circuit.n_nodes,
+        "preview": _preview_throughput(
+            circuit,
+            windows,
+            profiles,
+            n_samples,
+            iterations=ITERATIONS_SMOKE if smoke else ITERATIONS_FULL,
+        ),
+        "explore": _explore_end_to_end(
+            circuit,
+            windows,
+            profiles,
+            n_samples,
+            ITERATIONS_SMOKE if smoke else ITERATIONS_FULL,
+        ),
+    }
+    assert report["explore"]["trajectories_byte_identical"], (
+        "compiled trajectories diverged from the reference engine"
+    )
+    prev, expl = report["preview"], report["explore"]
+    assert (
+        prev["compiled"]["sweep_units_per_preview"]
+        < prev["reference"]["sweep_units_per_preview"]
+    ), "cone scheduling did not reduce sweep units"
+    if not smoke:
+        # Wall-clock is noisy on shared CI boxes; only the full local run
+        # (the committed BENCH_explore.json) must clear the speedup bars.
+        assert prev["preview_speedup"] >= MIN_PREVIEW_SPEEDUP, (
+            f"preview speedup {prev['preview_speedup']} below "
+            f"{MIN_PREVIEW_SPEEDUP}x"
+        )
+        assert expl["explore_speedup"] >= MIN_EXPLORE_SPEEDUP, (
+            f"explore speedup {expl['explore_speedup']} below "
+            f"{MIN_EXPLORE_SPEEDUP}x"
+        )
+        if write:
+            OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def test_explore_engine_smoke() -> None:
+    run(smoke=True, write=False)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced configuration for CI (no JSON written)",
+    )
+    args = parser.parse_args()
+    report = run(smoke=args.smoke)
+    print(json.dumps(report, indent=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -237,20 +237,16 @@ def _eval_node(
     raise SimulationError(f"cannot evaluate op {op}")  # pragma: no cover
 
 
-def simulate_full(
+def simulate_full_reference(
     circuit: Circuit,
     input_words: np.ndarray,
     n_samples: Optional[int] = None,
 ) -> np.ndarray:
-    """Evaluate every node; returns a ``(n_nodes, W)`` packed value matrix.
+    """Per-node interpreted evaluation — the reference semantics.
 
-    Args:
-        circuit: The netlist to evaluate.
-        input_words: Packed values for the primary inputs, shape
-            ``(n_inputs, W)`` in circuit input order.
-        n_samples: When given, LUT node outputs are tail-masked to this
-            pattern count (gate tails stay unspecified either way — mask
-            before comparing packed values; see DESIGN.md).
+    One numpy dispatch per node in id order.  Kept as the equivalence
+    oracle for the compiled gate-program path (see
+    :mod:`repro.core.engine`); both are byte-identical, tails included.
     """
     input_words = np.atleast_2d(np.asarray(input_words, dtype=np.uint64))
     if input_words.shape[0] != circuit.n_inputs:
@@ -268,6 +264,40 @@ def simulate_full(
             ins = [values[f] for f in node.fanins]
             values[nid] = _eval_node(node.op, ins, node.table, w, n_samples)
     return values
+
+
+#: Below this many node×word units the per-node interpreter wins (program
+#: compilation is pure-Python work); above it the levelized gate program
+#: amortizes.  Both paths are byte-identical, so the cutover is pure policy.
+_COMPILED_MIN_WORK = 8192
+
+
+def simulate_full(
+    circuit: Circuit,
+    input_words: np.ndarray,
+    n_samples: Optional[int] = None,
+) -> np.ndarray:
+    """Evaluate every node; returns a ``(n_nodes, W)`` packed value matrix.
+
+    Large runs execute the circuit's compiled structure-of-arrays gate
+    program (one gathered numpy op per levelized (op, arity) class — see
+    :mod:`repro.core.engine`); small ones fall back to the per-node
+    interpreter.  Results are byte-identical either way, tails included.
+
+    Args:
+        circuit: The netlist to evaluate.
+        input_words: Packed values for the primary inputs, shape
+            ``(n_inputs, W)`` in circuit input order.
+        n_samples: When given, LUT node outputs are tail-masked to this
+            pattern count (gate tails stay unspecified either way — mask
+            before comparing packed values; see DESIGN.md).
+    """
+    input_words = np.atleast_2d(np.asarray(input_words, dtype=np.uint64))
+    if circuit.n_nodes * max(input_words.shape[1], 1) < _COMPILED_MIN_WORK:
+        return simulate_full_reference(circuit, input_words, n_samples)
+    from ..core.engine import simulate_full_compiled  # lazy: engine builds on this module
+
+    return simulate_full_compiled(circuit, input_words, n_samples)
 
 
 def output_words_from_values(circuit: Circuit, values: np.ndarray) -> np.ndarray:
@@ -299,7 +329,14 @@ def simulate_outputs(
         stop = min(start + chunk_words, w)
         chunk_n = None
         if n_samples is not None:
-            chunk_n = min(n_samples, stop * WORD_BITS) - start * WORD_BITS
+            # Clamp to the chunk's own valid range: a chunk entirely past
+            # n_samples holds 0 valid bits, not a negative count (negative
+            # values reach tail_mask through Python's modulo and produce a
+            # wrong mask, leaving LUT garbage in the padded region).
+            chunk_n = min(
+                max(n_samples - start * WORD_BITS, 0),
+                (stop - start) * WORD_BITS,
+            )
         vals = simulate_full(circuit, input_words[:, start:stop], chunk_n)
         out[:, start:stop] = output_words_from_values(circuit, vals)
     return out

@@ -40,6 +40,7 @@ def _config(args) -> ExplorerConfig:
         seed=args.seed,
         jobs=args.jobs,
         cache_dir=args.cache_dir,
+        engine=args.engine,
     )
 
 
@@ -63,6 +64,11 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--cache-dir",
                    help="persistent profiling cache directory; warm runs "
                         "skip factorization and variant synthesis")
+    p.add_argument("--engine", choices=["compiled", "reference"],
+                   default="compiled",
+                   help="candidate-evaluation engine (trajectories are "
+                        "byte-identical; 'reference' is the interpreted "
+                        "oracle)")
 
 
 def _cmd_run(args) -> int:

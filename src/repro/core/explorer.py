@@ -37,7 +37,7 @@ from ..runtime import ProfileCache, RuntimeStats
 from ..synth.espresso import EspressoOptions
 from ..synth.library import LIB65, Library
 from .bmf.asso import DEFAULT_TAUS
-from .incremental import IncrementalEvaluator
+from .engine import ENGINES, CompiledEvaluator, make_evaluator
 from .profile import WindowProfile, profile_windows
 from .qor import QoREvaluator, QoRSpec
 
@@ -84,6 +84,11 @@ class ExplorerConfig:
         cache_dir: Directory for the persistent profiling cache (None
             disables caching).  Warm runs skip all BMF factorization and
             variant synthesis.
+        engine: Candidate-evaluation engine — ``compiled`` (cone-scheduled
+            SoA sweeps + delta-QoR; default) or ``reference`` (the
+            interpreted full-plan evaluator).  Trajectories are
+            byte-identical between the two (asserted by the test suite
+            and ``benchmarks/bench_explore.py``).
     """
 
     max_inputs: int = 10
@@ -109,11 +114,16 @@ class ExplorerConfig:
     espresso: EspressoOptions = EspressoOptions()
     jobs: int = 1
     cache_dir: Optional[str] = None
+    engine: str = "compiled"
 
     def __post_init__(self) -> None:
         if self.strategy not in STRATEGIES:
             raise ExplorationError(
                 f"unknown strategy {self.strategy!r}; expected {STRATEGIES}"
+            )
+        if self.engine not in ENGINES:
+            raise ExplorationError(
+                f"unknown engine {self.engine!r}; expected {ENGINES}"
             )
 
 
@@ -152,7 +162,8 @@ class ExplorationResult:
     chosen: Dict[Tuple[int, int], "CandidateVariant"] = field(
         default_factory=dict
     )
-    #: Profiling work/cache accounting; None when profiles were passed in.
+    #: Work accounting: profiling counters (zero when profiles were passed
+    #: in) plus the exploration engine's sweep/cone counters.
     runtime_stats: Optional[RuntimeStats] = None
 
     def points_within(self, threshold: float) -> List[TrajectoryPoint]:
@@ -246,9 +257,8 @@ def explore(
             circuit, config.max_inputs, config.max_outputs, config.refine_passes
         )
     windows = list(windows)
-    runtime_stats: Optional[RuntimeStats] = None
+    runtime_stats = RuntimeStats()
     if profiles is None:
-        runtime_stats = RuntimeStats()
         cache = ProfileCache(config.cache_dir) if config.cache_dir else None
         profiles = profile_windows(
             circuit,
@@ -271,10 +281,23 @@ def explore(
 
     rng = np.random.default_rng(config.seed)
     input_words = stimulus_input_words(circuit, config.n_samples, rng)
-    evaluator = IncrementalEvaluator(circuit, windows, input_words, config.n_samples)
+    evaluator = make_evaluator(
+        circuit,
+        windows,
+        input_words,
+        config.n_samples,
+        engine=config.engine,
+        stats=runtime_stats,
+    )
     qor_eval = QoREvaluator(
         circuit, evaluator.exact_outputs, config.n_samples, config.qor
     )
+    # The compiled engine reports exactly which output rows each candidate
+    # dirtied, so QoR evaluation only recomputes the words those rows feed
+    # (bit-identical to a full evaluation — see DESIGN.md).
+    delta_qor = isinstance(evaluator, CompiledEvaluator)
+    if delta_qor:
+        qor_eval.rebase(evaluator.exact_outputs)
 
     fs: Dict[int, int] = {p.window.index: p.max_degree for p in profiles}
     result = ExplorationResult(
@@ -293,27 +316,47 @@ def explore(
     def active(idx: int) -> bool:
         return fs[idx] > 1 and (fs[idx] - 1) in profile_by_index[idx].variants
 
-    def preview_error(
-        idx: int, current: float
+    def pick_best(
+        variants, previews, current: float
     ) -> Tuple[float, "CandidateVariant"]:
-        """Best (error, variant) among the window's next-degree candidates.
+        """Best (error, variant) among one window's candidate previews.
 
         Candidates whose measured error is within the tie tolerance of the
         best count as equivalent and resolve by estimated area (see
-        :class:`ExplorerConfig`).  All of the window's candidates run
-        through one batched evaluator pass (shared input unpack).
+        :class:`ExplorerConfig`).
         """
-        variants = profile_by_index[idx].variants[fs[idx] - 1]
-        outputs = evaluator.preview_batch(idx, [v.table for v in variants])
         scored = []
-        for variant, out in zip(variants, outputs):
-            result.n_evaluations += 1
-            scored.append((qor_eval.evaluate(out), variant))
+        if delta_qor:
+            for variant, (out, dirty_rows) in zip(variants, previews):
+                result.n_evaluations += 1
+                scored.append(
+                    (qor_eval.evaluate_delta(out, dirty_rows), variant)
+                )
+        else:
+            for variant, out in zip(variants, previews):
+                result.n_evaluations += 1
+                scored.append((qor_eval.evaluate(out), variant))
         best_err = min(err for err, _ in scored)
         eps = max(config.tie_epsilon, config.tie_epsilon_scale * current)
         tied = [(err, v) for err, v in scored if err <= best_err + eps]
         err, variant = min(tied, key=lambda ev: (ev[1].area, ev[0]))
         return err, variant
+
+    def preview_error(
+        idx: int, current: float
+    ) -> Tuple[float, "CandidateVariant"]:
+        """Evaluate one window's next-degree candidates and pick the best.
+
+        All of the window's candidates run through one batched evaluator
+        pass (shared input unpack / stacked seed gather).
+        """
+        variants = profile_by_index[idx].variants[fs[idx] - 1]
+        tables = [v.table for v in variants]
+        if delta_qor:
+            previews = evaluator.preview_batch_delta(idx, tables)
+        else:
+            previews = evaluator.preview_batch(idx, tables)
+        return pick_best(variants, previews, current)
 
     iteration = 0
     current_qor = 0.0
@@ -342,10 +385,36 @@ def explore(
             candidates = [idx for idx in fs if active(idx)]
             if not candidates:
                 break
-            for idx in candidates:
-                err, variant = preview_error(idx, current_qor)
-                if chosen_error is None or err < chosen_error:
-                    chosen, chosen_error, chosen_variant = idx, err, variant
+            if delta_qor:
+                # One stacked pass evaluates the whole iteration's scan:
+                # every window's candidates share a single wide execution
+                # of the quotient schedule (see CompiledEvaluator.
+                # preview_scan); scoring order matches the serial loop.
+                per_window = [
+                    profile_by_index[idx].variants[fs[idx] - 1]
+                    for idx in candidates
+                ]
+                scans = evaluator.preview_scan(
+                    [
+                        (idx, [v.table for v in variants])
+                        for idx, variants in zip(candidates, per_window)
+                    ]
+                )
+                for idx, variants, previews in zip(
+                    candidates, per_window, scans
+                ):
+                    err, variant = pick_best(variants, previews, current_qor)
+                    if chosen_error is None or err < chosen_error:
+                        chosen, chosen_error, chosen_variant = (
+                            idx, err, variant,
+                        )
+            else:
+                for idx in candidates:
+                    err, variant = preview_error(idx, current_qor)
+                    if chosen_error is None or err < chosen_error:
+                        chosen, chosen_error, chosen_variant = (
+                            idx, err, variant,
+                        )
         else:
             while heap:
                 stale_err, _, idx = heapq.heappop(heap)
@@ -361,6 +430,8 @@ def explore(
                 break
 
         evaluator.commit(chosen, chosen_variant.table)
+        if delta_qor:
+            qor_eval.rebase(evaluator.current_outputs())
         fs[chosen] -= 1
         result.chosen[(chosen, fs[chosen])] = chosen_variant
         current_qor = chosen_error

@@ -46,12 +46,19 @@ from ..circuit.simulate import (
     tail_mask,
     unpack_bits,
 )
-from ..partition.plan import quotient_plan
+from ..partition.plan import quotient_graph
 from ..partition.windows import Window
+from ..runtime import RuntimeStats
 
 
 class IncrementalEvaluator:
-    """Cached bit-parallel evaluation with window-substitution previews."""
+    """Cached bit-parallel evaluation with window-substitution previews.
+
+    This is the interpreted *reference* engine: sweeps walk the entire
+    quotient plan with per-node dispatch.  The compiled engine
+    (:class:`repro.core.engine.CompiledEvaluator`) subclasses it and is
+    byte-identical; this class stays the semantics oracle.
+    """
 
     def __init__(
         self,
@@ -59,6 +66,7 @@ class IncrementalEvaluator:
         windows: Sequence[Window],
         input_words: np.ndarray,
         n_samples: int,
+        stats: Optional[RuntimeStats] = None,
     ) -> None:
         self.circuit = circuit
         self.windows = list(windows)
@@ -67,9 +75,11 @@ class IncrementalEvaluator:
         self._values = simulate_full(circuit, input_words, n_samples)
         self._n_words = self._values.shape[1]
         self._committed: Dict[int, np.ndarray] = {}
-        self._plan = quotient_plan(circuit, windows)
+        self._graph = quotient_graph(circuit, windows)
+        self._plan = list(self._graph.steps)
         self._window_by_index = {w.index: w for w in self.windows}
         self._exact_outputs = self._values[circuit.output_nodes()].copy()
+        self._stats = stats
 
     # ------------------------------------------------------------------
     @property
@@ -151,6 +161,11 @@ class IncrementalEvaluator:
         """
         overlay: Dict[int, np.ndarray] = {}
         dirty = np.zeros(self.circuit.n_nodes, dtype=bool)
+        if self._stats is not None:
+            # The reference sweep always walks the full quotient plan; the
+            # compiled engine counts cone units instead — the ratio is the
+            # cone win asserted by the engine tests.
+            self._stats.n_sweep_units += len(self._plan)
 
         def record(nid: int, new: np.ndarray) -> None:
             if not self._valid_equal(new, self._values[nid]):
@@ -211,14 +226,19 @@ class IncrementalEvaluator:
         """
         w = self._window_by_index[index]
         # Nothing upstream of the window changes in a preview, so the
-        # committed cache is the correct input state for every candidate.
+        # committed cache is the correct input state for every candidate —
+        # and the committed map itself is invariant across the batch, so
+        # one copy serves every candidate's sweep (sweeps only read it).
         idx = self._input_index(w, {})
+        replacements = dict(self._committed)
         out_nodes = self.circuit.output_nodes()
         results: List[np.ndarray] = []
         for table in tables:
             table = self._check_table(w, table)
             seed = self._gather_outputs(w, table, idx)
-            overlay = self._sweep(dict(self._committed), seeds={index: seed})
+            if self._stats is not None:
+                self._stats.n_preview_sweeps += 1
+            overlay = self._sweep(replacements, seeds={index: seed})
             out = np.empty((len(out_nodes), self._n_words), dtype=np.uint64)
             for row, nid in enumerate(out_nodes):
                 out[row] = overlay.get(nid, self._values[nid])

@@ -9,18 +9,33 @@ metadata is treated as a single unsigned word.
 The one deviation from Eq. 1 (documented in DESIGN.md): relative error uses
 ``|R - R'| / max(|R|, 1)`` since the paper's formula is undefined at
 ``R = 0``.
+
+Determinism contract (see DESIGN.md "Exploration engine"): all metric
+values are **canonical per-word sums combined left-associatively in word
+order**, divided by the total term count.  :meth:`QoREvaluator.evaluate`,
+:meth:`QoREvaluator.metrics` and the incremental
+:meth:`QoREvaluator.evaluate_delta` all route through the same per-word
+helper and the same combination loop, so the three paths cannot drift —
+a delta evaluation is bit-identical to a full one.  Hamming errors are
+integer mismatch popcounts (order-independent, exact).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import SimulationError
 from ..circuit.netlist import Circuit
-from ..circuit.simulate import unpack_bits
+from ..circuit.simulate import (
+    bit_count,
+    mask_tail_words,
+    tail_mask,
+    unpack_bits,
+    words_for,
+)
 from ..circuit.words import WordSpec, default_output_word
 
 #: Metric names accepted by :class:`QoRSpec`.
@@ -59,8 +74,16 @@ def circuit_words(circuit: Circuit) -> List[WordSpec]:
 class QoREvaluator:
     """Compares approximate outputs against cached exact outputs.
 
-    Built once per pattern set; every candidate evaluation then costs one
-    unpack + a handful of vector ops.
+    Built once per pattern set; every candidate evaluation then costs a
+    few per-word vector ops — or, on the delta path, only the vector ops
+    of the words a candidate actually dirtied:
+
+    * :meth:`rebase` caches the per-word error sums of the current
+      committed outputs;
+    * :meth:`evaluate_delta` recomputes sums only for the words whose
+      output rows a candidate changed and combines them with the cached
+      sums in the canonical order, yielding the exact same float as
+      :meth:`evaluate` on the full output matrix.
     """
 
     def __init__(
@@ -73,9 +96,10 @@ class QoREvaluator:
         self.spec = spec
         self.n = n_samples
         self.words = circuit_words(circuit)
-        self._exact_bits = unpack_bits(exact_output_words, n_samples).T
+        exact = np.atleast_2d(np.asarray(exact_output_words, dtype=np.uint64))
+        self._exact_words = mask_tail_words(exact.copy(), n_samples)
         self._exact_vals = {
-            w.name: w.to_ints(self._exact_bits) for w in self.words
+            w.name: self._word_ints(exact, w) for w in self.words
         }
         # Relative-error denominators depend only on the exact outputs;
         # hoisted out of evaluate()/metrics(), which sit on the explorer's
@@ -84,43 +108,140 @@ class QoREvaluator:
             name: np.maximum(np.abs(vals), 1).astype(float)
             for name, vals in self._exact_vals.items()
         }
+        self._row_words: List[Tuple[int, ...]] = [
+            tuple(
+                pos
+                for pos, w in enumerate(self.words)
+                if row in w.indices
+            )
+            for row in range(exact.shape[0])
+        ]
+        self._base_sums: Optional[List[float]] = None
+        self._base_row_hamming: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Shared per-word primitives (the single source of truth for all
+    # metric paths — full, per-metric, and delta).
+    # ------------------------------------------------------------------
+    def _word_ints(self, output_words: np.ndarray, w: WordSpec) -> np.ndarray:
+        """Integer interpretation of one word, unpacking only its rows.
+
+        Matches :meth:`repro.circuit.words.WordSpec.to_ints` exactly
+        (integer arithmetic; no float rounding anywhere).
+        """
+        bits = unpack_bits(output_words[list(w.indices)], self.n)
+        vals = bits.T.astype(np.int64) @ (
+            np.int64(1) << np.arange(w.width, dtype=np.int64)
+        )
+        if w.signed and w.width:
+            sign = np.int64(1) << np.int64(w.width - 1)
+            vals = np.where(bits[-1] > 0, vals - (sign << 1), vals)
+        return vals
+
+    def _word_sum(
+        self, w: WordSpec, output_words: np.ndarray, metric: str
+    ) -> float:
+        """Error-term sum of one word under one metric (canonical float)."""
+        approx = self._word_ints(output_words, w)
+        diff = np.abs(self._exact_vals[w.name] - approx).astype(float)
+        if metric == "mre":
+            return float((diff / self._rel_denoms[w.name]).sum())
+        if metric == "mae":
+            return float(diff.sum())
+        return float((diff / max(w.max_abs, 1)).sum())
+
+    def _row_hamming(
+        self, output_words: np.ndarray, rows: Optional[Sequence[int]] = None
+    ) -> np.ndarray:
+        """Per-output-row mismatch popcounts over the valid bits."""
+        w_valid = words_for(self.n)
+        sel = output_words if rows is None else output_words[list(rows)]
+        exact = (
+            self._exact_words if rows is None else self._exact_words[list(rows)]
+        )
+        x = sel[:, :w_valid] ^ exact[:, :w_valid]
+        if w_valid:
+            x[:, -1] &= tail_mask(self.n)
+        return bit_count(x).sum(axis=1)
+
+    def _combine(
+        self,
+        metric: str,
+        output_words: Optional[np.ndarray],
+        sums: Optional[Iterable[float]] = None,
+        row_hamming: Optional[np.ndarray] = None,
+    ) -> float:
+        """Canonical combination: left-associated word sums / term count."""
+        if metric == "hamming":
+            counts = (
+                row_hamming
+                if row_hamming is not None
+                else self._row_hamming(output_words)
+            )
+            return float(int(counts.sum())) / self.n
+        if sums is None:
+            sums = (
+                self._word_sum(w, output_words, metric) for w in self.words
+            )
+        total = 0.0
+        for s in sums:
+            total += s
+        return total / (self.n * len(self.words))
 
     # ------------------------------------------------------------------
     def metrics(self, approx_output_words: np.ndarray) -> Dict[str, float]:
         """All supported metrics for one approximate output set."""
-        bits = unpack_bits(approx_output_words, self.n).T
-        rel_terms: List[np.ndarray] = []
-        abs_terms: List[np.ndarray] = []
-        nabs_terms: List[np.ndarray] = []
-        for w in self.words:
-            exact = self._exact_vals[w.name]
-            approx = w.to_ints(bits)
-            diff = np.abs(exact - approx).astype(float)
-            rel_terms.append(diff / self._rel_denoms[w.name])
-            abs_terms.append(diff)
-            nabs_terms.append(diff / max(w.max_abs, 1))
-        hamming = float((bits != self._exact_bits).sum()) / self.n
-        return {
-            "mre": float(np.concatenate(rel_terms).mean()),
-            "mae": float(np.concatenate(abs_terms).mean()),
-            "nmae": float(np.concatenate(nabs_terms).mean()),
-            "hamming": hamming,
-        }
+        out = np.atleast_2d(np.asarray(approx_output_words, dtype=np.uint64))
+        return {m: self._combine(m, out) for m in METRICS}
 
     def evaluate(self, approx_output_words: np.ndarray) -> float:
         """The configured metric only (cheaper than :meth:`metrics`)."""
-        bits = unpack_bits(approx_output_words, self.n).T
+        out = np.atleast_2d(np.asarray(approx_output_words, dtype=np.uint64))
+        return self._combine(self.spec.metric, out)
+
+    # ------------------------------------------------------------------
+    # Delta API (see DESIGN.md "Exploration engine")
+    # ------------------------------------------------------------------
+    def rebase(self, output_words: np.ndarray) -> None:
+        """Cache per-word error sums of the *committed* outputs.
+
+        Call after every commit; :meth:`evaluate_delta` then reuses the
+        cached sums for every word a candidate leaves untouched.
+        """
+        out = np.atleast_2d(np.asarray(output_words, dtype=np.uint64))
         if self.spec.metric == "hamming":
-            return float((bits != self._exact_bits).sum()) / self.n
-        terms: List[np.ndarray] = []
-        for w in self.words:
-            exact = self._exact_vals[w.name]
-            approx = w.to_ints(bits)
-            diff = np.abs(exact - approx).astype(float)
-            if self.spec.metric == "mre":
-                terms.append(diff / self._rel_denoms[w.name])
-            elif self.spec.metric == "mae":
-                terms.append(diff)
-            else:  # nmae
-                terms.append(diff / max(w.max_abs, 1))
-        return float(np.concatenate(terms).mean())
+            self._base_row_hamming = self._row_hamming(out)
+        else:
+            self._base_sums = [
+                self._word_sum(w, out, self.spec.metric) for w in self.words
+            ]
+
+    def evaluate_delta(
+        self, approx_output_words: np.ndarray, dirty_rows: Sequence[int]
+    ) -> float:
+        """Configured metric, recomputing only the words ``dirty_rows`` touch.
+
+        ``dirty_rows`` are output-row indices whose valid bits differ from
+        the outputs last passed to :meth:`rebase`; any row *not* listed
+        must be byte-identical to the rebased state (the compiled engine's
+        dirty tracking guarantees exactly this).  The result is
+        bit-identical to :meth:`evaluate` on the same matrix.
+        """
+        out = np.atleast_2d(np.asarray(approx_output_words, dtype=np.uint64))
+        if self.spec.metric == "hamming":
+            if self._base_row_hamming is None:
+                return self._combine("hamming", out)
+            counts = self._base_row_hamming
+            if dirty_rows:
+                counts = counts.copy()
+                counts[list(dirty_rows)] = self._row_hamming(out, dirty_rows)
+            return self._combine("hamming", None, row_hamming=counts)
+        if self._base_sums is None:
+            return self._combine(self.spec.metric, out)
+        affected = sorted(
+            {pos for row in dirty_rows for pos in self._row_words[row]}
+        )
+        sums = list(self._base_sums)
+        for pos in affected:
+            sums[pos] = self._word_sum(self.words[pos], out, self.spec.metric)
+        return self._combine(self.spec.metric, None, sums=sums)

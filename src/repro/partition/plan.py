@@ -1,16 +1,25 @@
-"""Quotient-topological evaluation plans.
+"""Quotient-topological evaluation plans and cone schedules.
 
 After windows are substituted, a window output's value depends on *all*
 window inputs — including ones whose node ids exceed the output's id.  Raw
 id-order evaluation is therefore wrong for substituted circuits; the right
 order is topological over the *quotient* DAG (windows contracted).  This
-module computes that order once so both the splicer
-(:mod:`repro.partition.substitute`) and the incremental evaluator
-(:mod:`repro.core.incremental`) can share it.
+module computes that order once so the splicer
+(:mod:`repro.partition.substitute`), the incremental evaluator
+(:mod:`repro.core.incremental`) and the compiled exploration engine
+(:mod:`repro.core.engine`) can share it.
+
+Beyond the flat order, :class:`QuotientGraph` keeps the quotient adjacency
+so downstream *cones* can be extracted: the cone of a window is the set of
+plan steps reachable from it (transitive fanout in the quotient DAG),
+which is exactly the part of the circuit a candidate substitution of that
+window can ever dirty.  Cone extraction is what lets the engine's sweeps
+touch ``O(cone)`` units instead of ``O(n_nodes)`` per candidate.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
 from ..errors import DecompositionError
@@ -21,8 +30,53 @@ from .windows import Window
 PlanStep = Tuple[str, int]
 
 
-def quotient_plan(circuit: Circuit, windows: Sequence[Window]) -> List[PlanStep]:
-    """Topological order of evaluation units (loose nodes and windows).
+@dataclass(frozen=True)
+class QuotientGraph:
+    """Topological order plus adjacency of the quotient DAG.
+
+    Attributes:
+        steps: All evaluation units in topological order (the classic
+            "plan" — what :func:`quotient_plan` returns).
+        succs: Quotient-DAG successor sets, keyed by step.  Deterministic
+            tuples ordered by each successor's plan position.
+    """
+
+    steps: Tuple[PlanStep, ...]
+    succs: Dict[PlanStep, Tuple[PlanStep, ...]]
+    _pos: Dict[PlanStep, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self._pos:
+            self._pos.update({q: i for i, q in enumerate(self.steps)})
+
+    def position(self, step: PlanStep) -> int:
+        """Index of ``step`` in the topological order."""
+        return self._pos[step]
+
+    def successors(self, step: PlanStep) -> Tuple[PlanStep, ...]:
+        return self.succs.get(step, ())
+
+    def cone(self, root: PlanStep) -> List[PlanStep]:
+        """Steps reachable from ``root`` (root included), in plan order.
+
+        This is the downstream cone of an evaluation unit restricted to
+        the quotient plan: the only units whose values can change when
+        ``root``'s function changes.
+        """
+        seen = {root}
+        stack = [root]
+        while stack:
+            for s in self.succs.get(stack.pop(), ()):
+                if s not in seen:
+                    seen.add(s)
+                    stack.append(s)
+        return sorted(seen, key=self._pos.__getitem__)
+
+
+def quotient_graph(
+    circuit: Circuit, windows: Sequence[Window]
+) -> QuotientGraph:
+    """Build the quotient DAG (topological order + adjacency).
 
     Raises:
         DecompositionError: if windows overlap or their quotient is cyclic.
@@ -69,4 +123,17 @@ def quotient_plan(circuit: Circuit, windows: Sequence[Window]) -> List[PlanStep]
                 ready.append(s)
     if len(plan) != len(indeg):
         raise DecompositionError("quotient graph is cyclic; bad decomposition")
-    return plan
+    pos = {q: i for i, q in enumerate(plan)}
+    frozen = {
+        q: tuple(sorted(s, key=pos.__getitem__)) for q, s in succs.items()
+    }
+    return QuotientGraph(tuple(plan), frozen)
+
+
+def quotient_plan(circuit: Circuit, windows: Sequence[Window]) -> List[PlanStep]:
+    """Topological order of evaluation units (loose nodes and windows).
+
+    Raises:
+        DecompositionError: if windows overlap or their quotient is cyclic.
+    """
+    return list(quotient_graph(circuit, windows).steps)

@@ -41,6 +41,20 @@ class RuntimeStats:
             ``n_ladder_levels / n_factorizations`` is the ladder's
             amortization factor (1.0 on the per-degree path).
         n_syntheses: Synthesis/tech-map area evaluations performed.
+        n_preview_sweeps: Candidate preview sweeps actually run by the
+            exploration evaluator (one per candidate table).
+        n_preview_cache_hits: Candidate previews served from the compiled
+            engine's memoized sweeps (a commit invalidates exactly the
+            windows whose cones it touched; the rest replay).
+        n_sweep_units: Quotient-plan units visited across all sweeps — the
+            full plan length per sweep on the reference engine, the cone
+            length (or 1 on a clean-seed early exit) on the compiled one;
+            the ratio between engines is the cone-scheduling win.
+        n_cones_compiled: Cone-schedule compilations performed by the
+            engine — schedules specialize to the committed set and
+            recompile when a window inside them is first committed, so
+            the total is bounded by (cone, window) incidences, not by
+            the window count.
         jobs: Resolved worker count of the last run.
     """
 
@@ -52,6 +66,10 @@ class RuntimeStats:
     n_factorizations: int = 0
     n_ladder_levels: int = 0
     n_syntheses: int = 0
+    n_preview_sweeps: int = 0
+    n_preview_cache_hits: int = 0
+    n_sweep_units: int = 0
+    n_cones_compiled: int = 0
     jobs: int = 1
 
     def summary(self) -> str:
@@ -61,7 +79,11 @@ class RuntimeStats:
             f"{self.cache_misses} miss, {self.dedup_hits} deduped, "
             f"{self.n_factorizations} factorizations "
             f"({self.n_ladder_levels} degree results), "
-            f"{self.n_syntheses} syntheses"
+            f"{self.n_syntheses} syntheses, "
+            f"{self.n_preview_sweeps} preview sweeps "
+            f"({self.n_preview_cache_hits} memoized, "
+            f"{self.n_sweep_units} sweep units, "
+            f"{self.n_cones_compiled} cones)"
         )
 
 

@@ -172,6 +172,32 @@ class TestSimulatorEquivalence:
         with pytest.raises(SimulationError):
             simulate_full(full_adder_circuit, np.zeros((2, 1), dtype=np.uint64))
 
+    def test_chunked_tail_masking_with_padded_words(self, rng):
+        """Regression: ``n_samples`` far below the padded word count.
+
+        Chunks that start past ``n_samples`` used to compute a *negative*
+        valid count (``min(n, stop*64) - start*64``), which reaches
+        ``tail_mask`` through Python's negative modulo and produces a wrong
+        mask — leaving LUT garbage in the padded region where the
+        unchunked path guarantees zeros.  Chunked and unchunked must be
+        byte-identical, padding included."""
+        b = CircuitBuilder("lutpad")
+        a, x = b.input("a"), b.input("b")
+        na = b.not_(a)  # inverted tails: garbage indexes a nonzero row
+        table = np.array([1, 0, 1, 1], dtype=bool)  # table[0] == 1
+        b.output("y", b.lut((na, x), table))
+        circuit = b.build()
+        n = 70  # valid bits end mid-word-2 of 6 padded words
+        words = np.zeros((2, 6), dtype=np.uint64)
+        words[:, :2] = random_input_words(2, n, rng)[:, :2]
+        unchunked = simulate_outputs(circuit, words, n_samples=n)
+        chunked = simulate_outputs(
+            circuit, words, chunk_words=1, n_samples=n
+        )
+        np.testing.assert_array_equal(chunked, unchunked)
+        # every bit past n_samples is zero (the LUT tail-mask contract)
+        assert popcount_words(chunked) == popcount_words(chunked, n)
+
     @settings(max_examples=30, deadline=None)
     @given(a=st.integers(0, 1), b=st.integers(0, 1), cin=st.integers(0, 1))
     def test_full_adder_matches_arithmetic(self, a, b, cin):

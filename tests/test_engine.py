@@ -1,0 +1,393 @@
+"""Compiled exploration engine vs. the interpreted reference.
+
+The contract under test (DESIGN.md "Exploration engine"): every compiled
+path — whole-circuit gate programs, cone-scheduled sweeps, stacked
+candidate gathers, delta-QoR — is **byte-identical** to the reference
+interpreter, while touching only the candidate's cone."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import butterfly, mult8, ripple_adder
+from repro.circuit import CircuitBuilder, random_input_words
+from repro.circuit.simulate import simulate_full_reference, unpack_bits
+from repro.core.engine import (
+    ENGINES,
+    CompiledEvaluator,
+    make_evaluator,
+    simulate_full_compiled,
+)
+from repro.core.explorer import ExplorerConfig, explore
+from repro.core.incremental import IncrementalEvaluator
+from repro.core.profile import profile_windows
+from repro.core.qor import QoREvaluator, QoRSpec
+from repro.errors import ExplorationError, SimulationError
+from repro.partition import decompose
+from repro.runtime import RuntimeStats
+
+
+def _random_circuit(rng, n_inputs=6, n_gates=40, n_outputs=5):
+    b = CircuitBuilder("fuzz")
+    sigs = [b.input(f"i{k}") for k in range(n_inputs)]
+    for _ in range(n_gates):
+        op = rng.integers(0, 8)
+        picks = rng.choice(len(sigs), size=3, replace=True)
+        x, y, z = (sigs[int(p)] for p in picks)
+        if op == 0:
+            sigs.append(b.and_(x, y))
+        elif op == 1:
+            sigs.append(b.or_(x, y))
+        elif op == 2:
+            sigs.append(b.xor_(x, y))
+        elif op == 3:
+            sigs.append(b.not_(x))
+        elif op == 4:
+            sigs.append(b.mux(x, y, z))
+        elif op == 5:
+            sigs.append(b.nand_(x, y))
+        elif op == 6:
+            sigs.append(b.nor_(x, y))
+        else:
+            sigs.append(b.xnor_(x, y))
+    for i, s in enumerate(sigs[-n_outputs:]):
+        b.output(f"o{i}", s)
+    return b.build()
+
+
+class TestCompiledSimulateFull:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(1, 300))
+    def test_gate_program_matches_interpreter(self, seed, n):
+        """Compiled SoA program == per-node interpreter, tails included."""
+        rng = np.random.default_rng(seed)
+        circuit = _random_circuit(rng)
+        words = random_input_words(circuit.n_inputs, n, rng)
+        np.testing.assert_array_equal(
+            simulate_full_compiled(circuit, words, n),
+            simulate_full_reference(circuit, words, n),
+        )
+
+    def test_lut_and_const_nodes(self, rng):
+        b = CircuitBuilder("lut")
+        a, x = b.input("a"), b.input("b")
+        na = b.not_(a)
+        table = np.array([1, 0, 0, 1], dtype=bool)
+        lut = b.lut((na, x), table)
+        c1 = b.const(True)
+        b.output("y0", b.and_(lut, c1))
+        b.output("y1", b.const(False))
+        circuit = b.build()
+        n = 90
+        words = random_input_words(circuit.n_inputs, n, rng)
+        np.testing.assert_array_equal(
+            simulate_full_compiled(circuit, words, n),
+            simulate_full_reference(circuit, words, n),
+        )
+
+    def test_bench_circuits_match(self, rng):
+        for circuit in (ripple_adder(8), butterfly(6), mult8()):
+            words = random_input_words(circuit.n_inputs, 256, rng)
+            np.testing.assert_array_equal(
+                simulate_full_compiled(circuit, words, 256),
+                simulate_full_reference(circuit, words, 256),
+            )
+
+
+class TestEvaluatorEquivalence:
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(1, 200))
+    def test_property_preview_commit_byte_identical(self, seed, n):
+        """Property: over random circuits, windows, tables and commit
+        orders, the compiled evaluator's batched previews, dirty rows and
+        commits are byte-identical to the reference interpreter on every
+        valid bit (full words when n % 64 == 0 — the engine does not
+        reproduce the reference's unspecified gate tails, per DESIGN.md)."""
+        rng = np.random.default_rng(seed)
+        circuit = _random_circuit(rng)
+        windows = decompose(circuit, 5, 5)
+        words = random_input_words(circuit.n_inputs, n, rng)
+        ref = IncrementalEvaluator(circuit, windows, words, n)
+        comp = CompiledEvaluator(circuit, windows, words, n)
+        full_words = n % 64 == 0
+
+        def assert_same(a, b):
+            if full_words:
+                np.testing.assert_array_equal(a, b)
+            np.testing.assert_array_equal(
+                unpack_bits(a, n), unpack_bits(b, n)
+            )
+
+        np.testing.assert_array_equal(comp.exact_outputs, ref.exact_outputs)
+        order = rng.permutation(len(windows))
+        for wi in order:
+            w = windows[int(wi)]
+            tables = [
+                rng.random((1 << w.n_inputs, w.n_outputs)) < 0.5
+                for _ in range(3)
+            ] + [w.table(circuit)]
+            ref_outs = ref.preview_batch(w.index, tables)
+            comp_pairs = comp.preview_batch_delta(w.index, tables)
+            for ref_out, (comp_out, dirty_rows) in zip(ref_outs, comp_pairs):
+                assert_same(comp_out, ref_out)
+                # dirty rows are exact: a row is reported iff its valid
+                # bits differ from the committed state
+                cur = ref.current_outputs()
+                changed = {
+                    row
+                    for row in range(cur.shape[0])
+                    if not np.array_equal(
+                        unpack_bits(ref_out[row], n), unpack_bits(cur[row], n)
+                    )
+                }
+                assert set(dirty_rows) == changed
+            commit_table = tables[int(rng.integers(0, len(tables)))]
+            ref.commit(w.index, commit_table)
+            comp.commit(w.index, commit_table)
+            assert_same(comp.current_outputs(), ref.current_outputs())
+        assert set(comp.committed) == set(ref.committed)
+        for idx in ref.committed:
+            np.testing.assert_array_equal(
+                comp.committed_table(idx), ref.committed_table(idx)
+            )
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(1, 200))
+    def test_property_preview_scan_matches_reference(self, seed, n):
+        """Property: the stacked iteration scan (all windows' candidates
+        in one wide pass) matches per-window reference previews on every
+        valid bit, including across commits, and reuses memoized sweeps
+        only where a fresh sweep would be identical."""
+        rng = np.random.default_rng(seed)
+        circuit = _random_circuit(rng)
+        windows = decompose(circuit, 5, 5)
+        words = random_input_words(circuit.n_inputs, n, rng)
+        ref = IncrementalEvaluator(circuit, windows, words, n)
+        comp = CompiledEvaluator(circuit, windows, words, n)
+        tables_by_window = {
+            w.index: [
+                rng.random((1 << w.n_inputs, w.n_outputs)) < 0.5
+                for _ in range(2)
+            ]
+            for w in windows
+        }
+        for round_ in range(3):
+            requests = [
+                (w.index, tables_by_window[w.index]) for w in windows
+            ]
+            scans = comp.preview_scan(requests)
+            for (index, tables), scanned in zip(requests, scans):
+                ref_outs = ref.preview_batch(index, tables)
+                assert len(scanned) == len(ref_outs)
+                for ref_out, (comp_out, dirty_rows) in zip(
+                    ref_outs, scanned
+                ):
+                    np.testing.assert_array_equal(
+                        unpack_bits(comp_out, n), unpack_bits(ref_out, n)
+                    )
+                    cur = ref.current_outputs()
+                    changed = {
+                        row
+                        for row in range(cur.shape[0])
+                        if not np.array_equal(
+                            unpack_bits(ref_out[row], n),
+                            unpack_bits(cur[row], n),
+                        )
+                    }
+                    assert set(dirty_rows) == changed
+            # Commit one window (sometimes with a brand-new table) and
+            # rescan: memo invalidation must keep results exact.
+            w = windows[int(rng.integers(0, len(windows)))]
+            table = rng.random((1 << w.n_inputs, w.n_outputs)) < 0.5
+            ref.commit(w.index, table)
+            comp.commit(w.index, table)
+            np.testing.assert_array_equal(
+                unpack_bits(comp.current_outputs(), n),
+                unpack_bits(ref.current_outputs(), n),
+            )
+
+    def test_recommit_and_exact_recommit(self, rng):
+        circuit = ripple_adder(6)
+        windows = decompose(circuit, 6, 6)
+        n = 128  # multiple of 64: full-word identity must hold
+        words = random_input_words(circuit.n_inputs, n, rng)
+        ref = IncrementalEvaluator(circuit, windows, words, n)
+        comp = CompiledEvaluator(circuit, windows, words, n)
+        w = next(w for w in windows if w.n_outputs >= 2)
+        low = rng.random((1 << w.n_inputs, w.n_outputs)) < 0.5
+        for table in (low, w.table(circuit), low):
+            ref.commit(w.index, table)
+            comp.commit(w.index, table)
+            np.testing.assert_array_equal(
+                comp.current_outputs(), ref.current_outputs()
+            )
+
+    def test_bad_table_shape_raises(self, rng):
+        circuit = ripple_adder(6)
+        windows = decompose(circuit, 6, 6)
+        words = random_input_words(circuit.n_inputs, 64, rng)
+        comp = CompiledEvaluator(circuit, windows, words, 64)
+        with pytest.raises(SimulationError):
+            comp.preview(windows[0].index, np.zeros((2, 1), dtype=bool))
+        with pytest.raises(SimulationError):
+            comp.commit(windows[0].index, np.zeros((2, 1), dtype=bool))
+
+    def test_make_evaluator_selects_engine(self, rng):
+        circuit = ripple_adder(4)
+        windows = decompose(circuit, 4, 4)
+        words = random_input_words(circuit.n_inputs, 64, rng)
+        assert isinstance(
+            make_evaluator(circuit, windows, words, 64, engine="compiled"),
+            CompiledEvaluator,
+        )
+        ref = make_evaluator(circuit, windows, words, 64, engine="reference")
+        assert type(ref) is IncrementalEvaluator
+        with pytest.raises(SimulationError):
+            make_evaluator(circuit, windows, words, 64, engine="turbo")
+
+
+class TestDeltaQoR:
+    @pytest.mark.parametrize("metric", ["mre", "mae", "nmae", "hamming"])
+    def test_delta_bit_identical_to_full(self, metric, rng):
+        """evaluate_delta == evaluate, bit for bit, for every metric."""
+        circuit = butterfly(5)
+        windows = decompose(circuit, 6, 6)
+        n = 777  # not a multiple of 64
+        words = random_input_words(circuit.n_inputs, n, rng)
+        comp = CompiledEvaluator(circuit, windows, words, n)
+        qor = QoREvaluator(circuit, comp.exact_outputs, n, QoRSpec(metric))
+        qor.rebase(comp.exact_outputs)
+        for w in windows:
+            tables = [
+                rng.random((1 << w.n_inputs, w.n_outputs)) < 0.5
+                for _ in range(2)
+            ]
+            for out, dirty_rows in comp.preview_batch_delta(w.index, tables):
+                assert qor.evaluate_delta(out, dirty_rows) == qor.evaluate(out)
+
+    def test_delta_without_rebase_falls_back(self, rng):
+        circuit = ripple_adder(4)
+        windows = decompose(circuit, 4, 4)
+        n = 128
+        words = random_input_words(circuit.n_inputs, n, rng)
+        comp = CompiledEvaluator(circuit, windows, words, n)
+        qor = QoREvaluator(circuit, comp.exact_outputs, n)
+        w = windows[0]
+        (out, dirty), = comp.preview_batch_delta(
+            w.index, [~w.table(circuit)]
+        )
+        assert qor.evaluate_delta(out, dirty) == qor.evaluate(out)
+
+    def test_delta_tracks_commits(self, rng):
+        """After a commit + rebase, deltas stay identical to full evals."""
+        circuit = butterfly(5)
+        windows = decompose(circuit, 6, 6)
+        n = 500
+        words = random_input_words(circuit.n_inputs, n, rng)
+        comp = CompiledEvaluator(circuit, windows, words, n)
+        qor = QoREvaluator(circuit, comp.exact_outputs, n)
+        qor.rebase(comp.exact_outputs)
+        for w in windows:
+            table = rng.random((1 << w.n_inputs, w.n_outputs)) < 0.5
+            comp.commit(w.index, table)
+            qor.rebase(comp.current_outputs())
+            probe = next(x for x in windows if x.n_outputs >= 2)
+            t = rng.random((1 << probe.n_inputs, probe.n_outputs)) < 0.5
+            (out, dirty), = comp.preview_batch_delta(probe.index, [t])
+            assert qor.evaluate_delta(out, dirty) == qor.evaluate(out)
+
+
+@pytest.fixture(scope="module")
+def butterfly_profiled():
+    circuit = butterfly(6)
+    windows = decompose(circuit, 8, 8)
+    profiles = profile_windows(circuit, windows)
+    return circuit, windows, profiles
+
+
+class TestExploreTrajectoryIdentity:
+    @pytest.mark.parametrize("strategy", ["full", "lazy"])
+    def test_trajectories_byte_identical(self, strategy, butterfly_profiled):
+        """Full explore() runs agree between engines, bit for bit."""
+        circuit, windows, profiles = butterfly_profiled
+        base = dict(
+            n_samples=700, max_inputs=8, max_outputs=8, strategy=strategy
+        )
+        ref = explore(
+            circuit,
+            ExplorerConfig(engine="reference", **base),
+            windows=windows,
+            profiles=profiles,
+        )
+        comp = explore(
+            circuit,
+            ExplorerConfig(engine="compiled", **base),
+            windows=windows,
+            profiles=profiles,
+        )
+        assert [
+            (p.iteration, p.window_index, p.f, p.qor, p.est_area, p.fs)
+            for p in ref.trajectory
+        ] == [
+            (p.iteration, p.window_index, p.f, p.qor, p.est_area, p.fs)
+            for p in comp.trajectory
+        ]
+        assert ref.n_evaluations == comp.n_evaluations
+        assert {k: id(v) for k, v in ref.chosen.items()}.keys() == {
+            k: id(v) for k, v in comp.chosen.items()
+        }.keys()
+
+    def test_cone_counters(self, butterfly_profiled):
+        """RuntimeStats cone/sweep accounting: the compiled engine runs
+        the same number of preview sweeps but touches far fewer units."""
+        circuit, windows, profiles = butterfly_profiled
+        base = dict(n_samples=700, max_inputs=8, max_outputs=8)
+        ref = explore(
+            circuit,
+            ExplorerConfig(engine="reference", **base),
+            windows=windows,
+            profiles=profiles,
+        )
+        comp = explore(
+            circuit,
+            ExplorerConfig(engine="compiled", **base),
+            windows=windows,
+            profiles=profiles,
+        )
+        rs, cs = ref.runtime_stats, comp.runtime_stats
+        # Every candidate is either swept or served by a memoized sweep.
+        assert rs.n_preview_cache_hits == 0
+        assert cs.n_preview_sweeps + cs.n_preview_cache_hits == (
+            rs.n_preview_sweeps
+        )
+        assert cs.n_preview_sweeps > 0
+        assert rs.n_cones_compiled == 0
+        # A cone recompiles at most once per window it contains (the
+        # committed set only grows), plus the initial compile.
+        n = len(windows)
+        assert 0 < cs.n_cones_compiled <= n * (n + 1)
+        assert rs.n_sweep_units > 0
+        assert cs.n_sweep_units < rs.n_sweep_units
+
+    def test_engine_config_validated(self):
+        with pytest.raises(ExplorationError):
+            ExplorerConfig(engine="turbo")
+        assert ExplorerConfig().engine in ENGINES
+
+
+class TestStatsThreading:
+    def test_evaluator_stats_optional(self, rng):
+        """Evaluators work with and without a stats accumulator."""
+        circuit = ripple_adder(4)
+        windows = decompose(circuit, 4, 4)
+        words = random_input_words(circuit.n_inputs, 64, rng)
+        stats = RuntimeStats()
+        comp = CompiledEvaluator(circuit, windows, words, 64, stats=stats)
+        w = windows[0]
+        comp.preview_batch(w.index, [~w.table(circuit)])
+        assert stats.n_preview_sweeps == 1
+        assert stats.n_sweep_units >= 1
+        assert "preview sweeps" in stats.summary()

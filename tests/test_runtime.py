@@ -212,7 +212,13 @@ class TestExplorerIntegration:
             windows=windows,
             profiles=profiles,
         )
-        assert result.runtime_stats is None
+        # Profiling was skipped entirely (no tasks, no factorizations);
+        # the stats still account for the exploration engine's sweeps.
+        stats = result.runtime_stats
+        assert stats.n_tasks == 0
+        assert stats.tasks_computed == 0
+        assert stats.n_factorizations == 0
+        assert stats.n_preview_sweeps > 0
 
 
 class TestFlowWarmCache:
