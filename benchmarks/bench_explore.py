@@ -17,11 +17,19 @@ at the repository root so the perf trajectory accumulates across PRs:
 * **end-to-end explore()** — Algorithm 1 at paper window budgets, wall
   time per engine, with the trajectories asserted byte-identical
   (qor floats, areas, window choices, degree vectors — all of it).
+* **streaming execution** (``--samples``) — the chunked engine at the
+  paper's actual Monte-Carlo scale (10^6 patterns by default for the
+  mode), recording wall time, throughput, peak RSS, and the peak
+  sample-matrix bytes, asserted against the configured chunk budget
+  (``2 × 8 × n_nodes × chunk_words``).  At smoke scale the streamed
+  trajectory is additionally asserted byte-identical to resident
+  execution.
 
 Runs standalone (no pytest plugins needed)::
 
-    PYTHONPATH=src python benchmarks/bench_explore.py          # full
-    PYTHONPATH=src python benchmarks/bench_explore.py --smoke  # CI
+    PYTHONPATH=src python benchmarks/bench_explore.py                    # full
+    PYTHONPATH=src python benchmarks/bench_explore.py --smoke            # CI
+    PYTHONPATH=src python benchmarks/bench_explore.py --samples 1000000  # paper scale
 
 and doubles as a pytest smoke test (``test_explore_engine_smoke``).
 """
@@ -214,6 +222,116 @@ def _explore_end_to_end(circuit, windows, profiles, n_samples, max_iterations):
     }
 
 
+#: Streaming-mode defaults: the paper's Monte-Carlo scale on mult8.
+SAMPLES_STREAMING = 1_000_000
+CHUNK_WORDS_STREAMING = 1024
+ITERATIONS_STREAMING = 4
+CHUNK_WORDS_SMOKE = 2
+
+
+def _peak_rss_mb() -> float:
+    import resource
+    import sys
+
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KB, macOS bytes.
+    return usage / 1e6 if sys.platform == "darwin" else usage / 1024.0
+
+
+def _streaming(
+    circuit, windows, profiles, n_samples, chunk_words, max_iterations,
+    verify_resident,
+):
+    """Chunked explore() at scale: wall, throughput, memory vs. budget.
+
+    ``verify_resident`` additionally runs the resident compiled engine on
+    the same configuration and asserts the trajectories byte-identical —
+    feasible at smoke scale; at 10^6 patterns the identity is carried by
+    the test suite's property tests instead and this run asserts the
+    memory bound.
+    """
+    import time
+
+    from repro.core.explorer import ExplorerConfig, explore
+
+    def run_once(chunk):
+        config = ExplorerConfig(
+            max_inputs=WINDOW,
+            max_outputs=WINDOW,
+            n_samples=n_samples,
+            max_iterations=max_iterations,
+            strategy="full",
+            chunk_words=chunk,
+        )
+        t0 = time.perf_counter()
+        result = explore(circuit, config, windows=windows, profiles=profiles)
+        return time.perf_counter() - t0, result
+
+    wall_s, chunked = run_once(chunk_words)
+    stats = chunked.runtime_stats
+    budget_bytes = 2 * 8 * circuit.n_nodes * chunk_words
+    resident_bytes = 8 * circuit.n_nodes * (
+        (n_samples + 63) // 64
+    )
+    assert stats.peak_sample_matrix_bytes <= budget_bytes, (
+        f"peak sample matrix {stats.peak_sample_matrix_bytes} exceeds the "
+        f"chunk budget {budget_bytes}"
+    )
+    report = {
+        "n_samples": n_samples,
+        "chunk_words": chunk_words,
+        "iterations_run": len(chunked.trajectory) - 1,
+        "n_evaluations": chunked.n_evaluations,
+        "n_chunk_passes": stats.n_chunk_passes,
+        "wall_s": round(wall_s, 3),
+        "candidate_samples_per_sec": round(
+            chunked.n_evaluations * n_samples / wall_s
+        ),
+        "peak_rss_mb": round(_peak_rss_mb(), 1),
+        "peak_sample_matrix_mb": round(
+            stats.peak_sample_matrix_bytes / 1e6, 3
+        ),
+        "chunk_budget_mb": round(budget_bytes / 1e6, 3),
+        "resident_matrix_mb": round(resident_bytes / 1e6, 3),
+        "memory_bounded_by_budget": True,  # asserted above
+    }
+    if verify_resident:
+        _, resident = run_once(None)
+        key = lambda r: [
+            (p.iteration, p.window_index, p.f, p.qor, p.est_area, p.fs)
+            for p in r.trajectory
+        ]
+        assert key(chunked) == key(resident), (
+            "streamed trajectory diverged from resident execution"
+        )
+        report["trajectories_byte_identical"] = True
+    return report
+
+
+def run_streaming(
+    n_samples: int, chunk_words: int, write: bool = True
+) -> dict:
+    """The ``--samples`` mode: streaming section only, merged into the
+    committed JSON (the full-run sections are left untouched)."""
+    circuit, windows, profiles = _setup(smoke=False)
+    section = _streaming(
+        circuit,
+        windows,
+        profiles,
+        n_samples,
+        chunk_words,
+        ITERATIONS_STREAMING,
+        verify_resident=False,
+    )
+    if write:
+        report = (
+            json.loads(OUT_PATH.read_text()) if OUT_PATH.exists() else {}
+        )
+        report["streaming"] = section
+        OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return section
+
+
 def run(smoke: bool = False, write: bool = True) -> dict:
     circuit, windows, profiles = _setup(smoke)
     n_samples = SAMPLES_SMOKE if smoke else SAMPLES_FULL
@@ -238,6 +356,18 @@ def run(smoke: bool = False, write: bool = True) -> dict:
             n_samples,
             ITERATIONS_SMOKE if smoke else ITERATIONS_FULL,
         ),
+        # The chunked path, exercised on every run (tiny chunk so several
+        # chunk boundaries land inside the sample set) and asserted
+        # trajectory-identical to resident execution.
+        "streaming_smoke": _streaming(
+            circuit,
+            windows,
+            profiles,
+            n_samples,
+            CHUNK_WORDS_SMOKE,
+            ITERATIONS_SMOKE,
+            verify_resident=True,
+        ),
     }
     assert report["explore"]["trajectories_byte_identical"], (
         "compiled trajectories diverged from the reference engine"
@@ -259,6 +389,12 @@ def run(smoke: bool = False, write: bool = True) -> dict:
             f"{MIN_EXPLORE_SPEEDUP}x"
         )
         if write:
+            # Preserve the streaming section of a prior --samples run;
+            # the full run refreshes every other section.
+            if OUT_PATH.exists():
+                prior = json.loads(OUT_PATH.read_text())
+                if "streaming" in prior:
+                    report["streaming"] = prior["streaming"]
             OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
     return report
 
@@ -274,8 +410,24 @@ def main() -> None:
         action="store_true",
         help="reduced configuration for CI (no JSON written)",
     )
+    parser.add_argument(
+        "--samples",
+        type=int,
+        default=None,
+        help="streaming mode: run only the chunked-engine section at this "
+        f"many Monte-Carlo patterns (paper scale: {SAMPLES_STREAMING})",
+    )
+    parser.add_argument(
+        "--chunk-words",
+        type=int,
+        default=CHUNK_WORDS_STREAMING,
+        help="packed words per chunk for the --samples streaming mode",
+    )
     args = parser.parse_args()
-    report = run(smoke=args.smoke)
+    if args.samples is not None:
+        report = run_streaming(args.samples, args.chunk_words)
+    else:
+        report = run(smoke=args.smoke)
     print(json.dumps(report, indent=2))
 
 

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Guard against README drift: execute the README's ``bash`` code blocks.
+
+Every fenced code block tagged ``bash`` in README.md is run verbatim
+(with ``bash -euo pipefail``) from the repository root, in order.  If a
+documented command rots — a renamed flag, a moved file, a broken
+quickstart — CI fails here instead of a reader's terminal.
+
+Conventions:
+
+* Blocks tagged ``bash`` are executable documentation and must pass.
+* Illustrative snippets that should not run in CI use a different tag.
+* ``README_CHECK_SKIP`` may hold a regex; lines matching it are skipped
+  (e.g. ``README_CHECK_SKIP='pip install'`` for offline environments
+  where the editable install is already done).
+
+Usage::
+
+    python scripts/check_readme.py [README.md]
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+BLOCK_RE = re.compile(r"^```bash\s*$(.*?)^```\s*$", re.MULTILINE | re.DOTALL)
+
+
+def extract_bash_blocks(text: str) -> list[str]:
+    return [block.strip() for block in BLOCK_RE.findall(text) if block.strip()]
+
+
+def main(argv: list[str]) -> int:
+    readme = REPO_ROOT / (argv[1] if len(argv) > 1 else "README.md")
+    skip = os.environ.get("README_CHECK_SKIP")
+    skip_re = re.compile(skip) if skip else None
+    blocks = extract_bash_blocks(readme.read_text())
+    if not blocks:
+        print(f"error: no bash blocks found in {readme}", file=sys.stderr)
+        return 1
+    for i, block in enumerate(blocks, 1):
+        lines = [
+            line
+            for line in block.splitlines()
+            if line.strip() and not (skip_re and skip_re.search(line))
+        ]
+        if not lines:
+            print(f"[{i}/{len(blocks)}] skipped entirely")
+            continue
+        script = "\n".join(lines)
+        print(f"[{i}/{len(blocks)}] running:\n{script}")
+        proc = subprocess.run(
+            ["bash", "-euo", "pipefail", "-c", script], cwd=REPO_ROOT
+        )
+        if proc.returncode != 0:
+            print(
+                f"error: README block {i} failed with exit code "
+                f"{proc.returncode}",
+                file=sys.stderr,
+            )
+            return proc.returncode
+    print(f"all {len(blocks)} README bash blocks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -5,10 +5,12 @@ from .netlist import Circuit, PortRef
 from .builder import CircuitBuilder
 from .words import WordSpec, default_output_word, words_from_attrs
 from .simulate import (
+    Chunk,
     bit_count,
     exhaustive_input_words,
     pack_bits,
     patterns_to_words,
+    plan_chunks,
     popcount_words,
     random_input_words,
     simulate_full,
@@ -36,6 +38,7 @@ from .verilog import write_verilog
 from .verilog_reader import read_verilog
 
 __all__ = [
+    "Chunk",
     "Circuit",
     "CircuitBuilder",
     "EquivalenceResult",
@@ -54,6 +57,7 @@ __all__ = [
     "bit_count",
     "pack_bits",
     "patterns_to_words",
+    "plan_chunks",
     "popcount_words",
     "quotient_is_acyclic",
     "random_input_words",

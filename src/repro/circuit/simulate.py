@@ -17,7 +17,7 @@ Two entry points are provided:
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, NamedTuple, Optional, Sequence
 
 import numpy as np
 
@@ -34,6 +34,83 @@ _FULL_WORD = np.uint64(0xFFFFFFFFFFFFFFFF)
 def words_for(n_patterns: int) -> int:
     """Number of uint64 words needed to hold ``n_patterns`` packed bits."""
     return (n_patterns + WORD_BITS - 1) // WORD_BITS
+
+
+class Chunk(NamedTuple):
+    """One word-aligned slice of the pattern axis.
+
+    Attributes:
+        start / stop: Half-open word range ``[start, stop)`` into a packed
+            value array.
+        n_valid: Number of valid patterns inside the chunk (``None`` when
+            the plan was built without a pattern count).  Interior chunks
+            carry ``(stop - start) * 64`` valid patterns; the chunk holding
+            the end of the sample set is clamped, and chunks entirely past
+            it hold 0 (never a negative count — see :func:`plan_chunks`).
+    """
+
+    start: int
+    stop: int
+    n_valid: Optional[int]
+
+    @property
+    def n_words(self) -> int:
+        return self.stop - self.start
+
+
+def plan_chunks(
+    n_samples: Optional[int],
+    chunk_words: int,
+    total_words: Optional[int] = None,
+) -> List[Chunk]:
+    """Partition the packed pattern axis into word-aligned chunks.
+
+    This is the single chunking discipline shared by streaming simulation
+    (:func:`simulate_outputs`) and the streaming exploration engine
+    (:class:`repro.core.streaming.StreamingEvaluator`): every consumer
+    that iterates the pattern axis in bounded memory walks the same plan,
+    so the per-chunk valid-pattern counts — and therefore the tail-mask
+    behaviour at every chunk boundary — cannot drift between layers.
+
+    Args:
+        n_samples: Total valid patterns, or ``None`` when unknown (every
+            chunk's ``n_valid`` is then ``None`` and no tail masking
+            applies).
+        chunk_words: Maximum words per chunk (≥ 1).
+        total_words: Words to cover; defaults to ``words_for(n_samples)``.
+
+    Returns:
+        Chunks covering ``[0, total_words)`` in order.  Each ``n_valid``
+        is clamped to the chunk's own range: ``min(max(n_samples -
+        start * 64, 0), (stop - start) * 64)``.  The ``max(..., 0)`` is
+        load-bearing — a chunk entirely past ``n_samples`` holds **zero**
+        valid patterns, not a negative count (negative values would reach
+        ``tail_mask`` through Python's modulo and produce a wrong mask,
+        leaving LUT garbage in the padded region).
+
+    Raises:
+        SimulationError: on a non-positive ``chunk_words`` or a missing
+            ``total_words`` when ``n_samples`` is ``None``.
+    """
+    if chunk_words < 1:
+        raise SimulationError(f"chunk_words must be >= 1, got {chunk_words}")
+    if total_words is None:
+        if n_samples is None:
+            raise SimulationError(
+                "plan_chunks needs n_samples or an explicit total_words"
+            )
+        total_words = words_for(n_samples)
+    chunks: List[Chunk] = []
+    for start in range(0, total_words, chunk_words):
+        stop = min(start + chunk_words, total_words)
+        n_valid: Optional[int] = None
+        if n_samples is not None:
+            n_valid = min(
+                max(n_samples - start * WORD_BITS, 0),
+                (stop - start) * WORD_BITS,
+            )
+        chunks.append(Chunk(start, stop, n_valid))
+    return chunks
 
 
 def pack_bits(bits: np.ndarray) -> np.ndarray:
@@ -325,20 +402,13 @@ def simulate_outputs(
             circuit, simulate_full(circuit, input_words, n_samples)
         )
     out = np.zeros((circuit.n_outputs, w), dtype=np.uint64)
-    for start in range(0, w, chunk_words):
-        stop = min(start + chunk_words, w)
-        chunk_n = None
-        if n_samples is not None:
-            # Clamp to the chunk's own valid range: a chunk entirely past
-            # n_samples holds 0 valid bits, not a negative count (negative
-            # values reach tail_mask through Python's modulo and produce a
-            # wrong mask, leaving LUT garbage in the padded region).
-            chunk_n = min(
-                max(n_samples - start * WORD_BITS, 0),
-                (stop - start) * WORD_BITS,
-            )
-        vals = simulate_full(circuit, input_words[:, start:stop], chunk_n)
-        out[:, start:stop] = output_words_from_values(circuit, vals)
+    for chunk in plan_chunks(n_samples, chunk_words, total_words=w):
+        vals = simulate_full(
+            circuit, input_words[:, chunk.start : chunk.stop], chunk.n_valid
+        )
+        out[:, chunk.start : chunk.stop] = output_words_from_values(
+            circuit, vals
+        )
     return out
 
 

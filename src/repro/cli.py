@@ -41,6 +41,8 @@ def _config(args) -> ExplorerConfig:
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         engine=args.engine,
+        chunk_words=args.chunk_words,
+        chunk_budget_mb=args.chunk_budget_mb,
     )
 
 
@@ -69,6 +71,13 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                    help="candidate-evaluation engine (trajectories are "
                         "byte-identical; 'reference' is the interpreted "
                         "oracle)")
+    p.add_argument("--chunk-words", type=int, default=None,
+                   help="streaming execution: packed words per pattern-axis "
+                        "chunk (bounds sample-matrix memory; trajectories "
+                        "stay byte-identical to resident execution)")
+    p.add_argument("--chunk-budget-mb", type=float, default=None,
+                   help="auto-pick --chunk-words from a sample-matrix "
+                        "memory budget in MB (resident when it already fits)")
 
 
 def _cmd_run(args) -> int:

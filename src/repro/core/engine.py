@@ -127,6 +127,53 @@ def execute_batch(
     return ~acc if invert else acc
 
 
+def input_index_from_rows(in_words: np.ndarray, n_patterns: int) -> np.ndarray:
+    """Per-pattern table-row indices from packed input rows.
+
+    ``in_words`` is a ``(k, W)`` packed matrix (input ``i`` supplies bit
+    ``i`` of the index).  Patterns beyond the valid count produce garbage
+    indices; callers mask the gathered outputs (see
+    :func:`gather_window_outputs`).
+    """
+    idx = np.zeros(n_patterns, dtype=np.uint32)
+    for bit in range(in_words.shape[0]):
+        idx |= unpack_bits(in_words[bit], n_patterns).astype(
+            np.uint32
+        ) << np.uint32(bit)
+    return idx
+
+
+def gather_window_outputs(
+    table: np.ndarray, in_words: np.ndarray, n_valid: int
+) -> np.ndarray:
+    """Evaluate a window table on packed inputs; ``(m, W)`` packed outputs.
+
+    The single table-gather primitive shared by the resident cone sweeps,
+    the streaming engine's chunk passes and commits.  Output tails beyond
+    ``n_valid`` are masked to zero (tail-bit invariant: garbage indices in
+    the tail would otherwise read arbitrary table rows).
+    """
+    n_pat = in_words.shape[1] * WORD_BITS
+    idx = input_index_from_rows(in_words, n_pat)
+    packed = pack_bits(np.ascontiguousarray(table[idx, :].T).astype(np.uint8))
+    return mask_tail_words(packed, n_valid)
+
+
+def stacked_seed_gather(
+    tables: Sequence[np.ndarray], idx: np.ndarray, n_valid: int
+) -> np.ndarray:
+    """All candidate tables through one shared input index at once.
+
+    One ``(n_cand, m, n)`` fancy-index plus a single ``pack_bits`` —
+    returns packed seeds of shape ``(n_cand, m, W)``, tails masked.
+    """
+    stacked = np.stack([t.astype(np.uint8) for t in tables])
+    gathered = stacked[:, idx, :]
+    seeds = pack_bits(np.ascontiguousarray(gathered.transpose(0, 2, 1)))
+    mask_tail_words(seeds, n_valid)
+    return seeds
+
+
 def _levelize(
     circuit: Circuit, node_ids: Sequence[int], slot_of
 ) -> List[GateBatch]:
@@ -320,13 +367,42 @@ MAX_SCAN_BLOCKS = 64
 class CompiledEvaluator(IncrementalEvaluator):
     """Drop-in :class:`IncrementalEvaluator` running compiled cone sweeps.
 
-    Public behaviour (previews, batched previews, commits, the committed
-    map) matches the reference implementation bit-for-bit on every valid
-    bit (full words when ``n_samples`` is a multiple of 64 — see the
-    module docstring for the tail contract); in addition,
-    :meth:`preview_batch_delta` reports which *output rows* each candidate
-    actually dirtied, which feeds the delta-QoR path
+    Args:
+        circuit: The accurate netlist being explored.
+        windows: The decomposition's windows (candidate substitution
+            sites).
+        input_words: Packed Monte-Carlo stimulus, shape
+            ``(n_inputs, words_for(n_samples))``.
+        n_samples: Valid pattern count (tail bits beyond it are
+            unspecified; see DESIGN.md's tail-bit invariant).
+        stats: Optional :class:`~repro.runtime.RuntimeStats` accumulator
+            for sweep/memo/cone counters.
+
+    Determinism guarantees: public behaviour (previews, batched previews,
+    commits, the committed map) matches the reference implementation
+    bit-for-bit on every valid bit (full words when ``n_samples`` is a
+    multiple of 64 — see the module docstring for the tail contract); in
+    addition, :meth:`preview_batch_delta` reports which *output rows*
+    each candidate actually dirtied, which feeds the delta-QoR path
     (:meth:`repro.core.qor.QoREvaluator.evaluate_delta`).
+
+    Invalidation semantics: a :meth:`commit` (a) folds the cone's changed
+    valid bits into the resident value cache, (b) drops the packed
+    input-index / stacked-seed caches of every window whose inputs the
+    changed values touch, (c) drops memoized previews of every window
+    whose cone state the commit touched (changed values, or any table of
+    the committed window — a new table is a different *function* even
+    when it matches the old one on the current samples), and (d) on a
+    window's *first* commit drops the schedules that had inlined it as
+    plain gates (the committed set only grows, so each schedule
+    recompiles at most once per window it contains).
+
+    Memory: this engine is *resident* — it holds the full
+    ``(n_nodes, words_for(n_samples))`` value matrix.  For pattern counts
+    where that matrix is the bottleneck, use the streaming subclass
+    (:class:`repro.core.streaming.StreamingEvaluator`, selected via
+    ``chunk_words``), which bounds sample-matrix memory by a chunk budget
+    and stays trajectory-identical.
     """
 
     def __init__(
@@ -490,14 +566,9 @@ class CompiledEvaluator(IncrementalEvaluator):
             # already reflects: outputs are the cached rows.
             local[instr.out_slots] = self._values[instr.out_ids]
             return
-        n_pat = self._n_words * WORD_BITS
-        idx = np.zeros(n_pat, dtype=np.uint32)
-        for bit, slot in enumerate(instr.in_slots):
-            idx |= unpack_bits(local[slot], n_pat).astype(
-                np.uint32
-            ) << np.uint32(bit)
-        packed = pack_bits(np.ascontiguousarray(table[idx, :].T).astype(np.uint8))
-        local[instr.out_slots] = mask_tail_words(packed, self.n)
+        local[instr.out_slots] = gather_window_outputs(
+            table, local[instr.in_slots], self.n
+        )
 
     def _run_cone(
         self, cone: ConeSchedule, seed: np.ndarray
@@ -600,10 +671,7 @@ class CompiledEvaluator(IncrementalEvaluator):
             and all(a is b for a, b in zip(cached[0], checked))
         ):
             return cached[2]
-        stacked = np.stack([t.astype(np.uint8) for t in checked])
-        gathered = stacked[:, idx, :]
-        seeds = pack_bits(np.ascontiguousarray(gathered.transpose(0, 2, 1)))
-        mask_tail_words(seeds, self.n)
+        seeds = stacked_seed_gather(checked, idx, self.n)
         self._seed_cache[index] = (tuple(checked), idx, seeds)
         return seeds
 
@@ -707,15 +775,30 @@ class CompiledEvaluator(IncrementalEvaluator):
     ) -> List[List[Tuple[np.ndarray, Tuple[int, ...]]]]:
         """One iteration's whole candidate scan, stacked into wide passes.
 
-        ``requests`` holds (window index, candidate tables) pairs for
-        distinct windows — the full-strategy explorer's per-iteration
-        scan.  Memoized windows replay; the rest are evaluated in a
-        single execution of the whole-plan schedule with every candidate
-        stacked along the word axis (its seed scattered into its own
-        block-column right after the producing instruction), so the
-        per-unit dispatch cost is paid once per pass instead of once per
-        candidate.  Results are identical to per-window
-        :meth:`preview_batch_delta` on every valid bit.
+        Args:
+            requests: ``(window index, candidate tables)`` pairs for
+                *distinct* windows — the full-strategy explorer's
+                per-iteration scan.
+
+        Returns:
+            Per request, per candidate: ``(packed outputs, dirtied output
+            rows)`` exactly as :meth:`preview_batch_delta` would return
+            them.
+
+        Memoized windows replay their cached sweeps; the rest are
+        evaluated in a single execution of the whole-plan schedule with
+        every candidate stacked along the word axis (its seed scattered
+        into its own block-column right after the producing instruction),
+        so the per-unit dispatch cost is paid once per pass instead of
+        once per candidate.  At most :data:`MAX_SCAN_BLOCKS` candidate
+        blocks stack into one pass; larger scans split into several.
+
+        Determinism: results are identical to per-window
+        :meth:`preview_batch_delta` on every valid bit, and the reported
+        dirty-row sets are exact (a row appears iff its valid bits differ
+        from the committed state).  Invalidation: the memo a scan
+        populates is dropped by :meth:`commit` exactly for the windows
+        whose cone state the commit touched — see the class docstring.
         """
         results: List = [None] * len(requests)
         todo: List[Tuple[int, int, List[np.ndarray], Sequence]] = []
@@ -881,11 +964,31 @@ def make_evaluator(
     n_samples: int,
     engine: str = "compiled",
     stats: Optional[RuntimeStats] = None,
+    chunk_words: Optional[int] = None,
 ) -> IncrementalEvaluator:
-    """Construct the evaluation engine selected by ``engine``."""
+    """Construct the evaluation engine selected by ``engine``.
+
+    ``chunk_words`` (compiled engine only) selects streaming execution:
+    the pattern axis is processed in word-aligned chunks of at most that
+    many packed words, bounding sample-matrix memory by the chunk budget
+    instead of the total pattern count.  Trajectory floats are
+    bit-identical to resident execution for any chunk size (DESIGN.md
+    "Streaming execution").
+    """
     if engine not in ENGINES:
         raise SimulationError(
             f"unknown engine {engine!r}; expected one of {ENGINES}"
+        )
+    if chunk_words is not None:
+        if engine != "compiled":
+            raise SimulationError(
+                "chunked (streaming) execution requires the compiled engine"
+            )
+        from .streaming import StreamingEvaluator  # lazy: builds on this module
+
+        return StreamingEvaluator(
+            circuit, windows, input_words, n_samples,
+            chunk_words=chunk_words, stats=stats,
         )
     cls = CompiledEvaluator if engine == "compiled" else IncrementalEvaluator
     return cls(circuit, windows, input_words, n_samples, stats=stats)

@@ -36,10 +36,12 @@ from ..partition.windows import Window
 from ..runtime import ProfileCache, RuntimeStats
 from ..synth.espresso import EspressoOptions
 from ..synth.library import LIB65, Library
+from ..circuit.simulate import words_for
 from .bmf.asso import DEFAULT_TAUS
 from .engine import ENGINES, CompiledEvaluator, make_evaluator
 from .profile import WindowProfile, profile_windows
 from .qor import QoREvaluator, QoRSpec
+from .streaming import StreamingEvaluator, auto_chunk_words
 
 #: Candidate selection strategies.
 STRATEGIES = ("full", "lazy")
@@ -89,6 +91,18 @@ class ExplorerConfig:
             interpreted full-plan evaluator).  Trajectories are
             byte-identical between the two (asserted by the test suite
             and ``benchmarks/bench_explore.py``).
+        chunk_words: Streaming execution (compiled engine only): process
+            the pattern axis in word-aligned chunks of at most this many
+            packed uint64 words, bounding peak sample-matrix memory by
+            ``2 × 8 × n_nodes × chunk_words`` bytes instead of the full
+            ``8 × n_nodes × words_for(n_samples)`` resident matrix.
+            ``None`` (default) keeps resident execution.  Trajectories
+            are byte-identical for every chunk size (DESIGN.md
+            "Streaming execution").
+        chunk_budget_mb: Auto mode for ``chunk_words``: pick the largest
+            chunk whose sample-matrix working set fits this many
+            megabytes (resident execution when the whole matrix already
+            fits).  Ignored when ``chunk_words`` is set explicitly.
     """
 
     max_inputs: int = 10
@@ -115,6 +129,8 @@ class ExplorerConfig:
     jobs: int = 1
     cache_dir: Optional[str] = None
     engine: str = "compiled"
+    chunk_words: Optional[int] = None
+    chunk_budget_mb: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.strategy not in STRATEGIES:
@@ -124,6 +140,20 @@ class ExplorerConfig:
         if self.engine not in ENGINES:
             raise ExplorationError(
                 f"unknown engine {self.engine!r}; expected {ENGINES}"
+            )
+        if self.chunk_words is not None and self.chunk_words < 1:
+            raise ExplorationError(
+                f"chunk_words must be >= 1, got {self.chunk_words}"
+            )
+        if self.chunk_budget_mb is not None and self.chunk_budget_mb <= 0:
+            raise ExplorationError(
+                f"chunk_budget_mb must be positive, got {self.chunk_budget_mb}"
+            )
+        if self.engine == "reference" and (
+            self.chunk_words is not None or self.chunk_budget_mb is not None
+        ):
+            raise ExplorationError(
+                "chunked (streaming) execution requires the compiled engine"
             )
 
 
@@ -281,6 +311,13 @@ def explore(
 
     rng = np.random.default_rng(config.seed)
     input_words = stimulus_input_words(circuit, config.n_samples, rng)
+    chunk_words = config.chunk_words
+    if chunk_words is None and config.chunk_budget_mb is not None:
+        chunk_words = auto_chunk_words(
+            circuit.n_nodes,
+            int(config.chunk_budget_mb * 1e6),
+            words_for(config.n_samples),
+        )
     evaluator = make_evaluator(
         circuit,
         windows,
@@ -288,13 +325,17 @@ def explore(
         config.n_samples,
         engine=config.engine,
         stats=runtime_stats,
+        chunk_words=chunk_words,
     )
     qor_eval = QoREvaluator(
         circuit, evaluator.exact_outputs, config.n_samples, config.qor
     )
     # The compiled engine reports exactly which output rows each candidate
     # dirtied, so QoR evaluation only recomputes the words those rows feed
-    # (bit-identical to a full evaluation — see DESIGN.md).
+    # (bit-identical to a full evaluation — see DESIGN.md).  The streaming
+    # engine goes one step further: it folds the same canonical QoR
+    # accumulation into its chunk loop and returns error floats directly.
+    streaming = isinstance(evaluator, StreamingEvaluator)
     delta_qor = isinstance(evaluator, CompiledEvaluator)
     if delta_qor:
         qor_eval.rebase(evaluator.exact_outputs)
@@ -316,17 +357,14 @@ def explore(
     def active(idx: int) -> bool:
         return fs[idx] > 1 and (fs[idx] - 1) in profile_by_index[idx].variants
 
-    def pick_best(
-        variants, previews, current: float
-    ) -> Tuple[float, "CandidateVariant"]:
-        """Best (error, variant) among one window's candidate previews.
-
-        Candidates whose measured error is within the tie tolerance of the
-        best count as equivalent and resolve by estimated area (see
-        :class:`ExplorerConfig`).
-        """
+    def score_previews(variants, previews) -> List[Tuple[float, "CandidateVariant"]]:
+        """(error, variant) per candidate, via the engine's QoR path."""
         scored = []
-        if delta_qor:
+        if streaming:
+            for variant, (err, _dirty_rows) in zip(variants, previews):
+                result.n_evaluations += 1
+                scored.append((err, variant))
+        elif delta_qor:
             for variant, (out, dirty_rows) in zip(variants, previews):
                 result.n_evaluations += 1
                 scored.append(
@@ -336,6 +374,18 @@ def explore(
             for variant, out in zip(variants, previews):
                 result.n_evaluations += 1
                 scored.append((qor_eval.evaluate(out), variant))
+        return scored
+
+    def pick_best(
+        variants, previews, current: float
+    ) -> Tuple[float, "CandidateVariant"]:
+        """Best (error, variant) among one window's candidate previews.
+
+        Candidates whose measured error is within the tie tolerance of the
+        best count as equivalent and resolve by estimated area (see
+        :class:`ExplorerConfig`).
+        """
+        scored = score_previews(variants, previews)
         best_err = min(err for err, _ in scored)
         eps = max(config.tie_epsilon, config.tie_epsilon_scale * current)
         tied = [(err, v) for err, v in scored if err <= best_err + eps]
@@ -348,11 +398,14 @@ def explore(
         """Evaluate one window's next-degree candidates and pick the best.
 
         All of the window's candidates run through one batched evaluator
-        pass (shared input unpack / stacked seed gather).
+        pass (shared input unpack / stacked seed gather — or one chunked
+        scan on the streaming engine).
         """
         variants = profile_by_index[idx].variants[fs[idx] - 1]
         tables = [v.table for v in variants]
-        if delta_qor:
+        if streaming:
+            previews = evaluator.scan_errors([(idx, tables)], qor_eval)[0]
+        elif delta_qor:
             previews = evaluator.preview_batch_delta(idx, tables)
         else:
             previews = evaluator.preview_batch(idx, tables)
@@ -388,18 +441,22 @@ def explore(
             if delta_qor:
                 # One stacked pass evaluates the whole iteration's scan:
                 # every window's candidates share a single wide execution
-                # of the quotient schedule (see CompiledEvaluator.
-                # preview_scan); scoring order matches the serial loop.
+                # of the quotient schedule (resident: CompiledEvaluator.
+                # preview_scan; streaming: one chunked pass sharing each
+                # chunk's base state); scoring order matches the serial
+                # loop.
                 per_window = [
                     profile_by_index[idx].variants[fs[idx] - 1]
                     for idx in candidates
                 ]
-                scans = evaluator.preview_scan(
-                    [
-                        (idx, [v.table for v in variants])
-                        for idx, variants in zip(candidates, per_window)
-                    ]
-                )
+                requests = [
+                    (idx, [v.table for v in variants])
+                    for idx, variants in zip(candidates, per_window)
+                ]
+                if streaming:
+                    scans = evaluator.scan_errors(requests, qor_eval)
+                else:
+                    scans = evaluator.preview_scan(requests)
                 for idx, variants, previews in zip(
                     candidates, per_window, scans
                 ):

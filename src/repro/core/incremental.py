@@ -72,14 +72,27 @@ class IncrementalEvaluator:
         self.windows = list(windows)
         self.n = n_samples
         self._tail = tail_mask(n_samples)
-        self._values = simulate_full(circuit, input_words, n_samples)
-        self._n_words = self._values.shape[1]
         self._committed: Dict[int, np.ndarray] = {}
         self._graph = quotient_graph(circuit, windows)
         self._plan = list(self._graph.steps)
         self._window_by_index = {w.index: w for w in self.windows}
-        self._exact_outputs = self._values[circuit.output_nodes()].copy()
         self._stats = stats
+        self._init_values(input_words)
+
+    def _init_values(self, input_words: np.ndarray) -> None:
+        """Build the resident value state (hook).
+
+        The default materializes the full ``(n_nodes, W)`` value matrix —
+        the resident engines' cache.  The streaming engine
+        (:class:`repro.core.streaming.StreamingEvaluator`) overrides this
+        to keep only the packed inputs and output rows resident, bounding
+        sample-matrix memory by its chunk budget.
+        """
+        self._values = simulate_full(self.circuit, input_words, self.n)
+        self._n_words = self._values.shape[1]
+        self._exact_outputs = self._values[self.circuit.output_nodes()].copy()
+        if self._stats is not None:
+            self._stats.note_sample_matrix(self._values.nbytes)
 
     # ------------------------------------------------------------------
     @property

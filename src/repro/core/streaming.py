@@ -1,0 +1,519 @@
+"""Streaming (chunked) exploration engine: million-pattern sweeps in
+bounded memory.
+
+The resident engines hold the whole sample set in one
+``(n_nodes, words_for(n))`` value matrix; at the paper's 10^6
+Monte-Carlo patterns that is GB-scale for large circuits.
+:class:`StreamingEvaluator` runs the same compiled cone schedules and
+candidate scans *chunk by chunk* over the pattern axis instead
+(:func:`repro.circuit.simulate.plan_chunks` — the same word-aligned
+chunking discipline :func:`~repro.circuit.simulate.simulate_outputs`
+uses, tail-mask clamp included), so peak sample-matrix memory is bounded
+by ``chunk_words × program width`` rather than
+``total_words × program width``.
+
+What stays resident (all independent of the node count):
+
+* the packed input stimulus, ``(n_inputs, W)``;
+* the exact and committed packed *output* rows, ``(n_outputs, W)`` each
+  (what :meth:`exact_outputs` / :meth:`current_outputs` serve, and what
+  :meth:`repro.core.qor.QoREvaluator.rebase` consumes);
+* the committed window tables and the compiled schedules (pattern-free).
+
+Per chunk, a scan (a) rebuilds the committed base state by executing the
+whole-plan iteration schedule on the chunk's input slice, (b) gathers
+every requested window's candidate seeds through per-chunk input-index /
+stacked-seed caches shared across that window's candidates, (c) sweeps
+each candidate's compiled cone against the chunk base, and (d) folds the
+dirtied output rows into per-candidate QoR accumulators — canonical
+per-packed-word partial sums for value metrics, exact integer mismatch
+deltas for hamming.  Nothing pattern-sized survives the chunk.
+
+Determinism contract (DESIGN.md "Streaming execution"): chunked
+execution is byte-identical to resident execution on every trajectory
+float.  Three facts compose into that guarantee: bitwise gate/gather
+evaluation is per-word, so word-aligned chunking reproduces every valid
+bit; the QoR canonical order is *per-packed-word* partials (a partial
+depends only on its own 64 samples), so chunk accumulation rebuilds the
+identical partials vector; and dirty tracking compares valid bits only,
+so per-chunk dirty unions equal the resident dirty sets.  The test suite
+asserts trajectory identity across chunk sizes the same way
+compiled-vs-reference identity is asserted.
+
+Memoization across iterations stores, per candidate, only the dirty row
+set and the affected per-output-word *totals* (floats / integer counts)
+— valid exactly while no commit touches the window's cone or any output
+row sharing an output word with the candidate's dirty rows, which is
+what :meth:`StreamingEvaluator.commit` invalidates on (memo keys
+therefore survive chunk boundaries by construction: totals are
+whole-axis reductions, never per-chunk state).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuit.netlist import Circuit
+from ..circuit.simulate import (
+    _FULL_WORD,
+    WORD_BITS,
+    plan_chunks,
+    simulate_outputs,
+    tail_mask,
+    words_for,
+)
+from ..errors import SimulationError
+from ..runtime import RuntimeStats
+from .engine import (
+    CompiledEvaluator,
+    ConeSchedule,
+    WindowInstr,
+    circuit_program,
+    execute_batch,
+    gather_window_outputs,
+    input_index_from_rows,
+    stacked_seed_gather,
+)
+from .qor import QoREvaluator, circuit_words
+
+
+def auto_chunk_words(
+    n_nodes: int, budget_bytes: int, total_words: int
+) -> Optional[int]:
+    """Chunk size (packed words) fitting a sample-matrix byte budget.
+
+    The streaming engine's peak sample-matrix working set is one chunk of
+    base state plus one concurrent sweep working set — at most
+    ``2 × 8 × n_nodes`` bytes per chunk word — so the budget maps to
+    ``budget_bytes // (16 × n_nodes)`` words.
+
+    Returns ``None`` when the budget already fits the resident matrix
+    (``8 × n_nodes × total_words`` bytes): chunking would only add
+    per-chunk overhead — and, between 1× and 2× the resident size, a
+    *larger* working set — without saving anything.
+    """
+    if 8 * max(n_nodes, 1) * total_words <= budget_bytes:
+        return None
+    per_word = 2 * 8 * max(n_nodes, 1)
+    return max(1, int(budget_bytes // per_word))
+
+
+class StreamingEvaluator(CompiledEvaluator):
+    """Chunked :class:`CompiledEvaluator`: bounded-memory candidate scans.
+
+    Args:
+        circuit / windows / input_words / n_samples / stats: As for
+            :class:`CompiledEvaluator`.
+        chunk_words: Maximum packed words per pattern-axis chunk (≥ 1).
+            Peak sample-matrix memory is ``≤ 2 × 8 × n_nodes ×
+            chunk_words`` bytes (base state + sweep working set),
+            recorded in ``stats.peak_sample_matrix_bytes``.
+
+    The resident preview APIs (:meth:`preview`, :meth:`preview_batch`,
+    :meth:`preview_batch_delta`, :meth:`preview_scan`) are unavailable —
+    they would have to materialize full-width output matrices per
+    candidate.  Use :meth:`scan_errors`, which folds QoR accumulation
+    into the chunk loop and returns per-candidate error floats that are
+    bit-identical to the resident engine's
+    ``evaluate_delta(preview...)`` path.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        windows,
+        input_words: np.ndarray,
+        n_samples: int,
+        chunk_words: int,
+        stats: Optional[RuntimeStats] = None,
+    ) -> None:
+        if chunk_words < 1:
+            raise SimulationError(
+                f"chunk_words must be >= 1, got {chunk_words}"
+            )
+        self._chunk_words = int(chunk_words)
+        super().__init__(circuit, windows, input_words, n_samples, stats=stats)
+        self._chunks = [
+            c for c in plan_chunks(n_samples, self._chunk_words) if c.n_valid
+        ]
+        self._out_words = self._exact_outputs.copy()
+        self._win_input_ids = {
+            w.index: np.array(w.inputs, dtype=np.int64) for w in self.windows
+        }
+        # Output row -> positions of the output words containing it (the
+        # same mapping QoREvaluator builds; used for memo invalidation).
+        self._row_word_positions: List[Tuple[int, ...]] = [
+            tuple(
+                pos
+                for pos, w in enumerate(circuit_words(circuit))
+                if row in w.indices
+            )
+            for row in range(circuit.n_outputs)
+        ]
+        #: window -> (tables, metric, affected word positions, entries);
+        #: each entry is (dirty rows, {word pos: total} | {row: count}).
+        self._stream_memo: Dict[int, Tuple] = {}
+        if stats is not None:
+            stats.chunk_words = self._chunk_words
+
+    # -- resident-state override ---------------------------------------
+    def _init_values(self, input_words: np.ndarray) -> None:
+        """Keep only pattern-axis state that is independent of n_nodes."""
+        words = np.atleast_2d(np.asarray(input_words, dtype=np.uint64))
+        self._n_words = words_for(self.n)
+        self.input_words = np.ascontiguousarray(words[:, : self._n_words])
+        self._values = None  # no resident node-value cache, by design
+        self._exact_outputs = simulate_outputs(
+            self.circuit,
+            self.input_words,
+            chunk_words=self._chunk_words,
+            n_samples=self.n,
+        )
+        if self._stats is not None:
+            chunk = min(self._chunk_words, self._n_words)
+            self._stats.note_sample_matrix(
+                self.circuit.n_nodes * chunk * 8
+            )
+
+    def current_outputs(self) -> np.ndarray:
+        """Packed outputs under the committed substitutions (resident —
+        output rows are O(n_outputs × W), not O(n_nodes × W))."""
+        return self._out_words.copy()
+
+    # -- unsupported resident APIs -------------------------------------
+    def _no_resident(self, name: str):
+        raise SimulationError(
+            f"{name} is unavailable on the streaming engine (it would "
+            "materialize full-width previews); use scan_errors(...)"
+        )
+
+    def preview_batch_delta(self, index, tables):
+        self._no_resident("preview_batch_delta")
+
+    def preview_batch(self, index, tables):
+        self._no_resident("preview_batch")
+
+    def preview_scan(self, requests):
+        self._no_resident("preview_scan")
+
+    # -- chunked base state --------------------------------------------
+    def _base_values(self, chunk) -> np.ndarray:
+        """Committed-state value matrix for one chunk, from scratch.
+
+        Executes the whole-plan iteration schedule (committed windows as
+        table gathers, everything else as levelized gate batches) on the
+        chunk's input slice.  Valid bits equal the resident engine's
+        cached values word for word; gate tails may differ, which the
+        tail-bit invariant permits.
+        """
+        cw = chunk.n_words
+        circuit = self.circuit
+        prog = circuit_program(circuit)
+        sched = self._iteration_schedule()
+        values = np.zeros((circuit.n_nodes, cw), dtype=np.uint64)
+        if prog.input_ids.size:
+            values[prog.input_ids] = self.input_words[
+                :, chunk.start : chunk.stop
+            ]
+        if prog.const1_ids.size:
+            values[prog.const1_ids] = _FULL_WORD
+        for instr in sched.instructions:
+            if isinstance(instr, WindowInstr):
+                values[instr.out_slots] = gather_window_outputs(
+                    self._committed[instr.index],
+                    values[instr.in_slots],
+                    chunk.n_valid,
+                )
+            else:
+                values[instr.out] = execute_batch(instr, values, chunk.n_valid)
+        if self._stats is not None:
+            self._stats.n_chunk_passes += 1
+            self._stats.note_sample_matrix(values.nbytes)
+        return values
+
+    # -- chunked cone sweeps -------------------------------------------
+    def _run_cone_chunk(
+        self,
+        cone: ConeSchedule,
+        seed: np.ndarray,
+        base: np.ndarray,
+        n_valid: int,
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Sweep one cone against a chunk's base state (cf. ``_run_cone``).
+
+        Returns ``None`` when the seed matches the base on every valid
+        bit of the chunk, else ``(local, neq)`` with ``neq`` the bulk
+        valid-bit dirty mask over ``cone.recorded_slots``.
+        """
+        tail = tail_mask(n_valid)
+
+        def rows_neq(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+            x = a ^ b
+            x[:, -1] &= tail
+            return x.any(axis=1)
+
+        stats = self._stats
+        if not rows_neq(seed, base[cone.root_out_ids]).any():
+            if stats is not None:
+                stats.n_sweep_units += 1
+            return None
+        if stats is not None:
+            stats.n_sweep_units += cone.n_units
+        local = np.empty((cone.n_slots, base.shape[1]), dtype=np.uint64)
+        if cone.boundary_slots.size:
+            local[cone.boundary_slots] = base[cone.boundary_ids]
+        local[cone.root_out_slots] = seed
+        for instr in cone.instructions:
+            if isinstance(instr, WindowInstr):
+                if not rows_neq(
+                    local[instr.in_slots], base[instr.in_ids]
+                ).any():
+                    local[instr.out_slots] = base[instr.out_ids]
+                else:
+                    local[instr.out_slots] = gather_window_outputs(
+                        self._committed[instr.index],
+                        local[instr.in_slots],
+                        n_valid,
+                    )
+            else:
+                local[instr.out] = execute_batch(instr, local, n_valid)
+        if self._stats is not None:
+            self._stats.note_sample_matrix(base.nbytes + local.nbytes)
+        neq = rows_neq(local[cone.recorded_slots], base[cone.recorded_ids])
+        return local, neq
+
+    def _dirty_out_rows(
+        self, cone: ConeSchedule, local: np.ndarray, neq: np.ndarray
+    ) -> List[Tuple[int, np.ndarray]]:
+        """(output row, chunk values) pairs the sweep dirtied."""
+        out: List[Tuple[int, np.ndarray]] = []
+        for j in np.nonzero(neq[cone.out_rec_idx])[0]:
+            i = int(cone.out_rec_idx[j])
+            vals = local[cone.recorded_slots[i]]
+            for row in cone.out_rows[j]:
+                out.append((row, vals))
+        return out
+
+    # -- memoized error replay -----------------------------------------
+    def _memo_errors(
+        self, index: int, tables: Sequence[np.ndarray], qor: QoREvaluator
+    ) -> Optional[List[Tuple[float, Tuple[int, ...]]]]:
+        """Replay a cached scan if the window's cone state is unchanged.
+
+        Cached payloads are whole-axis totals (per-output-word floats /
+        per-row integer counts) for the candidate's dirty words only;
+        clean words read the *current* rebased base sums at replay, so an
+        unrelated commit + rebase still yields the exact float a fresh
+        chunked scan would produce.
+        """
+        cached = self._stream_memo.get(index)
+        if (
+            cached is None
+            or cached[1] != qor.spec.metric
+            or len(cached[0]) != len(tables)
+            or not all(a is b for a, b in zip(cached[0], tables))
+        ):
+            return None
+        entries = cached[3]
+        if self._stats is not None:
+            self._stats.n_preview_cache_hits += len(entries)
+        hamming = qor.spec.metric == "hamming"
+        out = []
+        for rows, payload in entries:
+            err = (
+                qor.evaluate_spliced_hamming(payload)
+                if hamming
+                else qor.evaluate_spliced(payload)
+            )
+            out.append((err, rows))
+        return out
+
+    # -- public API -----------------------------------------------------
+    def scan_errors(
+        self,
+        requests: Sequence[Tuple[int, Sequence[np.ndarray]]],
+        qor: QoREvaluator,
+    ) -> List[List[Tuple[float, Tuple[int, ...]]]]:
+        """Chunked candidate scan returning QoR errors directly.
+
+        Args:
+            requests: ``(window index, candidate tables)`` pairs for
+                distinct windows (a whole full-strategy iteration, or a
+                single window on the lazy path).
+            qor: The evaluator that must have been rebased on
+                :meth:`current_outputs` (the explorer rebases after every
+                commit) — its canonical per-packed-word partials are what
+                the chunk accumulation splices into.
+
+        Returns:
+            Per request, per candidate: ``(error, dirty output rows)``.
+            The error float is bit-identical to the resident engine's
+            ``qor.evaluate_delta(*preview_batch_delta(...))`` for the
+            same candidate; the dirty-row set is exact and identical,
+            reported in sorted order.
+
+        Memory: one chunk of base state plus one cone working set at a
+        time; accumulators are O(outputs), never O(patterns).
+        """
+        hamming = qor.spec.metric == "hamming"
+        results: List = [None] * len(requests)
+        todo: List[Tuple[int, int, List[np.ndarray], Sequence]] = []
+        for pos, (index, tables) in enumerate(requests):
+            memo = self._memo_errors(index, tables, qor)
+            if memo is not None:
+                results[pos] = memo
+                continue
+            w = self._window_by_index[index]
+            checked = [self._check_table(w, t) for t in tables]
+            if not checked:
+                results[pos] = []
+                continue
+            todo.append((pos, index, checked, tables))
+        if not todo:
+            return results
+
+        # Per candidate: dirty rows, spliced per-word partial vectors
+        # (value metrics) or per-row integer count deltas (hamming).
+        accs = [
+            [{"rows": set(), "partials": {}, "deltas": {}} for _ in checked]
+            for (_, _, checked, _) in todo
+        ]
+        out_nodes = self._out_nodes_arr
+        for chunk in self._chunks:
+            base = self._base_values(chunk)
+            base_out = base[out_nodes]
+            for (pos, index, checked, _), acc_list in zip(todo, accs):
+                cone = self._cone(index)
+                # Per-chunk input-index + stacked-seed caches: built once
+                # per (window, chunk), shared by all its candidates, and
+                # discarded with the chunk.
+                idx = input_index_from_rows(
+                    base[self._win_input_ids[index]],
+                    chunk.n_words * WORD_BITS,
+                )
+                seeds = stacked_seed_gather(checked, idx, chunk.n_valid)
+                for c, acc in enumerate(acc_list):
+                    swept = self._run_cone_chunk(
+                        cone, seeds[c], base, chunk.n_valid
+                    )
+                    if swept is None:
+                        continue
+                    dirty = self._dirty_out_rows(cone, *swept)
+                    if not dirty:
+                        continue
+                    rows = [row for row, _ in dirty]
+                    acc["rows"].update(rows)
+                    cand_out = base_out.copy()
+                    for row, vals in dirty:
+                        cand_out[row] = vals
+                    if hamming:
+                        cand = qor.row_hamming(
+                            cand_out, rows, chunk.start, chunk.n_valid
+                        )
+                        ref = qor.row_hamming(
+                            base_out, rows, chunk.start, chunk.n_valid
+                        )
+                        for row, d in zip(rows, (cand - ref).tolist()):
+                            acc["deltas"][row] = (
+                                acc["deltas"].get(row, 0) + d
+                            )
+                    else:
+                        for wpos in qor.word_positions(rows):
+                            vec = acc["partials"].get(wpos)
+                            if vec is None:
+                                vec = qor.base_partials(wpos).copy()
+                                acc["partials"][wpos] = vec
+                            vec[chunk.start : chunk.stop] = qor.word_partials(
+                                wpos, cand_out, chunk.start, chunk.n_valid
+                            )
+
+        for (pos, index, checked, tables), acc_list in zip(todo, accs):
+            per_window: List[Tuple[float, Tuple[int, ...]]] = []
+            entries = []
+            for acc in acc_list:
+                if self._stats is not None:
+                    self._stats.n_preview_sweeps += 1
+                rows = tuple(sorted(acc["rows"]))
+                if hamming:
+                    base_tot = qor.base_row_hamming()
+                    payload = {
+                        row: int(base_tot[row]) + d
+                        for row, d in acc["deltas"].items()
+                    }
+                    err = qor.evaluate_spliced_hamming(payload)
+                else:
+                    payload = {
+                        wpos: float(vec.sum())
+                        for wpos, vec in acc["partials"].items()
+                    }
+                    err = qor.evaluate_spliced(payload)
+                per_window.append((err, rows))
+                entries.append((rows, payload))
+            results[pos] = per_window
+            affected = frozenset(
+                wpos
+                for rows, _ in entries
+                for row in rows
+                for wpos in self._row_word_positions[row]
+            )
+            self._stream_memo[index] = (
+                tuple(tables), qor.spec.metric, affected, entries,
+            )
+        return results
+
+    def commit(self, index: int, table: np.ndarray) -> None:
+        """Permanently substitute window ``index``, chunk by chunk.
+
+        Streams the commit's cone sweep over the pattern axis against the
+        *old* committed state, folds dirtied output rows into the
+        resident output matrix, then invalidates exactly what the commit
+        touched: schedules that had the window inlined (first commit
+        only), and memoized scans whose cone state or affected output
+        words the commit changed (a recommit of the same window always
+        invalidates its own memo — a new table is a different function
+        even when it matches the old one on the current samples).
+        """
+        w = self._window_by_index[index]
+        table = self._check_table(w, table)
+        cone = self._cone(index)
+        first_commit = index not in self._committed
+        changed_nodes: set = set()
+        changed_rows: set = set()
+        for chunk in self._chunks:
+            base = self._base_values(chunk)
+            idx = input_index_from_rows(
+                base[self._win_input_ids[index]], chunk.n_words * WORD_BITS
+            )
+            seed = stacked_seed_gather([table], idx, chunk.n_valid)[0]
+            swept = self._run_cone_chunk(cone, seed, base, chunk.n_valid)
+            if swept is None:
+                continue
+            local, neq = swept
+            for i in np.nonzero(neq)[0]:
+                changed_nodes.add(int(cone.recorded_ids[i]))
+            for row, vals in self._dirty_out_rows(cone, local, neq):
+                self._out_words[row, chunk.start : chunk.stop] = vals
+                changed_rows.add(row)
+        self._committed[index] = table
+        invalid_nodes = changed_nodes | set(w.members) | set(w.outputs)
+        changed_words = {
+            wpos
+            for row in changed_rows
+            for wpos in self._row_word_positions[row]
+        }
+        for widx in list(self._stream_memo):
+            _, _, affected, _ = self._stream_memo[widx]
+            if self._cone_touch(widx) & invalid_nodes or (
+                affected & changed_words
+            ):
+                del self._stream_memo[widx]
+        if first_commit:
+            # Schedules compiled with this window inlined as plain gates
+            # are now wrong; recompile lazily (bounded as in the
+            # resident engine: once per (cone, window) incidence).
+            self._iter_sched = None
+            for widx in list(self._cones):
+                if index in self._cones[widx].step_windows:
+                    del self._cones[widx]

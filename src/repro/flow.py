@@ -25,6 +25,7 @@ from .core.explorer import (
     explore,
 )
 from .core.qor import QoREvaluator, QoRSpec
+from .runtime import format_bytes
 from .synth.library import DEFAULT_CLOCK_MHZ, LIB65, Library
 from .synth.synthesis import DesignMetrics, evaluate_design
 
@@ -81,6 +82,17 @@ class FlowResult:
         stats = self.exploration.runtime_stats
         if stats is not None:
             lines.append(f"  {stats.summary()}")
+            if stats.peak_sample_matrix_bytes:
+                chunk = (
+                    f"{stats.chunk_words} words"
+                    if stats.chunk_words
+                    else "resident (unchunked)"
+                )
+                lines.append(
+                    f"  memory: peak sample matrix "
+                    f"{format_bytes(stats.peak_sample_matrix_bytes)}, "
+                    f"chunk size {chunk}"
+                )
         return "\n".join(lines)
 
 

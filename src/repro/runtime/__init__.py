@@ -28,7 +28,7 @@ from .cache import (
     array_token,
     canonical_circuit_bytes,
 )
-from .driver import RuntimeStats, run_tasks
+from .driver import RuntimeStats, format_bytes, run_tasks
 from .parallel import parallel_map, resolve_jobs
 
 __all__ = [
@@ -37,6 +37,7 @@ __all__ = [
     "RuntimeStats",
     "array_token",
     "canonical_circuit_bytes",
+    "format_bytes",
     "parallel_map",
     "resolve_jobs",
     "run_tasks",

@@ -23,6 +23,13 @@ T = TypeVar("T")
 R = TypeVar("R")
 
 
+def format_bytes(n: int) -> str:
+    """Human-readable byte count (kB below 1 MB, MB above)."""
+    if n >= 1e6:
+        return f"{n / 1e6:.2f} MB"
+    return f"{n / 1e3:.1f} kB"
+
+
 @dataclass
 class RuntimeStats:
     """Work accounting for one (or several accumulated) driver runs.
@@ -55,6 +62,16 @@ class RuntimeStats:
             recompile when a window inside them is first committed, so
             the total is bounded by (cone, window) incidences, not by
             the window count.
+        n_chunk_passes: Base-state chunk evaluations performed by the
+            streaming engine (one per chunk per scan/commit pass; zero on
+            the resident engines).
+        chunk_words: Chunk size (packed words) of the streaming engine's
+            pattern-axis plan; ``0`` means resident (unchunked) execution.
+        peak_sample_matrix_bytes: Largest packed sample-value matrix held
+            at any point — the resident engines record their full
+            ``(n_nodes, W)`` cache, the streaming engine its per-chunk
+            base state plus the widest concurrent sweep working set.
+            This is the number the chunk budget bounds.
         jobs: Resolved worker count of the last run.
     """
 
@@ -70,10 +87,18 @@ class RuntimeStats:
     n_preview_cache_hits: int = 0
     n_sweep_units: int = 0
     n_cones_compiled: int = 0
+    n_chunk_passes: int = 0
+    chunk_words: int = 0
+    peak_sample_matrix_bytes: int = 0
     jobs: int = 1
 
+    def note_sample_matrix(self, nbytes: int) -> None:
+        """Record a sample-matrix working-set high-water mark."""
+        if nbytes > self.peak_sample_matrix_bytes:
+            self.peak_sample_matrix_bytes = int(nbytes)
+
     def summary(self) -> str:
-        return (
+        text = (
             f"runtime: {self.tasks_computed}/{self.n_tasks} tasks computed "
             f"(jobs={self.jobs}), cache {self.cache_hits} hit / "
             f"{self.cache_misses} miss, {self.dedup_hits} deduped, "
@@ -85,6 +110,18 @@ class RuntimeStats:
             f"{self.n_sweep_units} sweep units, "
             f"{self.n_cones_compiled} cones)"
         )
+        if self.peak_sample_matrix_bytes:
+            mode = (
+                f"chunk={self.chunk_words} words, "
+                f"{self.n_chunk_passes} chunk passes"
+                if self.chunk_words
+                else "resident"
+            )
+            text += (
+                f", peak sample matrix "
+                f"{format_bytes(self.peak_sample_matrix_bytes)} ({mode})"
+            )
+        return text
 
 
 def _count_work(stats: RuntimeStats, payloads: Sequence) -> None:
