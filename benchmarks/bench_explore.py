@@ -20,16 +20,26 @@ at the repository root so the perf trajectory accumulates across PRs:
 * **streaming execution** (``--samples``) — the chunked engine at the
   paper's actual Monte-Carlo scale (10^6 patterns by default for the
   mode), recording wall time, throughput, peak RSS, and the peak
-  sample-matrix bytes, asserted against the configured chunk budget
-  (``2 × 8 × n_nodes × chunk_words``).  At smoke scale the streamed
-  trajectory is additionally asserted byte-identical to resident
-  execution.
+  per-process sample-matrix bytes, asserted against the configured chunk
+  budget (``(2 + cache_chunks) × 8 × n_nodes × chunk_words``).  At smoke
+  scale the streamed trajectory is additionally asserted byte-identical
+  to resident execution.  ``--shard-jobs`` fans the chunk loop across
+  worker processes (smoke included — the CI leg runs ``--smoke
+  --shard-jobs 2`` and still asserts trajectory identity).
+* **sharded scaling** (``--scaling``) — the 10^6-sample streaming run
+  repeated across shard worker counts (1, 2, 4 by default), recording
+  wall time and peak *per-process* sample-matrix bytes per row, with
+  every sharded trajectory asserted byte-identical to the serial row.
+  The ≥ 1.5× speedup bar at ≥ 4 workers is asserted only when the host
+  actually exposes ≥ 4 usable cores (single-core CI boxes record honest
+  rows instead of failing on physics).
 
 Runs standalone (no pytest plugins needed)::
 
     PYTHONPATH=src python benchmarks/bench_explore.py                    # full
     PYTHONPATH=src python benchmarks/bench_explore.py --smoke            # CI
     PYTHONPATH=src python benchmarks/bench_explore.py --samples 1000000  # paper scale
+    PYTHONPATH=src python benchmarks/bench_explore.py --scaling          # shard sweep
 
 and doubles as a pytest smoke test (``test_explore_engine_smoke``).
 """
@@ -228,6 +238,22 @@ CHUNK_WORDS_STREAMING = 1024
 ITERATIONS_STREAMING = 4
 CHUNK_WORDS_SMOKE = 2
 
+#: Sharded-scaling defaults: worker counts swept and the cone-epoch
+#: cache capacity (4 slices keeps the per-process bound, (2 + 4) x 8 x
+#: n_nodes x chunk_words, well under the resident matrix at 10^6
+#: patterns while still amortizing commit-time base passes).
+SCALING_JOBS = (1, 2, 4)
+SCALING_CACHE_CHUNKS = 4
+MIN_SHARD_SPEEDUP = 1.5
+
+
+def _usable_cores() -> int:
+    import os
+
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
 
 def _peak_rss_mb() -> float:
     import resource
@@ -238,9 +264,39 @@ def _peak_rss_mb() -> float:
     return usage / 1e6 if sys.platform == "darwin" else usage / 1024.0
 
 
+def _trajectory_key(result):
+    return [
+        (p.iteration, p.window_index, p.f, p.qor, p.est_area, p.fs)
+        for p in result.trajectory
+    ]
+
+
+def _run_streaming_once(
+    circuit, windows, profiles, n_samples, chunk_words, max_iterations,
+    shard_jobs=1, cache_chunks=0,
+):
+    import time
+
+    from repro.core.explorer import ExplorerConfig, explore
+
+    config = ExplorerConfig(
+        max_inputs=WINDOW,
+        max_outputs=WINDOW,
+        n_samples=n_samples,
+        max_iterations=max_iterations,
+        strategy="full",
+        chunk_words=chunk_words,
+        shard_jobs=shard_jobs if chunk_words is not None else None,
+        chunk_cache_chunks=cache_chunks if chunk_words is not None else 0,
+    )
+    t0 = time.perf_counter()
+    result = explore(circuit, config, windows=windows, profiles=profiles)
+    return time.perf_counter() - t0, result
+
+
 def _streaming(
     circuit, windows, profiles, n_samples, chunk_words, max_iterations,
-    verify_resident,
+    verify_resident, shard_jobs=1, cache_chunks=0,
 ):
     """Chunked explore() at scale: wall, throughput, memory vs. budget.
 
@@ -248,28 +304,15 @@ def _streaming(
     the same configuration and asserts the trajectories byte-identical —
     feasible at smoke scale; at 10^6 patterns the identity is carried by
     the test suite's property tests instead and this run asserts the
-    memory bound.
+    memory bound.  ``shard_jobs`` fans the chunk loop across worker
+    processes; the peak sample-matrix figure is then *per process*.
     """
-    import time
-
-    from repro.core.explorer import ExplorerConfig, explore
-
-    def run_once(chunk):
-        config = ExplorerConfig(
-            max_inputs=WINDOW,
-            max_outputs=WINDOW,
-            n_samples=n_samples,
-            max_iterations=max_iterations,
-            strategy="full",
-            chunk_words=chunk,
-        )
-        t0 = time.perf_counter()
-        result = explore(circuit, config, windows=windows, profiles=profiles)
-        return time.perf_counter() - t0, result
-
-    wall_s, chunked = run_once(chunk_words)
+    wall_s, chunked = _run_streaming_once(
+        circuit, windows, profiles, n_samples, chunk_words, max_iterations,
+        shard_jobs=shard_jobs, cache_chunks=cache_chunks,
+    )
     stats = chunked.runtime_stats
-    budget_bytes = 2 * 8 * circuit.n_nodes * chunk_words
+    budget_bytes = (2 + cache_chunks) * 8 * circuit.n_nodes * chunk_words
     resident_bytes = 8 * circuit.n_nodes * (
         (n_samples + 63) // 64
     )
@@ -280,36 +323,106 @@ def _streaming(
     report = {
         "n_samples": n_samples,
         "chunk_words": chunk_words,
+        "shard_jobs": stats.shard_jobs,
+        "cache_chunks": cache_chunks,
         "iterations_run": len(chunked.trajectory) - 1,
         "n_evaluations": chunked.n_evaluations,
         "n_chunk_passes": stats.n_chunk_passes,
+        "n_shard_tasks": stats.n_shard_tasks,
+        "n_stacked_blocks": stats.n_stacked_blocks,
+        "chunk_cache_hits": stats.n_chunk_cache_hits,
+        "chunk_cache_misses": stats.n_chunk_cache_misses,
         "wall_s": round(wall_s, 3),
         "candidate_samples_per_sec": round(
             chunked.n_evaluations * n_samples / wall_s
         ),
         "peak_rss_mb": round(_peak_rss_mb(), 1),
-        "peak_sample_matrix_mb": round(
+        "peak_sample_matrix_mb_per_process": round(
             stats.peak_sample_matrix_bytes / 1e6, 3
         ),
-        "chunk_budget_mb": round(budget_bytes / 1e6, 3),
+        "chunk_budget_mb_per_process": round(budget_bytes / 1e6, 3),
         "resident_matrix_mb": round(resident_bytes / 1e6, 3),
         "memory_bounded_by_budget": True,  # asserted above
     }
     if verify_resident:
-        _, resident = run_once(None)
-        key = lambda r: [
-            (p.iteration, p.window_index, p.f, p.qor, p.est_area, p.fs)
-            for p in r.trajectory
-        ]
-        assert key(chunked) == key(resident), (
+        _, resident = _run_streaming_once(
+            circuit, windows, profiles, n_samples, None, max_iterations
+        )
+        assert _trajectory_key(chunked) == _trajectory_key(resident), (
             "streamed trajectory diverged from resident execution"
         )
         report["trajectories_byte_identical"] = True
     return report
 
 
+def _scaling(circuit, windows, profiles, n_samples, chunk_words, jobs_list):
+    """Shard-worker scaling sweep at one streaming configuration.
+
+    Every sharded row's trajectory is asserted byte-identical to the
+    serial (jobs=1) row; wall-clock speedup vs. serial is recorded per
+    row and the ≥ ``MIN_SHARD_SPEEDUP``× bar at ≥ 4 workers is enforced
+    only when the host exposes ≥ 4 usable cores.
+    """
+    rows = []
+    serial_wall = None
+    serial_key = None
+    cores = _usable_cores()
+    for jobs in jobs_list:
+        wall_s, result = _run_streaming_once(
+            circuit, windows, profiles, n_samples, chunk_words,
+            ITERATIONS_STREAMING, shard_jobs=jobs,
+            cache_chunks=SCALING_CACHE_CHUNKS,
+        )
+        stats = result.runtime_stats
+        key = _trajectory_key(result)
+        if serial_wall is None:
+            serial_wall, serial_key = wall_s, key
+        assert key == serial_key, (
+            f"sharded trajectory at {jobs} workers diverged from serial"
+        )
+        rows.append({
+            "shard_jobs": jobs,
+            "wall_s": round(wall_s, 3),
+            "speedup_vs_serial": round(serial_wall / wall_s, 3),
+            "candidate_samples_per_sec": round(
+                result.n_evaluations * n_samples / wall_s
+            ),
+            "n_shard_tasks": stats.n_shard_tasks,
+            "n_chunk_passes": stats.n_chunk_passes,
+            "chunk_cache_hits": stats.n_chunk_cache_hits,
+            "peak_sample_matrix_mb_per_process": round(
+                stats.peak_sample_matrix_bytes / 1e6, 3
+            ),
+            "trajectory_identical_to_serial": True,  # asserted above
+        })
+    section = {
+        "n_samples": n_samples,
+        "chunk_words": chunk_words,
+        "cache_chunks": SCALING_CACHE_CHUNKS,
+        "usable_cores": cores,
+        "rows": rows,
+    }
+    wide = [r for r in rows if r["shard_jobs"] >= 4]
+    if cores >= 4 and wide:
+        best = max(r["speedup_vs_serial"] for r in wide)
+        assert best >= MIN_SHARD_SPEEDUP, (
+            f"shard speedup {best} below {MIN_SHARD_SPEEDUP}x at >=4 "
+            f"workers on a {cores}-core host"
+        )
+    return section
+
+
+def _merge_section(section_name: str, section: dict, write: bool) -> None:
+    if not write:
+        return
+    report = json.loads(OUT_PATH.read_text()) if OUT_PATH.exists() else {}
+    report[section_name] = section
+    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+
 def run_streaming(
-    n_samples: int, chunk_words: int, write: bool = True
+    n_samples: int, chunk_words: int, shard_jobs: int = 1,
+    cache_chunks: int = 0, write: bool = True,
 ) -> dict:
     """The ``--samples`` mode: streaming section only, merged into the
     committed JSON (the full-run sections are left untouched)."""
@@ -322,17 +435,29 @@ def run_streaming(
         chunk_words,
         ITERATIONS_STREAMING,
         verify_resident=False,
+        shard_jobs=shard_jobs,
+        cache_chunks=cache_chunks,
     )
-    if write:
-        report = (
-            json.loads(OUT_PATH.read_text()) if OUT_PATH.exists() else {}
-        )
-        report["streaming"] = section
-        OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    _merge_section("streaming", section, write)
     return section
 
 
-def run(smoke: bool = False, write: bool = True) -> dict:
+def run_scaling(
+    n_samples: int, chunk_words: int, jobs_list=SCALING_JOBS,
+    write: bool = True, smoke: bool = False,
+) -> dict:
+    """The ``--scaling`` mode: shard sweep section only, merged into the
+    committed JSON (``smoke`` shrinks the sweep to CI scale and writes
+    nothing, like every other smoke mode)."""
+    circuit, windows, profiles = _setup(smoke)
+    section = _scaling(
+        circuit, windows, profiles, n_samples, chunk_words, list(jobs_list)
+    )
+    _merge_section("streaming_scaling", section, write and not smoke)
+    return section
+
+
+def run(smoke: bool = False, write: bool = True, shard_jobs: int = 1) -> dict:
     circuit, windows, profiles = _setup(smoke)
     n_samples = SAMPLES_SMOKE if smoke else SAMPLES_FULL
     report = {
@@ -358,7 +483,8 @@ def run(smoke: bool = False, write: bool = True) -> dict:
         ),
         # The chunked path, exercised on every run (tiny chunk so several
         # chunk boundaries land inside the sample set) and asserted
-        # trajectory-identical to resident execution.
+        # trajectory-identical to resident execution — sharded across
+        # worker processes when --shard-jobs asks for it (the CI leg).
         "streaming_smoke": _streaming(
             circuit,
             windows,
@@ -367,6 +493,7 @@ def run(smoke: bool = False, write: bool = True) -> dict:
             CHUNK_WORDS_SMOKE,
             ITERATIONS_SMOKE,
             verify_resident=True,
+            shard_jobs=shard_jobs,
         ),
     }
     assert report["explore"]["trajectories_byte_identical"], (
@@ -389,12 +516,13 @@ def run(smoke: bool = False, write: bool = True) -> dict:
             f"{MIN_EXPLORE_SPEEDUP}x"
         )
         if write:
-            # Preserve the streaming section of a prior --samples run;
+            # Preserve the sections prior --samples/--scaling runs wrote;
             # the full run refreshes every other section.
             if OUT_PATH.exists():
                 prior = json.loads(OUT_PATH.read_text())
-                if "streaming" in prior:
-                    report["streaming"] = prior["streaming"]
+                for section in ("streaming", "streaming_scaling"):
+                    if section in prior:
+                        report[section] = prior[section]
             OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
     return report
 
@@ -421,13 +549,46 @@ def main() -> None:
         "--chunk-words",
         type=int,
         default=CHUNK_WORDS_STREAMING,
-        help="packed words per chunk for the --samples streaming mode",
+        help="packed words per chunk for the --samples/--scaling modes",
+    )
+    parser.add_argument(
+        "--shard-jobs",
+        type=int,
+        default=None,
+        help="shard worker processes for the streaming legs (--samples "
+        "and the --smoke streaming section; trajectory identity is still "
+        "asserted).  With --scaling, sweeps {1, N} instead of the default "
+        f"{SCALING_JOBS}",
+    )
+    parser.add_argument(
+        "--scaling",
+        action="store_true",
+        help="shard-worker scaling sweep at --samples scale (default "
+        f"{SAMPLES_STREAMING} patterns, workers {SCALING_JOBS}); records "
+        "wall time and peak per-process sample-matrix bytes per row.  "
+        "Honors --smoke (CI-sized sweep, nothing written)",
     )
     args = parser.parse_args()
-    if args.samples is not None:
-        report = run_streaming(args.samples, args.chunk_words)
+    if args.scaling:
+        jobs_list = (
+            SCALING_JOBS
+            if args.shard_jobs is None
+            else sorted({1, max(args.shard_jobs, 1)})
+        )
+        if args.smoke:
+            report = run_scaling(
+                SAMPLES_SMOKE, CHUNK_WORDS_SMOKE, jobs_list, smoke=True
+            )
+        else:
+            report = run_scaling(
+                args.samples or SAMPLES_STREAMING, args.chunk_words, jobs_list
+            )
+    elif args.samples is not None:
+        report = run_streaming(
+            args.samples, args.chunk_words, shard_jobs=args.shard_jobs or 1
+        )
     else:
-        report = run(smoke=args.smoke)
+        report = run(smoke=args.smoke, shard_jobs=args.shard_jobs or 1)
     print(json.dumps(report, indent=2))
 
 

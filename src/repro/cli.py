@@ -39,6 +39,8 @@ def _config(args) -> ExplorerConfig:
         weight_mode=args.weights,
         seed=args.seed,
         jobs=args.jobs,
+        shard_jobs=args.shard_jobs,
+        chunk_cache_chunks=args.chunk_cache_chunks,
         cache_dir=args.cache_dir,
         engine=args.engine,
         chunk_words=args.chunk_words,
@@ -62,7 +64,20 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                    default="significance", help="BMF QoR weighting (§3.2)")
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--jobs", type=int, default=1,
-                   help="parallel profiling worker processes (0 = all cores)")
+                   help="worker processes for profiling and, unless "
+                        "--shard-jobs overrides it, streaming shard scans "
+                        "(0 = all cores)")
+    p.add_argument("--shard-jobs", type=int, default=None,
+                   help="worker processes for the streaming engine's "
+                        "chunk-sharded candidate scans (default: follow "
+                        "--jobs; 0 = all cores; requires --chunk-words or "
+                        "--chunk-budget-mb; trajectories stay byte-identical "
+                        "for any worker count)")
+    p.add_argument("--chunk-cache-chunks", type=int, default=0,
+                   help="cone-epoch chunk-cache capacity: cached per-chunk committed "
+                        "base slices reused across iterations (0 disables; "
+                        "each slice costs up to 8*n_nodes*chunk_words bytes "
+                        "per process)")
     p.add_argument("--cache-dir",
                    help="persistent profiling cache directory; warm runs "
                         "skip factorization and variant synthesis")

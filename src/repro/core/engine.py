@@ -965,15 +965,21 @@ def make_evaluator(
     engine: str = "compiled",
     stats: Optional[RuntimeStats] = None,
     chunk_words: Optional[int] = None,
+    shard_jobs: int = 1,
+    cache_chunks: int = 0,
 ) -> IncrementalEvaluator:
     """Construct the evaluation engine selected by ``engine``.
 
     ``chunk_words`` (compiled engine only) selects streaming execution:
     the pattern axis is processed in word-aligned chunks of at most that
     many packed words, bounding sample-matrix memory by the chunk budget
-    instead of the total pattern count.  Trajectory floats are
-    bit-identical to resident execution for any chunk size (DESIGN.md
-    "Streaming execution").
+    instead of the total pattern count.  ``shard_jobs`` fans the
+    streaming chunk loop across worker processes (``1`` = in-process)
+    and ``cache_chunks`` bounds the cone-epoch base-slice cache — both
+    meaningful only with ``chunk_words`` set.  Trajectory floats are
+    bit-identical to resident execution for any chunk size, shard count
+    and cache capacity (DESIGN.md "Streaming execution" / "Parallel
+    streaming").
     """
     if engine not in ENGINES:
         raise SimulationError(
@@ -989,6 +995,7 @@ def make_evaluator(
         return StreamingEvaluator(
             circuit, windows, input_words, n_samples,
             chunk_words=chunk_words, stats=stats,
+            shard_jobs=shard_jobs, cache_chunks=cache_chunks,
         )
     cls = CompiledEvaluator if engine == "compiled" else IncrementalEvaluator
     return cls(circuit, windows, input_words, n_samples, stats=stats)

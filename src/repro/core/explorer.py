@@ -33,7 +33,7 @@ from ..circuit.stimulus import stimulus_input_words
 from ..partition.decompose import decompose
 from ..partition.substitute import substitute_windows
 from ..partition.windows import Window
-from ..runtime import ProfileCache, RuntimeStats
+from ..runtime import ProfileCache, RuntimeStats, effective_jobs
 from ..synth.espresso import EspressoOptions
 from ..synth.library import LIB65, Library
 from ..circuit.simulate import words_for
@@ -81,8 +81,24 @@ class ExplorerConfig:
         refine_passes: Decomposition refinement passes.
         estimate_area: Synthesize per-variant area estimates during
             profiling (needed for area trajectories).
-        jobs: Worker processes for the profiling phase (``0`` = all cores,
-            ``1`` = serial); profiles are byte-identical whatever the count.
+        jobs: Worker processes for the profiling phase *and*, unless
+            ``shard_jobs`` overrides it, for streaming shard scans
+            (``0`` = all cores, ``1`` = serial); results are
+            byte-identical whatever the count.
+        shard_jobs: Worker processes for the streaming engine's
+            chunk-sharded candidate scans.  ``None`` (default) follows
+            ``jobs`` — one knob governs both phases; set explicitly to
+            decouple them (``0`` = all cores, ``1`` = in-process).
+            Only meaningful with streaming execution (``chunk_words`` or
+            ``chunk_budget_mb``); sharded trajectories are byte-identical
+            to serial streaming for every worker count.
+        chunk_cache_chunks: Capacity of the streaming engine's cone-epoch
+            base-slice cache (cached per-chunk committed base states; a
+            commit invalidates exactly the chunks whose valid bits it
+            changed).  ``0`` (default) disables cross-iteration chunk
+            caching.  Each cached slice costs up to ``8 × n_nodes ×
+            chunk_words`` bytes per process — the auto budget accounts
+            for it (see :func:`repro.core.streaming.auto_chunk_words`).
         cache_dir: Directory for the persistent profiling cache (None
             disables caching).  Warm runs skip all BMF factorization and
             variant synthesis.
@@ -127,6 +143,8 @@ class ExplorerConfig:
     library: Library = LIB65
     espresso: EspressoOptions = EspressoOptions()
     jobs: int = 1
+    shard_jobs: Optional[int] = None
+    chunk_cache_chunks: int = 0
     cache_dir: Optional[str] = None
     engine: str = "compiled"
     chunk_words: Optional[int] = None
@@ -149,11 +167,25 @@ class ExplorerConfig:
             raise ExplorationError(
                 f"chunk_budget_mb must be positive, got {self.chunk_budget_mb}"
             )
+        if self.chunk_cache_chunks < 0:
+            raise ExplorationError(
+                f"chunk_cache_chunks must be >= 0, got {self.chunk_cache_chunks}"
+            )
         if self.engine == "reference" and (
             self.chunk_words is not None or self.chunk_budget_mb is not None
         ):
             raise ExplorationError(
                 "chunked (streaming) execution requires the compiled engine"
+            )
+        streaming = (
+            self.chunk_words is not None or self.chunk_budget_mb is not None
+        )
+        if not streaming and (
+            self.shard_jobs is not None or self.chunk_cache_chunks > 0
+        ):
+            raise ExplorationError(
+                "shard_jobs / chunk_cache_chunks require streaming "
+                "execution (set chunk_words or chunk_budget_mb)"
             )
 
 
@@ -307,16 +339,22 @@ def explore(
             runtime_stats=runtime_stats,
         )
     profiles = list(profiles)
-    profile_by_index = {p.window.index: p for p in profiles}
 
     rng = np.random.default_rng(config.seed)
     input_words = stimulus_input_words(circuit, config.n_samples, rng)
+    # One jobs policy for every dispatch layer: --jobs governs profiling
+    # *and* (unless shard_jobs overrides it) streaming shard scans.
+    shard_jobs = effective_jobs(
+        config.jobs if config.shard_jobs is None else config.shard_jobs
+    )
     chunk_words = config.chunk_words
     if chunk_words is None and config.chunk_budget_mb is not None:
         chunk_words = auto_chunk_words(
             circuit.n_nodes,
             int(config.chunk_budget_mb * 1e6),
             words_for(config.n_samples),
+            jobs=shard_jobs,
+            cache_chunks=config.chunk_cache_chunks,
         )
     evaluator = make_evaluator(
         circuit,
@@ -326,7 +364,27 @@ def explore(
         engine=config.engine,
         stats=runtime_stats,
         chunk_words=chunk_words,
+        shard_jobs=shard_jobs,
+        cache_chunks=config.chunk_cache_chunks,
     )
+    try:
+        return _run_exploration(
+            circuit, config, windows, profiles, evaluator, runtime_stats
+        )
+    finally:
+        evaluator.close()
+
+
+def _run_exploration(
+    circuit: Circuit,
+    config: ExplorerConfig,
+    windows: List[Window],
+    profiles: List[WindowProfile],
+    evaluator,
+    runtime_stats: RuntimeStats,
+) -> ExplorationResult:
+    """Algorithm 1's greedy loop over a constructed evaluation engine."""
+    profile_by_index = {p.window.index: p for p in profiles}
     qor_eval = QoREvaluator(
         circuit, evaluator.exact_outputs, config.n_samples, config.qor
     )

@@ -94,6 +94,15 @@ class IncrementalEvaluator:
         if self._stats is not None:
             self._stats.note_sample_matrix(self._values.nbytes)
 
+    def close(self) -> None:
+        """Release execution resources (hook).
+
+        The resident engines hold nothing that needs explicit teardown;
+        the streaming engine overrides this to shut down its shard
+        worker pool.  :func:`repro.core.explorer.explore` calls it
+        unconditionally when exploration finishes.
+        """
+
     # ------------------------------------------------------------------
     @property
     def exact_outputs(self) -> np.ndarray:

@@ -338,6 +338,30 @@ class QoREvaluator:
             sorted({pos for row in rows for pos in self._row_words[row]})
         )
 
+    def splice_partials(
+        self, pos: int, slices: Iterable[Tuple[int, int, np.ndarray]]
+    ) -> float:
+        """Total error sum of word ``pos`` with chunk slices spliced in.
+
+        ``slices`` are ``(word start, word stop, partials)`` pieces over
+        disjoint word-aligned ranges of the pattern axis — the chunks a
+        candidate actually dirtied; every other range keeps the rebased
+        committed partial, which a fresh evaluation would reproduce
+        exactly.  The splice rebuilds the identical partials vector a
+        resident evaluation computes (a partial depends only on its own
+        64 samples) and reduces it with the same single ``ndarray.sum()``
+        — so the returned float is bit-identical whatever the chunking or
+        sharding that produced the slices (DESIGN.md "Parallel
+        streaming").
+
+        Raises:
+            SimulationError: before the first :meth:`rebase`.
+        """
+        vec = self.base_partials(pos).copy()
+        for start, stop, part in slices:
+            vec[start:stop] = part
+        return float(vec.sum())
+
     def evaluate_spliced(self, word_sums: Dict[int, float]) -> float:
         """Configured metric from the rebased sums with per-word overrides.
 

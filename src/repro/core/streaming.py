@@ -1,5 +1,5 @@
 """Streaming (chunked) exploration engine: million-pattern sweeps in
-bounded memory.
+bounded memory, shardable across worker processes.
 
 The resident engines hold the whole sample set in one
 ``(n_nodes, words_for(n))`` value matrix; at the paper's 10^6
@@ -20,14 +20,40 @@ What stays resident (all independent of the node count):
   :meth:`repro.core.qor.QoREvaluator.rebase` consumes);
 * the committed window tables and the compiled schedules (pattern-free).
 
-Per chunk, a scan (a) rebuilds the committed base state by executing the
-whole-plan iteration schedule on the chunk's input slice, (b) gathers
-every requested window's candidate seeds through per-chunk input-index /
-stacked-seed caches shared across that window's candidates, (c) sweeps
-each candidate's compiled cone against the chunk base, and (d) folds the
-dirtied output rows into per-candidate QoR accumulators — canonical
-per-packed-word partial sums for value metrics, exact integer mismatch
-deltas for hamming.  Nothing pattern-sized survives the chunk.
+Per chunk, a scan (a) rebuilds — or serves from the bounded cone-epoch
+cache — the committed base state for the chunk's input slice, (b)
+gathers every requested window's candidate seeds through per-chunk
+input-index / stacked-seed caches shared across that window's
+candidates, (c) sweeps the candidates through **block-stacked** cone
+executions (candidates stacked along the word axis, the same layout the
+resident ``preview_scan`` uses, capped so the stacked matrix stays
+inside the chunk budget), and (d) folds the dirtied output rows into
+per-candidate accumulators — canonical per-packed-word partial slices
+for value metrics, exact integer mismatch deltas for hamming.  Nothing
+pattern-sized survives the chunk.
+
+**Sharding** (DESIGN.md "Parallel streaming"): the per-chunk work above
+is a pure function of (committed tables, input slice, candidate
+tables), so the chunk loop fans out across worker processes through the
+pluggable executor layer (:mod:`repro.runtime.executor`).  Contiguous
+chunk ranges become picklable :class:`~repro.runtime.executor.ScanShard`
+tasks executed by per-process :class:`ShardWorker`\\ s; the returned
+accumulators merge in shard order — dirty-row unions, disjoint partial
+slices, integer delta sums — so merged results are byte-identical to
+serial streaming *by construction*, not by floating-point luck.
+
+**Cone-epoch chunk cache**: a commit leaves most chunks' base values
+untouched on every valid bit (its cone seed often matches the old state
+on a chunk's patterns).  The engine therefore keeps a bounded cache of
+per-chunk base slices tagged with the commit *epoch* they were computed
+at; each commit bumps the global epoch and records, per chunk, whether
+its sweep actually changed valid bits.  A cached slice is served while
+its epoch is at least the chunk's last-dirtying epoch — so commits
+outside a chunk's dirty cone stop forcing base-pass recomputation
+across iterations.  Parent-side entries of dirtied chunks are repaired
+in place from the commit sweep (exactly how the resident engine folds
+overlays into its value cache); worker-side entries invalidate through
+the epoch watermarks shipped with every shard task.
 
 Determinism contract (DESIGN.md "Streaming execution"): chunked
 execution is byte-identical to resident execution on every trajectory
@@ -36,9 +62,12 @@ evaluation is per-word, so word-aligned chunking reproduces every valid
 bit; the QoR canonical order is *per-packed-word* partials (a partial
 depends only on its own 64 samples), so chunk accumulation rebuilds the
 identical partials vector; and dirty tracking compares valid bits only,
-so per-chunk dirty unions equal the resident dirty sets.  The test suite
-asserts trajectory identity across chunk sizes the same way
-compiled-vs-reference identity is asserted.
+so per-chunk dirty unions equal the resident dirty sets.  Sharding and
+block-stacking change neither: shard boundaries coincide with chunk
+boundaries, and a stacked block computes the same per-word bits as a
+solo sweep.  The test suite asserts trajectory identity across chunk
+sizes *and shard counts* the same way compiled-vs-reference identity is
+asserted.
 
 Memoization across iterations stores, per candidate, only the dirty row
 set and the affected per-output-word *totals* (floats / integer counts)
@@ -51,6 +80,7 @@ whole-axis reductions, never per-chunk state).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -59,14 +89,25 @@ from ..circuit.netlist import Circuit
 from ..circuit.simulate import (
     _FULL_WORD,
     WORD_BITS,
+    pack_bits,
     plan_chunks,
     simulate_outputs,
     tail_mask,
     words_for,
 )
 from ..errors import SimulationError
-from ..runtime import RuntimeStats
+from ..runtime import RuntimeStats, effective_jobs
+from ..runtime.executor import (
+    ScanShard,
+    ShardOutcome,
+    StreamContext,
+    make_shard_executor,
+    merge_accumulator,
+    new_accumulator,
+    plan_shards,
+)
 from .engine import (
+    MAX_SCAN_BLOCKS,
     CompiledEvaluator,
     ConeSchedule,
     WindowInstr,
@@ -76,28 +117,132 @@ from .engine import (
     input_index_from_rows,
     stacked_seed_gather,
 )
-from .qor import QoREvaluator, circuit_words
+from .qor import QoREvaluator, QoRSpec, circuit_words
 
 
 def auto_chunk_words(
-    n_nodes: int, budget_bytes: int, total_words: int
+    n_nodes: int,
+    budget_bytes: int,
+    total_words: int,
+    jobs: int = 1,
+    cache_chunks: int = 0,
 ) -> Optional[int]:
     """Chunk size (packed words) fitting a sample-matrix byte budget.
 
-    The streaming engine's peak sample-matrix working set is one chunk of
-    base state plus one concurrent sweep working set — at most
-    ``2 × 8 × n_nodes`` bytes per chunk word — so the budget maps to
-    ``budget_bytes // (16 × n_nodes)`` words.
+    The streaming engine's peak sample-matrix working set **per process**
+    is one chunk of base state, one concurrent (possibly block-stacked)
+    sweep working set, and up to ``cache_chunks`` cached base slices —
+    at most ``(2 + cache_chunks) × 8 × n_nodes`` bytes per chunk word.
+    With ``jobs`` shard workers each process holds its own working set
+    concurrently, so the budget divides across them::
 
-    Returns ``None`` when the budget already fits the resident matrix
-    (``8 × n_nodes × total_words`` bytes): chunking would only add
-    per-chunk overhead — and, between 1× and 2× the resident size, a
-    *larger* working set — without saving anything.
+        chunk_words = budget_bytes // (jobs × (2 + cache_chunks) × 8 × n_nodes)
+
+    Returns ``None`` when a single-process run's budget already fits the
+    resident matrix (``8 × n_nodes × total_words`` bytes): chunking would
+    only add per-chunk overhead — and, between 1× and 2× the resident
+    size, a *larger* working set — without saving anything.  With
+    ``jobs > 1`` the resident fallback is disabled: only the streaming
+    engine shards, so a multi-worker request always chunks.
     """
-    if 8 * max(n_nodes, 1) * total_words <= budget_bytes:
+    jobs = max(int(jobs), 1)
+    cache_chunks = max(int(cache_chunks), 0)
+    if jobs == 1 and 8 * max(n_nodes, 1) * total_words <= budget_bytes:
         return None
-    per_word = 2 * 8 * max(n_nodes, 1)
-    return max(1, int(budget_bytes // per_word))
+    per_word = (2 + cache_chunks) * 8 * max(n_nodes, 1) * jobs
+    chunk = max(1, int(budget_bytes // per_word))
+    if jobs > 1:
+        # A generous budget must not collapse the plan below the worker
+        # count — a single chunk cannot shard, which would silently drop
+        # the explicitly requested parallelism.
+        chunk = min(chunk, max(1, -(-total_words // jobs)))
+    return chunk
+
+
+class ChunkBaseCache:
+    """Bounded cone-epoch cache of per-chunk committed base-state slices.
+
+    Entries are keyed by chunk word start and tagged with the commit
+    epoch they are valid *as of*; :meth:`get` serves an entry only while
+    its epoch is at least the chunk's last-dirtying epoch (the caller
+    passes the watermark), evicting stale entries on sight.
+
+    Admission is *pinned*, not LRU: a new chunk is admitted only while a
+    slot is free (stale-entry eviction frees slots).  Scan and commit
+    passes walk the chunk plan cyclically, and under cyclic access LRU
+    rotation is pathological — with ``capacity < n_chunks`` every pass
+    evicts exactly the chunks the next pass needs first, yielding zero
+    hits; pinning the first ``capacity`` admitted chunks guarantees
+    ``capacity`` hits per pass instead (the Belady-optimal bounded
+    policy for a uniform cycle).
+
+    ``nbytes`` tracks the resident cache footprint for the sample-matrix
+    accounting — each entry is at most one full chunk of base state,
+    which is what the ``(2 + cache_chunks)``-per-word budget formula
+    charges for.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise SimulationError(
+                f"ChunkBaseCache capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[int, List]" = OrderedDict()
+        self.nbytes = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, start: int, min_epoch: int) -> Optional[np.ndarray]:
+        entry = self._entries.get(start)
+        if entry is None:
+            return None
+        if entry[0] < min_epoch:
+            del self._entries[start]
+            self.nbytes -= entry[1].nbytes
+            return None
+        return entry[1]
+
+    def put(self, start: int, epoch: int, values: np.ndarray) -> None:
+        entry = self._entries.get(start)
+        if entry is not None:
+            self.nbytes += values.nbytes - entry[1].nbytes
+            entry[0] = epoch
+            entry[1] = values
+            return
+        if len(self._entries) >= self.capacity:
+            return  # full: later chunks stream through uncached
+        self._entries[start] = [epoch, values]
+        self.nbytes += values.nbytes
+
+    def peek(self, start: int) -> Optional[np.ndarray]:
+        """The cached slice regardless of epoch (commit folding repairs
+        stale values in place rather than recomputing them)."""
+        entry = self._entries.get(start)
+        return None if entry is None else entry[1]
+
+    def drop_outside(self, keep: set) -> None:
+        """Evict entries whose chunk start is not in ``keep``.
+
+        Re-pins the cache to a new chunk range: pool scheduling gives
+        shard workers no stable shard assignment, so a worker handed a
+        different range must free its pinned slots for the chunks it is
+        actually about to walk — otherwise a full cache of unreachable
+        chunks yields zero hits forever while still charging its share
+        of the memory budget.
+        """
+        for start in [s for s in self._entries if s not in keep]:
+            _, values = self._entries.pop(start)
+            self.nbytes -= values.nbytes
+
+    def retag(self, start: int, epoch: int) -> None:
+        entry = self._entries.get(start)
+        if entry is not None:
+            entry[0] = epoch
+
+    def holds_array(self, values: np.ndarray) -> bool:
+        return any(entry[1] is values for entry in self._entries.values())
 
 
 class StreamingEvaluator(CompiledEvaluator):
@@ -107,9 +252,20 @@ class StreamingEvaluator(CompiledEvaluator):
         circuit / windows / input_words / n_samples / stats: As for
             :class:`CompiledEvaluator`.
         chunk_words: Maximum packed words per pattern-axis chunk (≥ 1).
-            Peak sample-matrix memory is ``≤ 2 × 8 × n_nodes ×
-            chunk_words`` bytes (base state + sweep working set),
-            recorded in ``stats.peak_sample_matrix_bytes``.
+            Peak sample-matrix memory **per process** is ``≤ (2 +
+            cache_chunks) × 8 × n_nodes × chunk_words`` bytes (base state
+            + stacked sweep working set + cached base slices), recorded
+            in ``stats.peak_sample_matrix_bytes``.
+        shard_jobs: Worker processes for chunk-sharded scans (``0`` = all
+            cores through :func:`repro.runtime.parallel.effective_jobs`,
+            ``1`` = in-process execution).  Sharded trajectories are
+            byte-identical to serial streaming for any worker count.
+        cache_chunks: Capacity of the cone-epoch base-slice cache (``0``
+            disables cross-iteration chunk caching).  Each shard worker
+            keeps its own cache of the same capacity.
+        exact_outputs: Precomputed packed exact output rows; skips the
+            initial full-axis simulation (the shard-worker fast path —
+            workers receive the parent's exact rows in their context).
 
     The resident preview APIs (:meth:`preview`, :meth:`preview_batch`,
     :meth:`preview_batch_delta`, :meth:`preview_scan`) are unavailable —
@@ -128,12 +284,33 @@ class StreamingEvaluator(CompiledEvaluator):
         n_samples: int,
         chunk_words: int,
         stats: Optional[RuntimeStats] = None,
+        shard_jobs: int = 1,
+        cache_chunks: int = 0,
+        exact_outputs: Optional[np.ndarray] = None,
     ) -> None:
         if chunk_words < 1:
             raise SimulationError(
                 f"chunk_words must be >= 1, got {chunk_words}"
             )
+        if cache_chunks < 0:
+            raise SimulationError(
+                f"cache_chunks must be >= 0, got {cache_chunks}"
+            )
         self._chunk_words = int(chunk_words)
+        self._shard_jobs = effective_jobs(shard_jobs)
+        self._cache_chunks = int(cache_chunks)
+        self._base_cache = (
+            ChunkBaseCache(cache_chunks) if cache_chunks > 0 else None
+        )
+        #: Commit epoch: bumped by every commit; cache entries and the
+        #: per-chunk dirty watermarks below are expressed in it.
+        self._epoch = 0
+        #: chunk word start -> epoch of the last commit that changed the
+        #: chunk's valid bits (absent = never dirtied).
+        self._chunk_epoch: Dict[int, int] = {}
+        self._executor = None
+        self._executor_ready = False
+        self._precomputed_exact = exact_outputs
         super().__init__(circuit, windows, input_words, n_samples, stats=stats)
         self._chunks = [
             c for c in plan_chunks(n_samples, self._chunk_words) if c.n_valid
@@ -157,6 +334,7 @@ class StreamingEvaluator(CompiledEvaluator):
         self._stream_memo: Dict[int, Tuple] = {}
         if stats is not None:
             stats.chunk_words = self._chunk_words
+            stats.shard_jobs = self._shard_jobs
 
     # -- resident-state override ---------------------------------------
     def _init_values(self, input_words: np.ndarray) -> None:
@@ -165,12 +343,17 @@ class StreamingEvaluator(CompiledEvaluator):
         self._n_words = words_for(self.n)
         self.input_words = np.ascontiguousarray(words[:, : self._n_words])
         self._values = None  # no resident node-value cache, by design
-        self._exact_outputs = simulate_outputs(
-            self.circuit,
-            self.input_words,
-            chunk_words=self._chunk_words,
-            n_samples=self.n,
-        )
+        if self._precomputed_exact is not None:
+            self._exact_outputs = np.atleast_2d(
+                np.asarray(self._precomputed_exact, dtype=np.uint64)
+            ).copy()
+        else:
+            self._exact_outputs = simulate_outputs(
+                self.circuit,
+                self.input_words,
+                chunk_words=self._chunk_words,
+                n_samples=self.n,
+            )
         if self._stats is not None:
             chunk = min(self._chunk_words, self._n_words)
             self._stats.note_sample_matrix(
@@ -181,6 +364,34 @@ class StreamingEvaluator(CompiledEvaluator):
         """Packed outputs under the committed substitutions (resident —
         output rows are O(n_outputs × W), not O(n_nodes × W))."""
         return self._out_words.copy()
+
+    # -- executor lifecycle --------------------------------------------
+    def _shard_executor(self):
+        """The scan executor, built lazily on first use (``None`` when
+        in-process execution is in effect: one job, a single chunk, or a
+        platform without process pools)."""
+        if self._executor_ready:
+            return self._executor
+        self._executor_ready = True
+        if self._shard_jobs > 1 and len(self._chunks) > 1:
+            context = StreamContext(
+                circuit=self.circuit,
+                windows=tuple(self.windows),
+                input_words=self.input_words,
+                n_samples=self.n,
+                chunk_words=self._chunk_words,
+                exact_outputs=self._exact_outputs,
+                cache_chunks=self._cache_chunks,
+            )
+            self._executor = make_shard_executor(context, self._shard_jobs)
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down the shard worker pool (no-op when in-process)."""
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+        self._executor_ready = False
 
     # -- unsupported resident APIs -------------------------------------
     def _no_resident(self, name: str):
@@ -200,7 +411,31 @@ class StreamingEvaluator(CompiledEvaluator):
 
     # -- chunked base state --------------------------------------------
     def _base_values(self, chunk) -> np.ndarray:
-        """Committed-state value matrix for one chunk, from scratch.
+        """Committed-state value matrix for one chunk.
+
+        Served from the cone-epoch cache when a slice computed at or
+        after the chunk's last-dirtying epoch is resident; otherwise
+        recomputed from scratch (and cached).  Cached and fresh slices
+        agree on every valid bit — a cache hit can shift gate *tails*
+        only, which the tail-bit invariant permits and no consumer reads.
+        """
+        cache = self._base_cache
+        if cache is not None:
+            cached = cache.get(chunk.start, self._chunk_epoch.get(chunk.start, 0))
+            if cached is not None:
+                if self._stats is not None:
+                    self._stats.n_chunk_cache_hits += 1
+                    self._stats.note_sample_matrix(cache.nbytes)
+                return cached
+            if self._stats is not None:
+                self._stats.n_chunk_cache_misses += 1
+        values = self._compute_base(chunk)
+        if cache is not None:
+            cache.put(chunk.start, self._epoch, values)
+        return values
+
+    def _compute_base(self, chunk) -> np.ndarray:
+        """Rebuild one chunk's committed base state from scratch.
 
         Executes the whole-plan iteration schedule (committed windows as
         table gathers, everything else as levelized gate batches) on the
@@ -233,56 +468,127 @@ class StreamingEvaluator(CompiledEvaluator):
             self._stats.note_sample_matrix(values.nbytes)
         return values
 
-    # -- chunked cone sweeps -------------------------------------------
-    def _run_cone_chunk(
+    def _note_working_set(self, base: np.ndarray, local: np.ndarray) -> None:
+        """Record the concurrent sample-matrix bytes of one sweep."""
+        stats = self._stats
+        if stats is None:
+            return
+        held = local.nbytes + base.nbytes
+        if self._base_cache is not None:
+            held = local.nbytes + self._base_cache.nbytes
+            if not self._base_cache.holds_array(base):
+                held += base.nbytes
+        stats.note_sample_matrix(held)
+
+    # -- block-stacked chunked cone sweeps ------------------------------
+    def _block_capacity(self, cone: ConeSchedule, chunk_words: int) -> int:
+        """Candidate blocks one stacked pass may hold within the budget.
+
+        The stacked local matrix occupies ``cone.n_slots × blocks ×
+        chunk words`` packed words; capping blocks at
+        ``(n_nodes × chunk_words) // (n_slots × cw)`` keeps it no larger
+        than one full chunk of base state, so the documented per-process
+        peak of ``(2 + cache_chunks) × 8 × n_nodes × chunk_words`` bytes
+        holds with stacking enabled.  Always ≥ 1 (``n_slots ≤ n_nodes``
+        and ``cw ≤ chunk_words``), and never beyond the engine-wide
+        :data:`~repro.core.engine.MAX_SCAN_BLOCKS`.
+        """
+        budget_words = self.circuit.n_nodes * self._chunk_words
+        cap = budget_words // max(cone.n_slots * chunk_words, 1)
+        return int(max(1, min(cap, MAX_SCAN_BLOCKS)))
+
+    def _sweep_cone_blocks(
         self,
         cone: ConeSchedule,
-        seed: np.ndarray,
+        seeds: np.ndarray,
         base: np.ndarray,
         n_valid: int,
-    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
-        """Sweep one cone against a chunk's base state (cf. ``_run_cone``).
+        record_blocks: bool = True,
+    ) -> List[Optional[Tuple[np.ndarray, np.ndarray]]]:
+        """Sweep stacked candidate seeds through one cone execution.
 
-        Returns ``None`` when the seed matches the base on every valid
-        bit of the chunk, else ``(local, neq)`` with ``neq`` the bulk
-        valid-bit dirty mask over ``cone.recorded_slots``.
+        ``seeds`` is ``(B, m, cw)``; candidates whose seed matches the
+        base on every valid bit are skipped (clean early exit), the rest
+        are stacked along the word axis — block-columns of one local
+        value matrix, window gathers restricted to the blocks whose
+        inputs the candidate actually dirtied, exactly like the resident
+        ``preview_scan`` — and swept in a single instruction walk.
+
+        Returns one entry per input block: ``None`` for clean seeds, else
+        ``(local view, neq column)`` where the view is the block's
+        ``(n_slots, cw)`` slice and ``neq`` the bulk valid-bit dirty mask
+        over ``cone.recorded_slots``.  Per-block results are
+        byte-identical on every valid bit to a solo sweep of the same
+        candidate (bitwise ops are per-word; block tails never feed
+        valid bits).
         """
+        cw = base.shape[1]
         tail = tail_mask(n_valid)
-
-        def rows_neq(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-            x = a ^ b
-            x[:, -1] &= tail
-            return x.any(axis=1)
-
+        n_blocks = seeds.shape[0]
+        x = seeds ^ base[cone.root_out_ids][None, :, :]
+        x[..., -1] &= tail
+        live = np.flatnonzero(x.any(axis=(1, 2)))
         stats = self._stats
-        if not rows_neq(seed, base[cone.root_out_ids]).any():
-            if stats is not None:
-                stats.n_sweep_units += 1
-            return None
         if stats is not None:
-            stats.n_sweep_units += cone.n_units
-        local = np.empty((cone.n_slots, base.shape[1]), dtype=np.uint64)
+            stats.n_sweep_units += cone.n_units * live.size + (
+                n_blocks - live.size
+            )
+            if record_blocks:
+                # Commit sweeps reuse this code path with a single seed;
+                # the counter reports *candidate* blocks only.
+                stats.n_stacked_blocks += live.size
+        out: List[Optional[Tuple[np.ndarray, np.ndarray]]] = [None] * n_blocks
+        if not live.size:
+            return out
+        nb = live.size
+        local = np.empty((cone.n_slots, nb * cw), dtype=np.uint64)
         if cone.boundary_slots.size:
-            local[cone.boundary_slots] = base[cone.boundary_ids]
-        local[cone.root_out_slots] = seed
+            local[cone.boundary_slots] = np.broadcast_to(
+                base[cone.boundary_ids][:, None, :],
+                (cone.boundary_ids.size, nb, cw),
+            ).reshape(cone.boundary_ids.size, nb * cw)
+        m = cone.root_out_slots.size
+        local[cone.root_out_slots] = (
+            seeds[live].transpose(1, 0, 2).reshape(m, nb * cw)
+        )
+        word_span = np.arange(cw, dtype=np.int64)
         for instr in cone.instructions:
             if isinstance(instr, WindowInstr):
-                if not rows_neq(
-                    local[instr.in_slots], base[instr.in_ids]
-                ).any():
-                    local[instr.out_slots] = base[instr.out_ids]
-                else:
-                    local[instr.out_slots] = gather_window_outputs(
-                        self._committed[instr.index],
-                        local[instr.in_slots],
-                        n_valid,
+                # Gather only the blocks whose candidate dirtied this
+                # window's inputs; every other block's outputs are the
+                # chunk base rows (one broadcast fill).
+                xi = local[instr.in_slots].reshape(-1, nb, cw) ^ base[
+                    instr.in_ids
+                ][:, None, :]
+                xi[..., -1] &= tail
+                dirty_blocks = np.flatnonzero(xi.any(axis=(0, 2)))
+                mo = len(instr.out_slots)
+                local[instr.out_slots] = np.broadcast_to(
+                    base[instr.out_ids][:, None, :], (mo, nb, cw)
+                ).reshape(mo, nb * cw)
+                if dirty_blocks.size:
+                    table = self._committed[instr.index]
+                    cols = (
+                        dirty_blocks[:, None] * cw + word_span
+                    ).ravel()
+                    sub = local[np.ix_(instr.in_slots, cols)]
+                    idx = input_index_from_rows(
+                        sub, dirty_blocks.size * cw * WORD_BITS
+                    )
+                    local[np.ix_(instr.out_slots, cols)] = pack_bits(
+                        np.ascontiguousarray(table[idx, :].T).astype(np.uint8)
                     )
             else:
-                local[instr.out] = execute_batch(instr, local, n_valid)
-        if self._stats is not None:
-            self._stats.note_sample_matrix(base.nbytes + local.nbytes)
-        neq = rows_neq(local[cone.recorded_slots], base[cone.recorded_ids])
-        return local, neq
+                local[instr.out] = execute_batch(instr, local, None)
+        self._note_working_set(base, local)
+        rec = local[cone.recorded_slots].reshape(-1, nb, cw) ^ base[
+            cone.recorded_ids
+        ][:, None, :]
+        rec[..., -1] &= tail
+        neq = rec.any(axis=2)
+        for j, b in enumerate(live.tolist()):
+            out[b] = (local[:, j * cw : (j + 1) * cw], neq[:, j])
+        return out
 
     def _dirty_out_rows(
         self, cone: ConeSchedule, local: np.ndarray, neq: np.ndarray
@@ -295,6 +601,113 @@ class StreamingEvaluator(CompiledEvaluator):
             for row in cone.out_rows[j]:
                 out.append((row, vals))
         return out
+
+    # -- the shard task body -------------------------------------------
+    def _scan_chunk_into(
+        self,
+        chunk,
+        todo: Sequence[Tuple[int, int, List[np.ndarray], Sequence]],
+        accs: Sequence[Sequence[dict]],
+        hamming: bool,
+        qor: QoREvaluator,
+    ) -> None:
+        """One chunk's full scan work, folded into the accumulators.
+
+        This is the self-contained unit a shard task executes: base
+        state (cache-aware), per-window seed gathers, block-stacked cone
+        sweeps, and per-candidate accumulation — ``accs`` entries are the
+        mergeable accumulators of :func:`repro.runtime.executor.
+        new_accumulator`.  Only ``qor``'s pattern-independent state is
+        read (exact word integers, relative denominators, word specs), so
+        the same code runs in the parent and in shard workers.
+        """
+        base = self._base_values(chunk)
+        base_out = base[self._out_nodes_arr]
+        cw = chunk.n_words
+        for (pos, index, checked, _), acc_list in zip(todo, accs):
+            cone = self._cone(index)
+            # Per-chunk input-index + stacked-seed caches: built once
+            # per (window, chunk), shared by all its candidates, and
+            # discarded with the chunk.
+            idx = input_index_from_rows(
+                base[self._win_input_ids[index]], cw * WORD_BITS
+            )
+            seeds = stacked_seed_gather(checked, idx, chunk.n_valid)
+            cap = self._block_capacity(cone, cw)
+            for b0 in range(0, len(checked), cap):
+                block = self._sweep_cone_blocks(
+                    cone, seeds[b0 : b0 + cap], base, chunk.n_valid
+                )
+                for off, swept in enumerate(block):
+                    if swept is None:
+                        continue
+                    local, neq = swept
+                    dirty = self._dirty_out_rows(cone, local, neq)
+                    if not dirty:
+                        continue
+                    acc = acc_list[b0 + off]
+                    rows = [row for row, _ in dirty]
+                    acc["rows"].update(rows)
+                    cand_out = base_out.copy()
+                    for row, vals in dirty:
+                        cand_out[row] = vals
+                    if hamming:
+                        cand = qor.row_hamming(
+                            cand_out, rows, chunk.start, chunk.n_valid
+                        )
+                        ref = qor.row_hamming(
+                            base_out, rows, chunk.start, chunk.n_valid
+                        )
+                        for row, d in zip(rows, (cand - ref).tolist()):
+                            acc["deltas"][row] = (
+                                acc["deltas"].get(row, 0) + d
+                            )
+                    else:
+                        for wpos in qor.word_positions(rows):
+                            acc["slices"].setdefault(wpos, []).append(
+                                (
+                                    chunk.start,
+                                    chunk.stop,
+                                    qor.word_partials(
+                                        wpos,
+                                        cand_out,
+                                        chunk.start,
+                                        chunk.n_valid,
+                                    ),
+                                )
+                            )
+
+    def _sync_scan_state(
+        self,
+        committed: Dict[int, np.ndarray],
+        epoch: int,
+        chunk_epochs: Dict[int, int],
+    ) -> None:
+        """Adopt a parent's committed/epoch state (shard-worker entry).
+
+        Mirrors :meth:`commit`'s invalidation without replaying the
+        commit sweeps: newly committed windows drop the schedules that
+        had inlined them, and the shipped epoch watermarks govern chunk
+        cache validity — stale worker-side entries simply recompute
+        (workers cannot fold repairs; they never ran the commit).
+        """
+        newly = [k for k in committed if k not in self._committed]
+        changed = newly or any(
+            not np.array_equal(committed[k], self._committed[k])
+            for k in self._committed
+            if k in committed
+        ) or len(committed) != len(self._committed)
+        if changed:
+            self._committed = {k: v for k, v in committed.items()}
+            self._stream_memo.clear()
+        if newly:
+            self._iter_sched = None
+            fresh = set(newly)
+            for widx in list(self._cones):
+                if self._cones[widx].step_windows & fresh:
+                    del self._cones[widx]
+        self._epoch = epoch
+        self._chunk_epoch = dict(chunk_epochs)
 
     # -- memoized error replay -----------------------------------------
     def _memo_errors(
@@ -350,12 +763,17 @@ class StreamingEvaluator(CompiledEvaluator):
         Returns:
             Per request, per candidate: ``(error, dirty output rows)``.
             The error float is bit-identical to the resident engine's
-            ``qor.evaluate_delta(*preview_batch_delta(...))`` for the
+            ``qor.evaluate_delta(preview_batch_delta(...))`` for the
             same candidate; the dirty-row set is exact and identical,
             reported in sorted order.
 
-        Memory: one chunk of base state plus one cone working set at a
-        time; accumulators are O(outputs), never O(patterns).
+        Execution: non-memoized requests run over the chunk plan — fanned
+        across shard workers when the executor is active, in-process
+        otherwise — and the per-shard accumulators merge in shard order
+        (byte-identical either way; see the module docstring).  Memory
+        per process: one chunk of base state plus one stacked sweep
+        working set plus the bounded chunk cache; accumulators are
+        O(outputs), never O(patterns).
         """
         hamming = qor.spec.metric == "hamming"
         results: List = [None] * len(requests)
@@ -374,60 +792,11 @@ class StreamingEvaluator(CompiledEvaluator):
         if not todo:
             return results
 
-        # Per candidate: dirty rows, spliced per-word partial vectors
-        # (value metrics) or per-row integer count deltas (hamming).
         accs = [
-            [{"rows": set(), "partials": {}, "deltas": {}} for _ in checked]
+            [new_accumulator() for _ in checked]
             for (_, _, checked, _) in todo
         ]
-        out_nodes = self._out_nodes_arr
-        for chunk in self._chunks:
-            base = self._base_values(chunk)
-            base_out = base[out_nodes]
-            for (pos, index, checked, _), acc_list in zip(todo, accs):
-                cone = self._cone(index)
-                # Per-chunk input-index + stacked-seed caches: built once
-                # per (window, chunk), shared by all its candidates, and
-                # discarded with the chunk.
-                idx = input_index_from_rows(
-                    base[self._win_input_ids[index]],
-                    chunk.n_words * WORD_BITS,
-                )
-                seeds = stacked_seed_gather(checked, idx, chunk.n_valid)
-                for c, acc in enumerate(acc_list):
-                    swept = self._run_cone_chunk(
-                        cone, seeds[c], base, chunk.n_valid
-                    )
-                    if swept is None:
-                        continue
-                    dirty = self._dirty_out_rows(cone, *swept)
-                    if not dirty:
-                        continue
-                    rows = [row for row, _ in dirty]
-                    acc["rows"].update(rows)
-                    cand_out = base_out.copy()
-                    for row, vals in dirty:
-                        cand_out[row] = vals
-                    if hamming:
-                        cand = qor.row_hamming(
-                            cand_out, rows, chunk.start, chunk.n_valid
-                        )
-                        ref = qor.row_hamming(
-                            base_out, rows, chunk.start, chunk.n_valid
-                        )
-                        for row, d in zip(rows, (cand - ref).tolist()):
-                            acc["deltas"][row] = (
-                                acc["deltas"].get(row, 0) + d
-                            )
-                    else:
-                        for wpos in qor.word_positions(rows):
-                            vec = acc["partials"].get(wpos)
-                            if vec is None:
-                                vec = qor.base_partials(wpos).copy()
-                                acc["partials"][wpos] = vec
-                            vec[chunk.start : chunk.stop] = qor.word_partials(
-                                wpos, cand_out, chunk.start, chunk.n_valid
-                            )
+        self._execute_scan(todo, accs, hamming, qor)
 
         for (pos, index, checked, tables), acc_list in zip(todo, accs):
             per_window: List[Tuple[float, Tuple[int, ...]]] = []
@@ -445,8 +814,8 @@ class StreamingEvaluator(CompiledEvaluator):
                     err = qor.evaluate_spliced_hamming(payload)
                 else:
                     payload = {
-                        wpos: float(vec.sum())
-                        for wpos, vec in acc["partials"].items()
+                        wpos: qor.splice_partials(wpos, slices)
+                        for wpos, slices in acc["slices"].items()
                     }
                     err = qor.evaluate_spliced(payload)
                 per_window.append((err, rows))
@@ -463,6 +832,76 @@ class StreamingEvaluator(CompiledEvaluator):
             )
         return results
 
+    def _execute_scan(
+        self,
+        todo: Sequence[Tuple[int, int, List[np.ndarray], Sequence]],
+        accs: Sequence[Sequence[dict]],
+        hamming: bool,
+        qor: QoREvaluator,
+    ) -> None:
+        """Run the chunk loop for one scan, sharded when possible.
+
+        Falls back to the in-process loop — the parent evaluator *is* a
+        shard worker for the full chunk range — whenever the executor is
+        absent, the plan collapses to one shard, or the pool breaks.
+        """
+        executor = self._shard_executor()
+        if executor is not None:
+            shard_chunks = plan_shards(self._chunks, executor.jobs)
+            if len(shard_chunks) > 1:
+                requests = tuple(
+                    (index, tuple(checked))
+                    for (_, index, checked, _) in todo
+                )
+                committed = tuple(self._committed.items())
+                chunk_epochs = tuple(self._chunk_epoch.items())
+                shards = [
+                    ScanShard(
+                        chunks=chs,
+                        requests=requests,
+                        committed=committed,
+                        epoch=self._epoch,
+                        chunk_epochs=chunk_epochs,
+                        metric=qor.spec.metric,
+                    )
+                    for chs in shard_chunks
+                ]
+                outcomes = executor.run(shards)
+                if outcomes is not None:
+                    self._merge_outcomes(accs, outcomes, len(shards))
+                    return
+                # Pool broke: latch the failure so later scans go
+                # straight to the serial loop instead of re-submitting
+                # to a dead pool (and re-warning) every iteration.
+                executor.close()
+                self._executor = None
+        if self._stats is not None:
+            self._stats.n_shard_tasks += 1
+        for chunk in self._chunks:
+            self._scan_chunk_into(chunk, todo, accs, hamming, qor)
+
+    def _merge_outcomes(
+        self,
+        accs: Sequence[Sequence[dict]],
+        outcomes: Sequence[ShardOutcome],
+        n_shards: int,
+    ) -> None:
+        """Deterministic shard-order merge of returned accumulators."""
+        stats = self._stats
+        for outcome in outcomes:
+            for acc_list, add_list in zip(accs, outcome.accumulators):
+                for acc, add in zip(acc_list, add_list):
+                    merge_accumulator(acc, add)
+            if stats is not None:
+                stats.n_chunk_passes += outcome.n_chunk_passes
+                stats.n_chunk_cache_hits += outcome.n_cache_hits
+                stats.n_chunk_cache_misses += outcome.n_cache_misses
+                stats.n_sweep_units += outcome.n_sweep_units
+                stats.n_stacked_blocks += outcome.n_stacked_blocks
+                stats.note_sample_matrix(outcome.peak_bytes)
+        if stats is not None:
+            stats.n_shard_tasks += n_shards
+
     def commit(self, index: int, table: np.ndarray) -> None:
         """Permanently substitute window ``index``, chunk by chunk.
 
@@ -470,15 +909,22 @@ class StreamingEvaluator(CompiledEvaluator):
         *old* committed state, folds dirtied output rows into the
         resident output matrix, then invalidates exactly what the commit
         touched: schedules that had the window inlined (first commit
-        only), and memoized scans whose cone state or affected output
-        words the commit changed (a recommit of the same window always
+        only), memoized scans whose cone state or affected output words
+        the commit changed (a recommit of the same window always
         invalidates its own memo — a new table is a different function
-        even when it matches the old one on the current samples).
+        even when it matches the old one on the current samples), and —
+        via the cone-epoch watermarks — cached base slices of exactly the
+        chunks whose valid bits the commit changed.  Parent-side cache
+        entries of dirtied chunks are repaired in place from the sweep
+        (the chunk-cache analogue of the resident engine's value-cache
+        fold), so even a dirtying commit costs no extra base pass for
+        resident entries.
         """
         w = self._window_by_index[index]
         table = self._check_table(w, table)
         cone = self._cone(index)
         first_commit = index not in self._committed
+        new_epoch = self._epoch + 1
         changed_nodes: set = set()
         changed_rows: set = set()
         for chunk in self._chunks:
@@ -486,8 +932,10 @@ class StreamingEvaluator(CompiledEvaluator):
             idx = input_index_from_rows(
                 base[self._win_input_ids[index]], chunk.n_words * WORD_BITS
             )
-            seed = stacked_seed_gather([table], idx, chunk.n_valid)[0]
-            swept = self._run_cone_chunk(cone, seed, base, chunk.n_valid)
+            seed = stacked_seed_gather([table], idx, chunk.n_valid)
+            swept = self._sweep_cone_blocks(
+                cone, seed, base, chunk.n_valid, record_blocks=False
+            )[0]
             if swept is None:
                 continue
             local, neq = swept
@@ -496,6 +944,10 @@ class StreamingEvaluator(CompiledEvaluator):
             for row, vals in self._dirty_out_rows(cone, local, neq):
                 self._out_words[row, chunk.start : chunk.stop] = vals
                 changed_rows.add(row)
+            if neq.any():
+                self._chunk_epoch[chunk.start] = new_epoch
+                self._fold_cache_entry(chunk.start, cone, local, neq, new_epoch)
+        self._epoch = new_epoch
         self._committed[index] = table
         invalid_nodes = changed_nodes | set(w.members) | set(w.outputs)
         changed_words = {
@@ -517,3 +969,107 @@ class StreamingEvaluator(CompiledEvaluator):
             for widx in list(self._cones):
                 if index in self._cones[widx].step_windows:
                     del self._cones[widx]
+
+    def _fold_cache_entry(
+        self,
+        start: int,
+        cone: ConeSchedule,
+        local: np.ndarray,
+        neq: np.ndarray,
+        epoch: int,
+    ) -> None:
+        """Repair a cached base slice with a commit sweep's changed rows.
+
+        Only valid-bit-changed recorded nodes are rewritten (exactly the
+        rows the resident engine folds into its value cache); the entry
+        is then retagged to the committing epoch, keeping it servable.
+        """
+        if self._base_cache is None:
+            return
+        values = self._base_cache.peek(start)
+        if values is None:
+            return
+        for i in np.nonzero(neq)[0]:
+            values[cone.recorded_ids[i]] = local[cone.recorded_slots[i]]
+        self._base_cache.retag(start, epoch)
+
+
+class ShardWorker:
+    """Per-process execution state behind the shard executor.
+
+    Built once per worker from a pickled
+    :class:`~repro.runtime.executor.StreamContext` (pool initializer);
+    holds a full :class:`StreamingEvaluator` — compiled schedules, cone
+    programs, its own cone-epoch chunk cache — plus per-metric
+    :class:`~repro.core.qor.QoREvaluator`\\ s, all of which persist
+    across tasks so repeat scans amortize compilation and stay
+    cache-warm.  Each task syncs the parent's committed/epoch state and
+    runs :meth:`StreamingEvaluator._scan_chunk_into` over its chunk
+    range — literally the same code path the serial engine runs, which
+    is what makes sharded outcomes byte-identical to serial streaming.
+    """
+
+    def __init__(self, context: StreamContext) -> None:
+        self.stats = RuntimeStats()
+        self.evaluator = StreamingEvaluator(
+            context.circuit,
+            list(context.windows),
+            context.input_words,
+            context.n_samples,
+            chunk_words=context.chunk_words,
+            stats=self.stats,
+            shard_jobs=1,
+            cache_chunks=context.cache_chunks,
+            exact_outputs=context.exact_outputs,
+        )
+        self._qors: Dict[str, QoREvaluator] = {}
+
+    def _qor(self, metric: str) -> QoREvaluator:
+        qor = self._qors.get(metric)
+        if qor is None:
+            ev = self.evaluator
+            qor = QoREvaluator(
+                ev.circuit, ev.exact_outputs, ev.n, QoRSpec(metric)
+            )
+            self._qors[metric] = qor
+        return qor
+
+    def run(self, shard: ScanShard) -> ShardOutcome:
+        ev = self.evaluator
+        ev._sync_scan_state(
+            dict(shard.committed), shard.epoch, dict(shard.chunk_epochs)
+        )
+        if ev._base_cache is not None:
+            # Pool scheduling may hand this worker a different shard than
+            # last time; re-pin the cache to the range it will now walk.
+            ev._base_cache.drop_outside({c.start for c in shard.chunks})
+        qor = self._qor(shard.metric)
+        hamming = shard.metric == "hamming"
+        todo = []
+        for pos, (index, tables) in enumerate(shard.requests):
+            w = ev._window_by_index[index]
+            checked = [ev._check_table(w, t) for t in tables]
+            todo.append((pos, index, checked, tables))
+        accs = [
+            [new_accumulator() for _ in checked]
+            for (_, _, checked, _) in todo
+        ]
+        stats = self.stats
+        before = (
+            stats.n_chunk_passes,
+            stats.n_chunk_cache_hits,
+            stats.n_chunk_cache_misses,
+            stats.n_sweep_units,
+            stats.n_stacked_blocks,
+        )
+        for chunk in shard.chunks:
+            ev._scan_chunk_into(chunk, todo, accs, hamming, qor)
+        return ShardOutcome(
+            accumulators=accs,
+            n_chunk_passes=stats.n_chunk_passes - before[0],
+            n_cache_hits=stats.n_chunk_cache_hits - before[1],
+            n_cache_misses=stats.n_chunk_cache_misses - before[2],
+            n_sweep_units=stats.n_sweep_units - before[3],
+            n_stacked_blocks=stats.n_stacked_blocks - before[4],
+            peak_bytes=stats.peak_sample_matrix_bytes,
+        )

@@ -88,10 +88,21 @@ class FlowResult:
                     if stats.chunk_words
                     else "resident (unchunked)"
                 )
+                per_process = (
+                    " per process" if stats.shard_jobs > 1 else ""
+                )
                 lines.append(
                     f"  memory: peak sample matrix "
-                    f"{format_bytes(stats.peak_sample_matrix_bytes)}, "
-                    f"chunk size {chunk}"
+                    f"{format_bytes(stats.peak_sample_matrix_bytes)}"
+                    f"{per_process}, chunk size {chunk}"
+                )
+            if stats.n_shard_tasks:
+                lines.append(
+                    f"  sharding: {stats.n_shard_tasks} shard tasks on "
+                    f"{stats.shard_jobs} worker(s), "
+                    f"{stats.n_stacked_blocks} stacked candidate blocks, "
+                    f"chunk cache {stats.n_chunk_cache_hits} hit / "
+                    f"{stats.n_chunk_cache_misses} miss"
                 )
         return "\n".join(lines)
 

@@ -29,7 +29,7 @@ from .cache import (
     canonical_circuit_bytes,
 )
 from .driver import RuntimeStats, format_bytes, run_tasks
-from .parallel import parallel_map, resolve_jobs
+from .parallel import effective_jobs, parallel_map, resolve_jobs
 
 __all__ = [
     "CACHE_VERSION",
@@ -37,6 +37,7 @@ __all__ = [
     "RuntimeStats",
     "array_token",
     "canonical_circuit_bytes",
+    "effective_jobs",
     "format_bytes",
     "parallel_map",
     "resolve_jobs",

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
 from .cache import ProfileCache
-from .parallel import parallel_map, resolve_jobs
+from .parallel import effective_jobs, parallel_map
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -65,13 +65,26 @@ class RuntimeStats:
         n_chunk_passes: Base-state chunk evaluations performed by the
             streaming engine (one per chunk per scan/commit pass; zero on
             the resident engines).
+        n_shard_tasks: Shard tasks executed by the streaming executor —
+            in-process shards included, so serial streaming reports the
+            per-scan task count too.
+        shard_jobs: Resolved worker count of the streaming shard
+            executor (``1`` = in-process execution).
+        n_stacked_blocks: Candidate blocks executed through block-stacked
+            cone sweeps (candidates stacked along the word axis within a
+            chunk's budget; one block = one candidate in one pass).
+        n_chunk_cache_hits / n_chunk_cache_misses: Cone-epoch base-slice
+            cache lookups — a hit serves a chunk's committed base state
+            from the bounded cone-epoch cache instead of re-running the base pass.
         chunk_words: Chunk size (packed words) of the streaming engine's
             pattern-axis plan; ``0`` means resident (unchunked) execution.
         peak_sample_matrix_bytes: Largest packed sample-value matrix held
-            at any point — the resident engines record their full
-            ``(n_nodes, W)`` cache, the streaming engine its per-chunk
-            base state plus the widest concurrent sweep working set.
-            This is the number the chunk budget bounds.
+            at any point *per process* — the resident engines record
+            their full ``(n_nodes, W)`` cache, the streaming engine its
+            per-chunk base state plus the widest concurrent sweep working
+            set plus any cached base slices.  This is the number the
+            (per-worker) chunk budget bounds; total footprint across a
+            sharded run is ~``shard_jobs`` times it.
         jobs: Resolved worker count of the last run.
     """
 
@@ -88,6 +101,11 @@ class RuntimeStats:
     n_sweep_units: int = 0
     n_cones_compiled: int = 0
     n_chunk_passes: int = 0
+    n_shard_tasks: int = 0
+    shard_jobs: int = 1
+    n_stacked_blocks: int = 0
+    n_chunk_cache_hits: int = 0
+    n_chunk_cache_misses: int = 0
     chunk_words: int = 0
     peak_sample_matrix_bytes: int = 0
     jobs: int = 1
@@ -120,6 +138,14 @@ class RuntimeStats:
             text += (
                 f", peak sample matrix "
                 f"{format_bytes(self.peak_sample_matrix_bytes)} ({mode})"
+            )
+        if self.n_shard_tasks:
+            text += (
+                f", {self.n_shard_tasks} shard tasks "
+                f"(shard-jobs={self.shard_jobs}, "
+                f"{self.n_stacked_blocks} stacked blocks, "
+                f"chunk cache {self.n_chunk_cache_hits} hit / "
+                f"{self.n_chunk_cache_misses} miss)"
             )
         return text
 
@@ -156,7 +182,7 @@ def run_tasks(
         ``tasks[i]`` — byte-identical whatever ``jobs`` is.
     """
     stats = stats if stats is not None else RuntimeStats()
-    stats.jobs = resolve_jobs(jobs)
+    stats.jobs = effective_jobs(jobs)
     tasks = list(tasks)
     stats.n_tasks += len(tasks)
     results: List[Optional[R]] = [None] * len(tasks)

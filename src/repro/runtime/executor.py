@@ -1,0 +1,274 @@
+"""Pluggable shard execution for the streaming exploration engine.
+
+The streaming engine's candidate scans are chunk loops over the pattern
+axis, and every chunk's work — base-state rebuild, cone sweeps, QoR
+partial accumulation — is a pure function of (committed tables, input
+slice, candidate tables).  That makes the pattern axis shardable: this
+module packages contiguous chunk ranges into self-contained, picklable
+:class:`ScanShard` tasks, fans them across a persistent process pool,
+and merges the returned accumulators in deterministic shard order.
+
+The merge contract (DESIGN.md "Parallel streaming") is what keeps
+sharded runs byte-identical to serial streaming:
+
+* **dirty rows** are sets defined by valid-bit inequality — per-shard
+  sets union to the serial set because chunk ranges partition the axis;
+* **value-metric partials** are canonical per-packed-word slices over
+  disjoint word ranges — splicing them into the rebased base partials
+  rebuilds the identical vector whatever the sharding;
+* **hamming deltas** are exact integer mismatch counts — addition is
+  associative, so any grouping sums to the serial total.
+
+Workers are initialized once per process with a pickled
+:class:`StreamContext` (circuit, windows, stimulus, exact outputs) and
+keep their evaluator machinery — compiled schedules, cone-epoch chunk
+caches — alive across tasks; each task ships only the small per-scan
+state (committed tables, candidate tables, epoch watermarks).
+
+The caller owns the fallback: :func:`make_shard_executor` returns
+``None`` when sharding is pointless (one job) or unavailable (sandboxed
+platforms without process pools), and :meth:`ProcessShardExecutor.run`
+returns ``None`` when the pool breaks mid-run — in both cases the
+streaming engine runs the identical shard tasks in-process.
+"""
+
+from __future__ import annotations
+
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+from .parallel import effective_jobs
+
+T = TypeVar("T")
+
+
+# ----------------------------------------------------------------------
+# Task payloads (everything here must pickle cleanly)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StreamContext:
+    """Per-run static state shipped once per worker process.
+
+    Attributes:
+        circuit / windows: The decomposition being explored.
+        input_words: Packed Monte-Carlo stimulus ``(n_inputs, W)``.
+        n_samples: Valid pattern count.
+        chunk_words: The run's chunk size (workers walk the same
+            word-aligned plan as the parent, so shard boundaries always
+            coincide with chunk boundaries).
+        exact_outputs: Packed exact output rows ``(n_outputs, W)`` —
+            lets workers build their QoR evaluators without re-simulating
+            the whole circuit.
+        cache_chunks: Cone-epoch base-slice cache capacity per worker.
+    """
+
+    circuit: object
+    windows: Tuple
+    input_words: np.ndarray
+    n_samples: int
+    chunk_words: int
+    exact_outputs: np.ndarray
+    cache_chunks: int = 0
+
+
+@dataclass(frozen=True)
+class ScanShard:
+    """One shard task: a contiguous chunk range of one candidate scan.
+
+    Attributes:
+        chunks: The pattern-axis chunks this shard owns (a contiguous
+            slice of the run's chunk plan).
+        requests: ``(window index, candidate tables)`` pairs — the scan's
+            non-memoized requests, identical in every shard.
+        committed: The committed substitution map at scan time (small:
+            tables only, no pattern-sized state).
+        epoch: The parent's commit epoch (tags freshly cached slices).
+        chunk_epochs: ``(chunk start, last-dirtying epoch)`` watermarks;
+            a worker-cached base slice for a chunk is valid iff its
+            stored epoch is >= the chunk's watermark.
+        metric: QoR metric name for this scan's accumulation.
+    """
+
+    chunks: Tuple
+    requests: Tuple[Tuple[int, Tuple[np.ndarray, ...]], ...]
+    committed: Tuple[Tuple[int, np.ndarray], ...]
+    epoch: int
+    chunk_epochs: Tuple[Tuple[int, int], ...]
+    metric: str
+
+
+@dataclass
+class ShardOutcome:
+    """Mergeable result of one shard task.
+
+    ``accumulators[i][c]`` is the accumulator (see :func:`new_accumulator`)
+    for candidate ``c`` of request ``i``, covering only this shard's
+    chunks.  The counters are per-task deltas folded into the parent's
+    :class:`~repro.runtime.RuntimeStats`; ``peak_bytes`` is the *worker
+    process's* sample-matrix high-water mark (per-process — the figure
+    the budget-per-worker formula bounds).
+    """
+
+    accumulators: List[List[dict]]
+    n_chunk_passes: int = 0
+    n_cache_hits: int = 0
+    n_cache_misses: int = 0
+    n_sweep_units: int = 0
+    n_stacked_blocks: int = 0
+    peak_bytes: int = 0
+
+
+# ----------------------------------------------------------------------
+# Accumulator algebra (shared by the serial loop and the shard merge)
+# ----------------------------------------------------------------------
+def new_accumulator() -> dict:
+    """Empty per-candidate accumulator.
+
+    ``rows``: dirtied output rows (set); ``slices``: word position ->
+    list of ``(word start, word stop, partials slice)`` over disjoint
+    chunk ranges; ``deltas``: output row -> integer hamming mismatch
+    delta vs. the committed state.
+    """
+    return {"rows": set(), "slices": {}, "deltas": {}}
+
+
+def merge_accumulator(into: dict, add: dict) -> None:
+    """Fold one shard's accumulator into the running total.
+
+    Union/concatenate/add — each component is order-insensitive by
+    construction (see the module docstring), so merging in shard order
+    reproduces the serial accumulation byte for byte.
+    """
+    into["rows"] |= add["rows"]
+    for wpos, slices in add["slices"].items():
+        into["slices"].setdefault(wpos, []).extend(slices)
+    for row, delta in add["deltas"].items():
+        into["deltas"][row] = into["deltas"].get(row, 0) + delta
+
+
+def plan_shards(items: Sequence[T], n_shards: int) -> List[Tuple[T, ...]]:
+    """Split ``items`` into at most ``n_shards`` contiguous, balanced runs.
+
+    Deterministic: sizes differ by at most one, larger shards first.
+    Contiguity keeps each shard's chunks adjacent on the pattern axis,
+    and shard *ranges* are stable across scans while the chunk plan is
+    unchanged — pool scheduling still assigns tasks to whichever worker
+    is free, so workers re-pin their chunk caches to the range they
+    actually receive (see ``ChunkBaseCache.drop_outside``).
+    """
+    items = list(items)
+    n = effective_jobs(n_shards, len(items))
+    base, extra = divmod(len(items), n)
+    out: List[Tuple[T, ...]] = []
+    pos = 0
+    for s in range(n):
+        size = base + (1 if s < extra else 0)
+        if size:
+            out.append(tuple(items[pos : pos + size]))
+            pos += size
+    return out
+
+
+# ----------------------------------------------------------------------
+# Worker-process entry points
+# ----------------------------------------------------------------------
+_WORKER = None
+
+
+def _init_worker(context: StreamContext) -> None:
+    """Pool initializer: build the per-process shard worker once.
+
+    The import is deferred so :mod:`repro.runtime` never imports
+    :mod:`repro.core` at module load (core already imports runtime).
+    """
+    global _WORKER
+    from ..core.streaming import ShardWorker
+
+    _WORKER = ShardWorker(context)
+
+
+def _run_shard(shard: ScanShard) -> ShardOutcome:
+    return _WORKER.run(shard)
+
+
+# ----------------------------------------------------------------------
+# Executor backends
+# ----------------------------------------------------------------------
+class ShardExecutor:
+    """Interface of the executor layer.
+
+    ``run`` maps shard tasks to outcomes in task order, or returns
+    ``None`` when the backend failed and the caller should execute the
+    same shards in-process (the serial path is always available — the
+    parent evaluator *is* a shard worker for the full chunk range).
+    """
+
+    jobs: int = 1
+
+    def run(self, shards: Sequence[ScanShard]) -> Optional[List[ShardOutcome]]:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial
+        pass
+
+
+class ProcessShardExecutor(ShardExecutor):
+    """Process-pool backend with per-worker persistent evaluator state.
+
+    The pool lives as long as the executor (one pool per exploration
+    run, not per scan), so workers amortize schedule compilation and
+    keep their cone-epoch chunk caches warm across iterations.
+    """
+
+    def __init__(self, context: StreamContext, jobs: int) -> None:
+        self.jobs = jobs
+        self._pool = ProcessPoolExecutor(
+            max_workers=jobs, initializer=_init_worker, initargs=(context,)
+        )
+
+    def run(self, shards: Sequence[ScanShard]) -> Optional[List[ShardOutcome]]:
+        # Workers spawn lazily on first submit, so OS-level spawn failures
+        # (EAGAIN from fork on pid/memory-constrained hosts) surface here
+        # as plain OSError, not just BrokenProcessPool — both mean "no
+        # pool"; the caller runs the same shards in-process.
+        try:
+            return list(self._pool.map(_run_shard, shards))
+        except (BrokenProcessPool, OSError) as exc:  # pragma: no cover
+            warnings.warn(
+                f"shard pool broke ({exc}); running shards in-process",
+                RuntimeWarning,
+            )
+            return None
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=False, cancel_futures=True)
+
+
+def make_shard_executor(
+    context: StreamContext, jobs: int
+) -> Optional[ShardExecutor]:
+    """Build the executor for ``jobs`` workers, or ``None`` for in-process.
+
+    ``jobs`` resolves through the same :func:`~repro.runtime.parallel.
+    effective_jobs` policy as every other dispatch layer (``0`` = all
+    cores).  ``None`` (one job, or no process-pool support on this
+    platform) tells the streaming engine to run its shards serially —
+    byte-identical by the merge contract, just on one core.
+    """
+    jobs = effective_jobs(jobs)
+    if jobs <= 1:
+        return None
+    try:
+        return ProcessShardExecutor(context, jobs)
+    except (OSError, PermissionError) as exc:  # pragma: no cover - platform
+        warnings.warn(
+            f"process pool unavailable ({exc}); streaming shards run "
+            "in-process",
+            RuntimeWarning,
+        )
+        return None

@@ -19,7 +19,7 @@ import os
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, List, Sequence, TypeVar
+from typing import Callable, List, Optional, Sequence, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -32,6 +32,22 @@ def resolve_jobs(jobs: int) -> int:
     return int(jobs)
 
 
+def effective_jobs(jobs: int, n_items: Optional[int] = None) -> int:
+    """The single jobs-resolution policy every dispatch layer routes through.
+
+    ``0`` (or negative/None) means all cores; a known work-item count
+    clamps the result (spawning more workers than items only costs
+    process startup).  Used by :func:`parallel_map`, the profiling driver
+    (:func:`repro.runtime.driver.run_tasks`) and the streaming shard
+    executor (:mod:`repro.runtime.executor`), so "how many workers does
+    ``--jobs`` mean" cannot drift between layers.
+    """
+    resolved = resolve_jobs(jobs)
+    if n_items is not None:
+        resolved = min(resolved, max(int(n_items), 1))
+    return resolved
+
+
 def parallel_map(
     fn: Callable[[T], R], items: Sequence[T], jobs: int = 1
 ) -> List[R]:
@@ -42,7 +58,7 @@ def parallel_map(
     exceptions propagate to the caller.
     """
     items = list(items)
-    jobs = min(resolve_jobs(jobs), max(len(items), 1))
+    jobs = effective_jobs(jobs, len(items))
     if jobs == 1 or len(items) <= 1:
         return [fn(item) for item in items]
     try:
