@@ -1,0 +1,27 @@
+#!/usr/bin/env python
+"""Run the contract linter over the shipped sources (CI entry point).
+
+Thin wrapper around :mod:`repro.analysis.linter` so CI (and developers
+without an editable install) can run the contract lint from the repo
+root::
+
+    python scripts/lint_contracts.py            # lints src/repro
+    python scripts/lint_contracts.py src tests  # explicit paths
+
+Equivalent to ``blasys lint``.  Exits non-zero on any unsuppressed
+finding; see DESIGN.md "Static contracts" for the rules and the
+``# contract-ok: <rule> -- justification`` waiver syntax.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.linter import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,49 @@
+"""Static contract checking and runtime determinism sanitizing.
+
+Five PRs of engine work hang on invariants DESIGN.md documents but
+nothing enforced: the tail-bit mask on packed arrays, the canonical
+per-packed-word partial-sum order, pickle-safety across the shard
+executor boundary, and read-only discipline on cache-held arrays.
+This package turns those contracts into tooling:
+
+* :mod:`repro.analysis.linter` + :mod:`repro.analysis.rules` — the
+  AST-based contract linter behind ``blasys lint`` and
+  ``scripts/lint_contracts.py``.
+* :mod:`repro.analysis.suppress` — the justified inline-waiver syntax
+  (``# contract-ok: <rule> -- why``).
+* :mod:`repro.analysis.pickleaudit` — static + runtime audits of shard
+  payloads.
+* :mod:`repro.analysis.sanitize` — the ``REPRO_SANITIZE=1`` runtime
+  mode: frozen cache arrays and tail-bit assertions at engine
+  boundaries.
+
+See DESIGN.md "Static contracts" for the rule-to-invariant map.
+"""
+
+from .linter import Finding, Rule, default_rules, lint_file, run_lint
+from .pickleaudit import AuditProblem, audit_payload, audit_payload_class
+from .sanitize import (
+    SANITIZE_ENV,
+    assert_tail_clean,
+    freeze,
+    freeze_payload,
+    frozen_view,
+    sanitize_enabled,
+)
+
+__all__ = [
+    "AuditProblem",
+    "Finding",
+    "Rule",
+    "SANITIZE_ENV",
+    "assert_tail_clean",
+    "audit_payload",
+    "audit_payload_class",
+    "default_rules",
+    "freeze",
+    "freeze_payload",
+    "frozen_view",
+    "lint_file",
+    "run_lint",
+    "sanitize_enabled",
+]

@@ -1,0 +1,262 @@
+"""AST-based contract linter core (``blasys lint``).
+
+The linter walks Python sources and runs pluggable rules that encode
+the determinism and safety contracts DESIGN.md documents ("Static
+contracts"): unordered iteration feeding ordered outputs, unseeded RNG
+construction, float reductions bypassing the canonical QoR partials,
+raw cache returns without ``.copy()``, unsorted filesystem listings,
+mutable default arguments, and shard-payload pickle-safety.
+
+Each rule carries a ``name`` (used by the inline suppression syntax,
+see :mod:`repro.analysis.suppress`) and a DESIGN.md ``anchor``.  The
+linter exits non-zero on any unsuppressed finding; suppressions must
+carry a justification, and unused or malformed suppressions are
+findings themselves.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from .suppress import SuppressionIndex, parse_suppressions
+
+DESIGN_DOC = "DESIGN.md"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint hit, anchored to the invariant it guards."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    anchor: str
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: [{self.rule}] "
+            f"{self.message} ({DESIGN_DOC} § {self.anchor})"
+        )
+
+
+@dataclass
+class LintContext:
+    """Per-file state handed to every rule."""
+
+    path: Path
+    #: Posix-style path tail used for sanctioned-module matching
+    #: (e.g. ``repro/flow.py``) — stable regardless of checkout root.
+    module_tail: str
+    source: str
+    tree: ast.AST
+    suppressions: SuppressionIndex
+
+
+class Rule:
+    """Base class: subclasses set ``name``/``anchor`` and yield findings."""
+
+    name: str = ""
+    anchor: str = ""
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: LintContext, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            rule=self.name,
+            path=str(ctx.path),
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            anchor=self.anchor,
+        )
+
+
+def module_tail(path: Path) -> str:
+    """Package-relative posix path (``repro/core/qor.py``).
+
+    Anchored at the last ``repro`` component so sanctioned-module
+    matching is independent of the checkout root; paths outside the
+    package fall back to their last three components (fixture files in
+    temp dirs therefore never match a sanctioned set).
+    """
+    parts = path.parts
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            return "/".join(parts[i:])
+    return "/".join(parts[-3:])
+
+
+def iter_python_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated file list."""
+    out = set()
+    for path in paths:
+        if path.is_dir():
+            out.update(path.rglob("*.py"))  # contract-ok: listing-order -- collected into a set, sorted on return
+        elif path.suffix == ".py":
+            out.add(path)
+    return sorted(out)
+
+
+def lint_file(path: Path, rules: Sequence[Rule]) -> List[Finding]:
+    """Run every rule over one file, applying inline suppressions."""
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="syntax-error",
+                path=str(path),
+                line=exc.lineno or 0,
+                col=exc.offset or 0,
+                message=f"cannot parse: {exc.msg}",
+                anchor="Static contracts",
+            )
+        ]
+    ctx = LintContext(
+        path=path,
+        module_tail=module_tail(path),
+        source=source,
+        tree=tree,
+        suppressions=parse_suppressions(source),
+    )
+    findings: List[Finding] = []
+    for rule in rules:
+        for finding in rule.check(ctx):
+            if ctx.suppressions.matches(finding.rule, finding.line):
+                continue
+            findings.append(finding)
+    for sup in ctx.suppressions.malformed:
+        findings.append(
+            Finding(
+                rule="bad-suppression",
+                path=str(path),
+                line=sup.line,
+                col=0,
+                message=(
+                    "contract-ok needs rule name(s) and a '-- justification'"
+                ),
+                anchor="Static contracts",
+            )
+        )
+    for sup in ctx.suppressions.unused():
+        findings.append(
+            Finding(
+                rule="unused-suppression",
+                path=str(path),
+                line=sup.line,
+                col=0,
+                message=(
+                    "suppression for "
+                    + ", ".join(sup.rules)
+                    + " matched no finding — remove the stale waiver"
+                ),
+                anchor="Static contracts",
+            )
+        )
+    return findings
+
+
+def default_rules() -> List[Rule]:
+    """The shipped rule set (import deferred to avoid cycles)."""
+    from .rules import ALL_RULES
+
+    return [cls() for cls in ALL_RULES]
+
+
+def run_lint(
+    paths: Sequence[str],
+    rules: Optional[Sequence[Rule]] = None,
+    audit_shards: bool = True,
+) -> List[Finding]:
+    """Lint ``paths`` (files or directories); returns all findings.
+
+    ``audit_shards`` additionally runs the static shard-boundary audit
+    (:mod:`repro.analysis.pickleaudit`) over the registered executor
+    payload classes — an import-based check, so it is skipped when the
+    executor module is not importable from the linted tree.
+    """
+    if rules is None:
+        rules = default_rules()
+    files = iter_python_files([Path(p) for p in paths])
+    findings: List[Finding] = []
+    for path in files:
+        findings.extend(lint_file(path, rules))
+    if audit_shards:
+        findings.extend(_audit_shard_classes(files))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def _audit_shard_classes(files: Sequence[Path]) -> List[Finding]:
+    """Static audit of shard payload classes, if the executor is linted."""
+    executor_files = [
+        p for p in files if module_tail(p) == "repro/runtime/executor.py"
+    ]
+    if not executor_files:
+        return []
+    from ..runtime import executor as executor_mod
+    from .pickleaudit import audit_payload_class
+
+    findings: List[Finding] = []
+    for cls in executor_mod.SHARD_PAYLOAD_CLASSES:
+        for problem in audit_payload_class(cls):
+            findings.append(
+                Finding(
+                    rule="shard-pickle",
+                    path=str(executor_files[0]),
+                    line=problem.line,
+                    col=0,
+                    message=problem.message,
+                    anchor="Static contracts: shard pickle-safety",
+                )
+            )
+    return findings
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point shared by ``blasys lint`` and scripts/lint_contracts."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="blasys lint",
+        description="contract linter for the repro engines",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule set and exit",
+    )
+    parser.add_argument(
+        "--no-shard-audit",
+        action="store_true",
+        help="skip the import-based shard payload audit",
+    )
+    args = parser.parse_args(argv)
+    rules = default_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.name:<18} {DESIGN_DOC} § {rule.anchor}")
+        return 0
+    paths = args.paths or [str(Path(__file__).resolve().parents[1])]
+    findings = run_lint(paths, rules, audit_shards=not args.no_shard_audit)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"{len(findings)} contract finding(s)")
+        return 1
+    print("contract lint clean")
+    return 0

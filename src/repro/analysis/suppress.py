@@ -1,0 +1,102 @@
+"""Inline suppression comments for the contract linter.
+
+Syntax (DESIGN.md "Static contracts"):
+
+.. code-block:: python
+
+    x = self._cache[key]
+    return x  # contract-ok: cache-copy -- consumers only read; frozen under sanitize
+
+    # contract-ok: set-iteration -- commutative accumulation into a set
+    for v in members:
+        inputs.add(v)
+
+A suppression names one or more comma-separated rules and **must**
+carry a justification after ``--``; a bare ``contract-ok`` without one
+is itself reported (``bad-suppression``).  A trailing comment covers
+findings on its own line; a full-line comment covers the next code
+line.  Unused suppressions are reported (``unused-suppression``) so
+stale waivers don't outlive the code they excused.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+_MARKER = re.compile(r"#\s*contract-ok\s*:\s*(?P<body>.*)$")
+
+
+@dataclass
+class Suppression:
+    """One parsed ``contract-ok`` comment."""
+
+    line: int  # comment's own line (1-based)
+    applies_to: int  # code line the suppression covers
+    rules: tuple  # rule names, empty if malformed
+    justification: str
+    used: bool = False
+
+
+@dataclass
+class SuppressionIndex:
+    """Suppressions of one source file, keyed by the line they cover."""
+
+    by_line: Dict[int, List[Suppression]] = field(default_factory=dict)
+    malformed: List[Suppression] = field(default_factory=list)
+
+    def matches(self, rule: str, line: int) -> bool:
+        """True (and marks used) if ``rule`` is suppressed on ``line``."""
+        hit = False
+        for sup in self.by_line.get(line, ()):
+            if rule in sup.rules:
+                sup.used = True
+                hit = True
+        return hit
+
+    def unused(self) -> List[Suppression]:
+        return [
+            sup
+            for sups in self.by_line.values()
+            for sup in sups
+            if not sup.used
+        ]
+
+
+def parse_suppressions(source: str) -> SuppressionIndex:
+    """Extract ``contract-ok`` comments via tokenize (string-literal safe)."""
+    index = SuppressionIndex()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return index
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _MARKER.search(tok.string)
+        if match is None:
+            continue
+        body = match.group("body")
+        rules_part, sep, justification = body.partition("--")
+        rules = tuple(
+            r.strip() for r in rules_part.split(",") if r.strip()
+        )
+        line = tok.start[0]
+        # A comment with code before it on the same line covers that
+        # line; a full-line comment covers the next line.
+        own_line = tok.line[: tok.start[1]].strip()
+        applies_to = line if own_line else line + 1
+        sup = Suppression(
+            line=line,
+            applies_to=applies_to,
+            rules=rules,
+            justification=justification.strip(),
+        )
+        if not rules or not sep or not sup.justification:
+            index.malformed.append(sup)
+            continue
+        index.by_line.setdefault(applies_to, []).append(sup)
+    return index

@@ -85,7 +85,10 @@ def output_root_windows(circuit: Circuit, max_inputs: int) -> List[Window]:
         while grown:
             grown = False
             candidates = set()
-            for v in members:
+            # Sorted walk: candidate collection is commutative, but the
+            # growth loop below consumes sorted(candidates), so keep the
+            # whole pass order-history-free for determinism discipline.
+            for v in sorted(members):
                 for f in circuit.node(v).fanins:
                     node = circuit.node(f)
                     if (

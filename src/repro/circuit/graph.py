@@ -106,7 +106,9 @@ def window_boundary(
     po_drivers = set(circuit.output_nodes())
     inputs: Set[int] = set()
     outputs: Set[int] = set()
-    for m in members:
+    # Sorted walk for determinism discipline (the accumulation itself is
+    # commutative, but boundary order must never depend on set history).
+    for m in sorted(members):
         for f in circuit.node(m).fanins:
             if f not in members and not circuit.node(f).op in (Op.CONST0, Op.CONST1):
                 inputs.add(f)
@@ -200,7 +202,7 @@ def quotient_is_acyclic(
         for d in dsts:
             nodes_q.add(d)
             indeg[d] = indeg.get(d, 0) + 1
-    queue = [q for q in nodes_q if indeg.get(q, 0) == 0]
+    queue = [q for q in sorted(nodes_q) if indeg.get(q, 0) == 0]
     seen = 0
     while queue:
         q = queue.pop()

@@ -6,6 +6,8 @@ Examples::
     blasys run --blif mydesign.blif --thresholds 0.1 --out approx.blif
     blasys table1
     blasys compare --bench adder32 --thresholds 0.05 0.25   # vs SALSA
+    blasys lint                # contract lint over the shipped package
+    blasys lint src tests      # explicit paths
 """
 
 from __future__ import annotations
@@ -45,6 +47,7 @@ def _config(args) -> ExplorerConfig:
         engine=args.engine,
         chunk_words=args.chunk_words,
         chunk_budget_mb=args.chunk_budget_mb,
+        sanitize=True if args.sanitize else None,
     )
 
 
@@ -93,6 +96,11 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--chunk-budget-mb", type=float, default=None,
                    help="auto-pick --chunk-words from a sample-matrix "
                         "memory budget in MB (resident when it already fits)")
+    p.add_argument("--sanitize", action="store_true",
+                   help="runtime contract sanitizer: freeze cache-held "
+                        "arrays, assert tail-bit masks, audit shard "
+                        "payloads (same as REPRO_SANITIZE=1; trajectories "
+                        "are unchanged — it only adds tripwires)")
 
 
 def _cmd_run(args) -> int:
@@ -120,6 +128,19 @@ def _cmd_table1(args) -> int:
         print(f"{bench.name:8s} {io:>7s} {metrics.area_um2:10.1f} "
               f"{metrics.power_uw:10.1f} {metrics.delay_ns:10.2f}")
     return 0
+
+
+def _cmd_lint(args) -> int:
+    # Deferred import: the analysis package is pure tooling and the
+    # run/table1/compare paths should not pay for loading it.
+    from .analysis.linter import main as lint_main
+
+    lint_args = list(args.paths)
+    if args.list_rules:
+        lint_args.append("--list-rules")
+    if args.no_shard_audit:
+        lint_args.append("--no-shard-audit")
+    return lint_main(lint_args)
 
 
 def _cmd_compare(args) -> int:
@@ -168,6 +189,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp = sub.add_parser("compare", help="BLASYS vs SALSA (Table 3)")
     _add_common(p_cmp)
     p_cmp.set_defaults(fn=_cmd_compare)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="contract linter: determinism/aliasing/pickle-safety rules "
+             "(DESIGN.md 'Static contracts')",
+    )
+    p_lint.add_argument(
+        "paths", nargs="*",
+        help="files or directories (default: the installed repro package)",
+    )
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="print the rule set and exit")
+    p_lint.add_argument("--no-shard-audit", action="store_true",
+                        help="skip the import-based shard payload audit")
+    p_lint.set_defaults(fn=_cmd_lint)
     return parser
 
 

@@ -63,6 +63,7 @@ from ..circuit.simulate import (
     pack_bits,
     unpack_bits,
 )
+from ..analysis.sanitize import assert_tail_clean, freeze
 from ..errors import SimulationError
 from ..runtime import RuntimeStats
 from .incremental import IncrementalEvaluator
@@ -237,7 +238,9 @@ def circuit_program(circuit: Circuit) -> CircuitProgram:
     if prog is None or prog.n_nodes != circuit.n_nodes:
         prog = _compile_circuit(circuit)
         _PROGRAM_CACHE[circuit] = prog
-    return prog
+    # CircuitProgram is a frozen compile artifact shared across every
+    # evaluator of the circuit — never mutated after construction.
+    return prog  # contract-ok: cache-copy -- immutable compiled program, shared by design
 
 
 def _compile_circuit(circuit: Circuit) -> CircuitProgram:
@@ -412,8 +415,12 @@ class CompiledEvaluator(IncrementalEvaluator):
         input_words: np.ndarray,
         n_samples: int,
         stats: Optional[RuntimeStats] = None,
+        sanitize: Optional[bool] = None,
     ) -> None:
-        super().__init__(circuit, windows, input_words, n_samples, stats=stats)
+        super().__init__(
+            circuit, windows, input_words, n_samples, stats=stats,
+            sanitize=sanitize,
+        )
         self._cones: Dict[int, ConeSchedule] = {}
         self._idx_cache: Dict[int, np.ndarray] = {}
         self._seed_cache: Dict[int, Tuple] = {}
@@ -547,7 +554,7 @@ class CompiledEvaluator(IncrementalEvaluator):
                     ids.update(w.outputs)
             touch = frozenset(ids)
             self._touch_cache[index] = touch
-        return touch
+        return touch  # contract-ok: cache-copy -- frozenset is immutable
 
     # -- execution ------------------------------------------------------
     def _rows_neq(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -608,8 +615,12 @@ class CompiledEvaluator(IncrementalEvaluator):
         idx = self._idx_cache.get(index)
         if idx is None:
             idx = self._input_index(self._window_by_index[index], {})
+            if self._sanitize:
+                freeze(idx)
             self._idx_cache[index] = idx
-        return idx
+        # Shared read-only gather index; every consumer only indexes
+        # with it, and sanitize mode freezes the cached array.
+        return idx  # contract-ok: cache-copy -- read-only gather index, frozen under sanitize
 
     # -- memoized previews ----------------------------------------------
     def _memo_lookup(
@@ -646,6 +657,12 @@ class CompiledEvaluator(IncrementalEvaluator):
         entries = [
             (rows, [out[row].copy() for row in rows]) for out, rows in results
         ]
+        if self._sanitize:
+            # Memoized preview rows are replayed into fresh output
+            # matrices on every hit; freezing catches any aliasing writer.
+            for _, vals in entries:
+                for v in vals:
+                    freeze(v)
         self._preview_cache[index] = (
             tuple(tables),
             self._cone_touch(index),
@@ -670,8 +687,14 @@ class CompiledEvaluator(IncrementalEvaluator):
             and len(cached[0]) == len(checked)
             and all(a is b for a, b in zip(cached[0], checked))
         ):
-            return cached[2]
+            # Seeds are consumed read-only by cone sweeps and frozen
+            # under sanitize; copying (n_cand, m, W) per scan would
+            # defeat the cache.
+            return cached[2]  # contract-ok: cache-copy -- read-only seed stack, frozen under sanitize
         seeds = stacked_seed_gather(checked, idx, self.n)
+        if self._sanitize:
+            assert_tail_clean(seeds, self.n, "stacked candidate seeds")
+            freeze(seeds)
         self._seed_cache[index] = (tuple(checked), idx, seeds)
         return seeds
 
@@ -923,6 +946,8 @@ class CompiledEvaluator(IncrementalEvaluator):
         idx = self._window_input_index(index)
         seed = pack_bits(np.ascontiguousarray(table[idx, :].T).astype(np.uint8))
         mask_tail_words(seed, self.n)
+        if self._sanitize:
+            assert_tail_clean(seed, self.n, "commit seed")
         cone = self._cone(index)
         swept = self._run_cone(cone, seed)
         first_commit = index not in self._committed
@@ -967,6 +992,7 @@ def make_evaluator(
     chunk_words: Optional[int] = None,
     shard_jobs: int = 1,
     cache_chunks: int = 0,
+    sanitize: Optional[bool] = None,
 ) -> IncrementalEvaluator:
     """Construct the evaluation engine selected by ``engine``.
 
@@ -980,6 +1006,11 @@ def make_evaluator(
     bit-identical to resident execution for any chunk size, shard count
     and cache capacity (DESIGN.md "Streaming execution" / "Parallel
     streaming").
+
+    ``sanitize`` enables the runtime contract sanitizer — frozen
+    cache-held arrays and tail-bit assertions at engine boundaries
+    (``None`` defers to the ``REPRO_SANITIZE`` environment variable; see
+    DESIGN.md "Static contracts").
     """
     if engine not in ENGINES:
         raise SimulationError(
@@ -996,6 +1027,10 @@ def make_evaluator(
             circuit, windows, input_words, n_samples,
             chunk_words=chunk_words, stats=stats,
             shard_jobs=shard_jobs, cache_chunks=cache_chunks,
+            sanitize=sanitize,
         )
     cls = CompiledEvaluator if engine == "compiled" else IncrementalEvaluator
-    return cls(circuit, windows, input_words, n_samples, stats=stats)
+    return cls(
+        circuit, windows, input_words, n_samples, stats=stats,
+        sanitize=sanitize,
+    )

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..analysis.sanitize import sanitize_enabled
 from ..errors import ExplorationError
 from ..circuit.netlist import Circuit
 from ..circuit.stimulus import stimulus_input_words
@@ -119,6 +120,13 @@ class ExplorerConfig:
             chunk whose sample-matrix working set fits this many
             megabytes (resident execution when the whole matrix already
             fits).  Ignored when ``chunk_words`` is set explicitly.
+        sanitize: Runtime contract sanitizer (DESIGN.md "Static
+            contracts"): freeze arrays handed out by the chunk cache,
+            preview memo, and profile cache; assert the tail-bit mask at
+            engine boundaries; audit shard payloads at submit time.
+            ``None`` (default) defers to the ``REPRO_SANITIZE``
+            environment variable.  Trajectories are byte-identical with
+            the sanitizer on or off — it only adds tripwires.
     """
 
     max_inputs: int = 10
@@ -149,6 +157,7 @@ class ExplorerConfig:
     engine: str = "compiled"
     chunk_words: Optional[int] = None
     chunk_budget_mb: Optional[float] = None
+    sanitize: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.strategy not in STRATEGIES:
@@ -320,8 +329,13 @@ def explore(
         )
     windows = list(windows)
     runtime_stats = RuntimeStats()
+    sanitize = sanitize_enabled(config.sanitize)
     if profiles is None:
-        cache = ProfileCache(config.cache_dir) if config.cache_dir else None
+        cache = (
+            ProfileCache(config.cache_dir, sanitize=sanitize)
+            if config.cache_dir
+            else None
+        )
         profiles = profile_windows(
             circuit,
             windows,
@@ -366,6 +380,7 @@ def explore(
         chunk_words=chunk_words,
         shard_jobs=shard_jobs,
         cache_chunks=config.chunk_cache_chunks,
+        sanitize=sanitize,
     )
     try:
         return _run_exploration(
@@ -386,7 +401,8 @@ def _run_exploration(
     """Algorithm 1's greedy loop over a constructed evaluation engine."""
     profile_by_index = {p.window.index: p for p in profiles}
     qor_eval = QoREvaluator(
-        circuit, evaluator.exact_outputs, config.n_samples, config.qor
+        circuit, evaluator.exact_outputs, config.n_samples, config.qor,
+        sanitize=sanitize_enabled(config.sanitize),
     )
     # The compiled engine reports exactly which output rows each candidate
     # dirtied, so QoR evaluation only recomputes the words those rows feed

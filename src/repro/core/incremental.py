@@ -35,6 +35,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..analysis.sanitize import freeze, frozen_view, sanitize_enabled
 from ..errors import SimulationError
 from ..circuit.netlist import Circuit
 from ..circuit.simulate import (
@@ -67,10 +68,14 @@ class IncrementalEvaluator:
         input_words: np.ndarray,
         n_samples: int,
         stats: Optional[RuntimeStats] = None,
+        sanitize: Optional[bool] = None,
     ) -> None:
         self.circuit = circuit
         self.windows = list(windows)
         self.n = n_samples
+        #: Runtime sanitizer (DESIGN.md "Static contracts"): explicit
+        #: flag wins, else the REPRO_SANITIZE environment variable.
+        self._sanitize = sanitize_enabled(sanitize)
         self._tail = tail_mask(n_samples)
         self._committed: Dict[int, np.ndarray] = {}
         self._graph = quotient_graph(circuit, windows)
@@ -91,6 +96,8 @@ class IncrementalEvaluator:
         self._values = simulate_full(self.circuit, input_words, self.n)
         self._n_words = self._values.shape[1]
         self._exact_outputs = self._values[self.circuit.output_nodes()].copy()
+        if self._sanitize:
+            freeze(self._exact_outputs)
         if self._stats is not None:
             self._stats.note_sample_matrix(self._values.nbytes)
 
@@ -106,8 +113,14 @@ class IncrementalEvaluator:
     # ------------------------------------------------------------------
     @property
     def exact_outputs(self) -> np.ndarray:
-        """Packed outputs of the original (fully exact) circuit."""
-        return self._exact_outputs
+        """Packed outputs of the original (fully exact) circuit.
+
+        Handed out as a read-only view: the array backs every QoR
+        comparison for the lifetime of the evaluator, so a caller
+        mutating it would silently corrupt all later error floats —
+        consumers that need a writable copy take ``.copy()``.
+        """
+        return frozen_view(self._exact_outputs)
 
     def current_outputs(self) -> np.ndarray:
         """Packed outputs under the committed substitutions."""

@@ -233,7 +233,7 @@ class _VariantCosting:
         key = B.tobytes() + b"|" + C.tobytes() + algebra.encode()
         hit = self._cache.get(key)
         if hit is not None:
-            return hit
+            return hit  # contract-ok: cache-copy -- cached float, immutable
         self.n_syntheses += 1
         builder = CircuitBuilder("variant")
         k = int(np.log2(B.shape[0]))

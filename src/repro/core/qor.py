@@ -35,6 +35,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..analysis.sanitize import assert_tail_clean, freeze, sanitize_enabled
 from ..errors import SimulationError
 from ..circuit.netlist import Circuit
 from ..circuit.simulate import (
@@ -100,12 +101,17 @@ class QoREvaluator:
         exact_output_words: np.ndarray,
         n_samples: int,
         spec: QoRSpec = QoRSpec(),
+        sanitize: Optional[bool] = None,
     ) -> None:
         self.spec = spec
         self.n = n_samples
+        self._sanitize = sanitize_enabled(sanitize)
         self.words = circuit_words(circuit)
         exact = np.atleast_2d(np.asarray(exact_output_words, dtype=np.uint64))
         self._exact_words = mask_tail_words(exact.copy(), n_samples)
+        if self._sanitize:
+            assert_tail_clean(self._exact_words, n_samples, "exact words")
+            freeze(self._exact_words)
         self._exact_vals = {
             w.name: self._word_ints(exact, w) for w in self.words
         }
@@ -308,11 +314,16 @@ class QoREvaluator:
         out = np.atleast_2d(np.asarray(output_words, dtype=np.uint64))
         if self.spec.metric == "hamming":
             self._base_row_hamming = self.row_hamming(out)
+            if self._sanitize:
+                freeze(self._base_row_hamming)
         else:
             self._base_partials = [
                 self._word_partials(w, out, self.spec.metric)
                 for w in self.words
             ]
+            if self._sanitize:
+                for p in self._base_partials:
+                    freeze(p)
             self._base_sums = [float(p.sum()) for p in self._base_partials]
 
     def base_partials(self, pos: int) -> np.ndarray:
@@ -323,7 +334,9 @@ class QoREvaluator:
         """
         if self._base_partials is None:
             raise SimulationError("base_partials requires rebase() first")
-        return self._base_partials[pos]
+        # Consumers splice via splice_partials, which copies before
+        # writing; sanitize mode freezes the cached vectors.
+        return self._base_partials[pos]  # contract-ok: cache-copy -- spliced via copy, frozen under sanitize
 
     def base_row_hamming(self) -> np.ndarray:
         """Committed per-row mismatch counts (hamming metric, rebased)."""

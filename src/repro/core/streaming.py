@@ -85,6 +85,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..analysis.sanitize import (
+    assert_tail_clean,
+    freeze,
+    frozen_view,
+    sanitize_enabled,
+)
 from ..circuit.netlist import Circuit
 from ..circuit.simulate import (
     _FULL_WORD,
@@ -182,7 +188,7 @@ class ChunkBaseCache:
     charges for.
     """
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(self, capacity: int, sanitize: bool = False) -> None:
         if capacity < 1:
             raise SimulationError(
                 f"ChunkBaseCache capacity must be >= 1, got {capacity}"
@@ -190,6 +196,11 @@ class ChunkBaseCache:
         self.capacity = int(capacity)
         self._entries: "OrderedDict[int, List]" = OrderedDict()
         self.nbytes = 0
+        #: Sanitize mode: ``get`` hands out read-only *views* so a caller
+        #: mutating a served slice raises at the write site, while the
+        #: writable base stays reachable through ``peek`` — the commit
+        #: path's sanctioned in-place repair (``_fold_cache_entry``).
+        self._sanitize = bool(sanitize)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -202,7 +213,11 @@ class ChunkBaseCache:
             del self._entries[start]
             self.nbytes -= entry[1].nbytes
             return None
-        return entry[1]
+        if self._sanitize:
+            return frozen_view(entry[1])
+        # Hot-path hand-out under the read-only contract: a copy per hit
+        # would defeat the cache; sanitize mode serves frozen views.
+        return entry[1]  # contract-ok: cache-copy -- read-only contract, frozen view under sanitize
 
     def put(self, start: int, epoch: int, values: np.ndarray) -> None:
         entry = self._entries.get(start)
@@ -220,7 +235,10 @@ class ChunkBaseCache:
         """The cached slice regardless of epoch (commit folding repairs
         stale values in place rather than recomputing them)."""
         entry = self._entries.get(start)
-        return None if entry is None else entry[1]
+        # The one sanctioned writable hand-out: the owning evaluator's
+        # commit folding writes cached slices in place (by design —
+        # recomputing them is the cost the cache exists to avoid).
+        return None if entry is None else entry[1]  # contract-ok: cache-copy -- sanctioned in-place repair path (commit folding)
 
     def drop_outside(self, keep: set) -> None:
         """Evict entries whose chunk start is not in ``keep``.
@@ -242,7 +260,13 @@ class ChunkBaseCache:
             entry[0] = epoch
 
     def holds_array(self, values: np.ndarray) -> bool:
-        return any(entry[1] is values for entry in self._entries.values())
+        # Sanitize mode serves frozen *views* of cached bases, so memory
+        # accounting must also recognize a served view — numpy collapses
+        # view chains, so compare storage, not object identity.
+        return any(
+            entry[1] is values or np.shares_memory(entry[1], values)
+            for entry in self._entries.values()
+        )
 
 
 class StreamingEvaluator(CompiledEvaluator):
@@ -287,6 +311,7 @@ class StreamingEvaluator(CompiledEvaluator):
         shard_jobs: int = 1,
         cache_chunks: int = 0,
         exact_outputs: Optional[np.ndarray] = None,
+        sanitize: Optional[bool] = None,
     ) -> None:
         if chunk_words < 1:
             raise SimulationError(
@@ -296,11 +321,16 @@ class StreamingEvaluator(CompiledEvaluator):
             raise SimulationError(
                 f"cache_chunks must be >= 0, got {cache_chunks}"
             )
+        # Resolved here (not just in the base __init__) because the
+        # chunk cache below is built before super().__init__ runs.
+        self._sanitize = sanitize_enabled(sanitize)
         self._chunk_words = int(chunk_words)
         self._shard_jobs = effective_jobs(shard_jobs)
         self._cache_chunks = int(cache_chunks)
         self._base_cache = (
-            ChunkBaseCache(cache_chunks) if cache_chunks > 0 else None
+            ChunkBaseCache(cache_chunks, sanitize=self._sanitize)
+            if cache_chunks > 0
+            else None
         )
         #: Commit epoch: bumped by every commit; cache entries and the
         #: per-chunk dirty watermarks below are expressed in it.
@@ -311,7 +341,10 @@ class StreamingEvaluator(CompiledEvaluator):
         self._executor = None
         self._executor_ready = False
         self._precomputed_exact = exact_outputs
-        super().__init__(circuit, windows, input_words, n_samples, stats=stats)
+        super().__init__(
+            circuit, windows, input_words, n_samples, stats=stats,
+            sanitize=self._sanitize,
+        )
         self._chunks = [
             c for c in plan_chunks(n_samples, self._chunk_words) if c.n_valid
         ]
@@ -354,6 +387,8 @@ class StreamingEvaluator(CompiledEvaluator):
                 chunk_words=self._chunk_words,
                 n_samples=self.n,
             )
+        if self._sanitize:
+            freeze(self._exact_outputs)
         if self._stats is not None:
             chunk = min(self._chunk_words, self._n_words)
             self._stats.note_sample_matrix(
@@ -382,6 +417,7 @@ class StreamingEvaluator(CompiledEvaluator):
                 chunk_words=self._chunk_words,
                 exact_outputs=self._exact_outputs,
                 cache_chunks=self._cache_chunks,
+                sanitize=self._sanitize,
             )
             self._executor = make_shard_executor(context, self._shard_jobs)
         return self._executor
@@ -426,12 +462,19 @@ class StreamingEvaluator(CompiledEvaluator):
                 if self._stats is not None:
                     self._stats.n_chunk_cache_hits += 1
                     self._stats.note_sample_matrix(cache.nbytes)
-                return cached
+                # Cache hand-out under its read-only contract (a frozen
+                # view when the sanitizer is on).
+                return cached  # contract-ok: cache-copy -- ChunkBaseCache read-only contract
             if self._stats is not None:
                 self._stats.n_chunk_cache_misses += 1
         values = self._compute_base(chunk)
         if cache is not None:
             cache.put(chunk.start, self._epoch, values)
+            if self._sanitize:
+                # The fresh slice is now cache-held: hand out a frozen
+                # view so this caller is bound by the same contract as
+                # later cache hits.
+                return frozen_view(values)
         return values
 
     def _compute_base(self, chunk) -> np.ndarray:
@@ -633,6 +676,10 @@ class StreamingEvaluator(CompiledEvaluator):
                 base[self._win_input_ids[index]], cw * WORD_BITS
             )
             seeds = stacked_seed_gather(checked, idx, chunk.n_valid)
+            if self._sanitize:
+                assert_tail_clean(
+                    seeds, chunk.n_valid, "chunk candidate seeds"
+                )
             cap = self._block_capacity(cone, cw)
             for b0 in range(0, len(checked), cap):
                 block = self._sweep_cone_blocks(
@@ -933,6 +980,8 @@ class StreamingEvaluator(CompiledEvaluator):
                 base[self._win_input_ids[index]], chunk.n_words * WORD_BITS
             )
             seed = stacked_seed_gather([table], idx, chunk.n_valid)
+            if self._sanitize:
+                assert_tail_clean(seed, chunk.n_valid, "commit chunk seed")
             swept = self._sweep_cone_blocks(
                 cone, seed, base, chunk.n_valid, record_blocks=False
             )[0]
@@ -952,6 +1001,7 @@ class StreamingEvaluator(CompiledEvaluator):
         invalid_nodes = changed_nodes | set(w.members) | set(w.outputs)
         changed_words = {
             wpos
+            # contract-ok: set-iteration -- commutative set-into-set union
             for row in changed_rows
             for wpos in self._row_word_positions[row]
         }
@@ -1021,6 +1071,7 @@ class ShardWorker:
             shard_jobs=1,
             cache_chunks=context.cache_chunks,
             exact_outputs=context.exact_outputs,
+            sanitize=getattr(context, "sanitize", False),
         )
         self._qors: Dict[str, QoREvaluator] = {}
 
@@ -1029,7 +1080,8 @@ class ShardWorker:
         if qor is None:
             ev = self.evaluator
             qor = QoREvaluator(
-                ev.circuit, ev.exact_outputs, ev.n, QoRSpec(metric)
+                ev.circuit, ev.exact_outputs, ev.n, QoRSpec(metric),
+                sanitize=ev._sanitize,
             )
             self._qors[metric] = qor
         return qor

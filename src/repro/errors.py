@@ -38,3 +38,16 @@ class ExplorationError(ReproError):
 
 class ParseError(ReproError):
     """Raised when an interchange file (e.g. BLIF) cannot be parsed."""
+
+
+class ContractViolation(ReproError):
+    """Raised when a runtime contract check fails.
+
+    The sanitizer mode (``REPRO_SANITIZE=1`` / ``ExplorerConfig.sanitize``,
+    see :mod:`repro.analysis.sanitize`) turns documented invariants — the
+    tail-bit mask on packed arrays at engine boundaries, pickle-safety of
+    shard payloads — into immediate tracebacks instead of silent
+    downstream corruption.  (Aliasing violations surface as numpy
+    ``ValueError: assignment destination is read-only`` on the frozen
+    array itself.)
+    """

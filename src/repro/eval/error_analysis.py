@@ -101,15 +101,19 @@ def analyze_errors(
     norm = np.stack(norms, axis=1)
 
     wrong_bits = approx_bits != exact_bits
+    # The report metrics below reduce *resident, unpacked* sample arrays
+    # in one fixed numpy order — they are post-hoc analysis, never part
+    # of the chunk/shard trajectory QoR path the canonical partials
+    # discipline exists for.
     return ErrorReport(
         n_samples=n_samples,
-        error_rate=float((diff.sum(axis=1) > 0).mean()),
-        mean_error_distance=float(diff.mean()),
+        error_rate=float((diff.sum(axis=1) > 0).mean()),  # contract-ok: float-reduction -- post-hoc report on resident samples
+        mean_error_distance=float(diff.mean()),  # contract-ok: float-reduction -- post-hoc report on resident samples
         normalized_med=float(norm.mean()),
         mean_relative_error=float(rel.mean()),
         worst_case_error=int(diff.max()),
         worst_case_relative_error=float(rel.max()),
-        mean_squared_error=float((diff.astype(float) ** 2).mean()),
+        mean_squared_error=float((diff.astype(float) ** 2).mean()),  # contract-ok: float-reduction -- post-hoc report on resident samples
         bit_error_rate=float(wrong_bits.mean()),
     )
 

@@ -172,6 +172,9 @@ class _Clustering:
     def boundary_counts(self, member_set: Set[int]) -> Tuple[int, int]:
         inputs: Set[int] = set()
         n_out = 0
+        # Hot path (called per candidate move in _refine); accumulation
+        # is a set insert plus a count — fully commutative.
+        # contract-ok: set-iteration -- commutative set-insert + count accumulation
         for v in member_set:
             for f in self.circuit.node(v).fanins:
                 if f not in member_set and self.circuit.node(f).op not in (
@@ -282,7 +285,10 @@ def _refine(state: _Clustering, passes: int) -> None:
             src_members = state.members[src]
             base_src_cost = state.boundary_counts(src_members)[0]
             best: Optional[Tuple[int, int]] = None  # (gain, dst)
-            for dst in neighbors:
+            # Sorted walk: the strict `gain > best` tie-break keeps the
+            # *first* best candidate, so set iteration order would leak
+            # into the chosen destination (and every window downstream).
+            for dst in sorted(neighbors):
                 dst_members = state.members[dst]
                 new_src = src_members - {nid}
                 new_dst = dst_members | {nid}

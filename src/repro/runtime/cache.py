@@ -81,12 +81,20 @@ class ProfileCache:
             the cache (reset per instance, not persisted).
     """
 
-    def __init__(self, path) -> None:
+    def __init__(self, path, sanitize: Optional[bool] = None) -> None:
         self.path = Path(path)
         self.path.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        # Sanitize mode (DESIGN.md "Static contracts"): payloads served
+        # by get() have every reachable ndarray frozen, because entries
+        # are shared across windows with identical content keys — one
+        # consumer mutating a served array would corrupt the others.
+        # None defers to the REPRO_SANITIZE environment variable.
+        from ..analysis.sanitize import sanitize_enabled
+
+        self._sanitize = sanitize_enabled(sanitize)
 
     @staticmethod
     def key_of(*tokens: bytes) -> str:
@@ -109,6 +117,10 @@ class ProfileCache:
             self.misses += 1
             return None
         self.hits += 1
+        if self._sanitize:
+            from ..analysis.sanitize import freeze_payload
+
+            freeze_payload(value)
         return value
 
     def put(self, key: str, value) -> None:
@@ -127,4 +139,5 @@ class ProfileCache:
         self.stores += 1
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.path.glob("*.pkl"))
+        # Cardinality only — no iteration order reaches any output.
+        return sum(1 for _ in self.path.glob("*.pkl"))  # contract-ok: listing-order -- counting entries, order-free

@@ -65,6 +65,9 @@ class StreamContext:
             lets workers build their QoR evaluators without re-simulating
             the whole circuit.
         cache_chunks: Cone-epoch base-slice cache capacity per worker.
+        sanitize: Propagates the runtime sanitizer (frozen cache arrays,
+            tail-bit assertions — see ``repro.analysis.sanitize``) into
+            worker evaluators, and enables the submit-time payload audit.
     """
 
     circuit: object
@@ -74,6 +77,7 @@ class StreamContext:
     chunk_words: int
     exact_outputs: np.ndarray
     cache_chunks: int = 0
+    sanitize: bool = False
 
 
 @dataclass(frozen=True)
@@ -121,6 +125,17 @@ class ShardOutcome:
     n_sweep_units: int = 0
     n_stacked_blocks: int = 0
     peak_bytes: int = 0
+
+
+#: Registry of every payload type that crosses the process boundary.
+#: The ``shard-pickle`` lint rule statically audits these classes'
+#: fields (repro.analysis.pickleaudit), and sanitize mode deep-walks
+#: instances at submit time — register any new payload type here.
+SHARD_PAYLOAD_CLASSES: Tuple[type, ...] = (
+    StreamContext,
+    ScanShard,
+    ShardOutcome,
+)
 
 
 # ----------------------------------------------------------------------
@@ -227,11 +242,21 @@ class ProcessShardExecutor(ShardExecutor):
 
     def __init__(self, context: StreamContext, jobs: int) -> None:
         self.jobs = jobs
+        self._sanitize = bool(getattr(context, "sanitize", False))
+        if self._sanitize:
+            from ..analysis.pickleaudit import audit_payload
+
+            audit_payload(context, "StreamContext")
         self._pool = ProcessPoolExecutor(
             max_workers=jobs, initializer=_init_worker, initargs=(context,)
         )
 
     def run(self, shards: Sequence[ScanShard]) -> Optional[List[ShardOutcome]]:
+        if self._sanitize:
+            from ..analysis.pickleaudit import audit_payload
+
+            for i, shard in enumerate(shards):
+                audit_payload(shard, f"ScanShard[{i}]")
         # Workers spawn lazily on first submit, so OS-level spawn failures
         # (EAGAIN from fork on pid/memory-constrained hosts) surface here
         # as plain OSError, not just BrokenProcessPool — both mean "no

@@ -96,7 +96,7 @@ def _build(tables: np.ndarray, order: Sequence[int]) -> SharedBDD:
         key = column.tobytes() + bytes([level])
         found = memo.get(key)
         if found is not None:
-            return found
+            return found  # contract-ok: cache-copy -- memoized node id (int), immutable
         half = column.shape[0] // 2
         lo = rec(level + 1, column[:half])
         hi = rec(level + 1, column[half:])

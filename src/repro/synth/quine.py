@@ -30,7 +30,10 @@ def prime_implicants(k: int, on: Sequence[int], dc: Sequence[int]) -> List[Cube]
         merged: Set[Tuple[int, int]] = set()
         used: Set[Tuple[int, int]] = set()
         by_mask = {}
-        for mask, value in current:
+        # Sorted walk so by_mask's per-mask value lists (and dict
+        # insertion order) never depend on set iteration history; the
+        # merge results below land in sets either way.
+        for mask, value in sorted(current):
             by_mask.setdefault(mask, []).append(value)
         for mask, values in by_mask.items():
             vset = set(values)
