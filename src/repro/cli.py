@@ -48,6 +48,12 @@ def _config(args) -> ExplorerConfig:
         chunk_words=args.chunk_words,
         chunk_budget_mb=args.chunk_budget_mb,
         sanitize=True if args.sanitize else None,
+        shard_timeout=args.shard_timeout,
+        shard_retries=args.shard_retries,
+        faults=args.faults,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
     )
 
 
@@ -101,6 +107,31 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                         "arrays, assert tail-bit masks, audit shard "
                         "payloads (same as REPRO_SANITIZE=1; trajectories "
                         "are unchanged — it only adds tripwires)")
+    p.add_argument("--shard-timeout", type=float, default=None,
+                   help="per-attempt wall-clock bound in seconds for "
+                        "supervised pool work; a hung worker is timed out, "
+                        "the pool rebuilt and the item retried (default: "
+                        "wait forever)")
+    p.add_argument("--shard-retries", type=int, default=2,
+                   help="pool re-submissions per failed shard/task before "
+                        "it falls back to in-process execution (results "
+                        "are byte-identical either way)")
+    p.add_argument("--faults", default=None,
+                   help="deterministic fault-injection spec for chaos "
+                        "testing, e.g. 'crash:shard=0,attempt=0,scan=0;"
+                        "pool:scan=1' (same as REPRO_FAULTS; grammar in "
+                        "DESIGN.md 'Fault tolerance')")
+    p.add_argument("--checkpoint", default=None,
+                   help="write an atomic exploration checkpoint to this "
+                        "path every --checkpoint-every committed "
+                        "iterations")
+    p.add_argument("--checkpoint-every", type=int, default=1,
+                   help="commit period of checkpoint writes")
+    p.add_argument("--resume", default=None,
+                   help="resume exploration from this checkpoint; the "
+                        "final trajectory is byte-identical to an "
+                        "uninterrupted run (the checkpoint must match the "
+                        "circuit and search-defining flags)")
 
 
 def _cmd_run(args) -> int:

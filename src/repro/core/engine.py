@@ -993,6 +993,8 @@ def make_evaluator(
     shard_jobs: int = 1,
     cache_chunks: int = 0,
     sanitize: Optional[bool] = None,
+    policy=None,
+    faults=None,
 ) -> IncrementalEvaluator:
     """Construct the evaluation engine selected by ``engine``.
 
@@ -1011,6 +1013,13 @@ def make_evaluator(
     cache-held arrays and tail-bit assertions at engine boundaries
     (``None`` defers to the ``REPRO_SANITIZE`` environment variable; see
     DESIGN.md "Static contracts").
+
+    ``policy`` (a :class:`repro.runtime.parallel.RetryPolicy`) and
+    ``faults`` (a :class:`repro.runtime.faults.FaultPlan`) configure the
+    streaming shard executor's supervision — retry/timeout/rebuild
+    bounds and deterministic chaos injection (DESIGN.md "Fault
+    tolerance").  Both are ignored by the resident engines, which have
+    no worker pool.
     """
     if engine not in ENGINES:
         raise SimulationError(
@@ -1027,7 +1036,7 @@ def make_evaluator(
             circuit, windows, input_words, n_samples,
             chunk_words=chunk_words, stats=stats,
             shard_jobs=shard_jobs, cache_chunks=cache_chunks,
-            sanitize=sanitize,
+            sanitize=sanitize, policy=policy, faults=faults,
         )
     cls = CompiledEvaluator if engine == "compiled" else IncrementalEvaluator
     return cls(

@@ -34,7 +34,19 @@ from ..circuit.stimulus import stimulus_input_words
 from ..partition.decompose import decompose
 from ..partition.substitute import substitute_windows
 from ..partition.windows import Window
-from ..runtime import ProfileCache, RuntimeStats, effective_jobs
+from ..runtime import (
+    ExploreCheckpoint,
+    FaultPlan,
+    ProfileCache,
+    RetryPolicy,
+    RuntimeStats,
+    canonical_circuit_bytes,
+    effective_jobs,
+    faults_enabled,
+    fingerprint_tokens,
+    load_checkpoint,
+    save_checkpoint,
+)
 from ..synth.espresso import EspressoOptions
 from ..synth.library import LIB65, Library
 from ..circuit.simulate import words_for
@@ -127,6 +139,28 @@ class ExplorerConfig:
             ``None`` (default) defers to the ``REPRO_SANITIZE``
             environment variable.  Trajectories are byte-identical with
             the sanitizer on or off — it only adds tripwires.
+        shard_timeout: Per-attempt wall-clock bound (seconds) for
+            supervised pool work — a hung worker is timed out, the pool
+            killed and rebuilt, and the item retried/fallback-executed.
+            ``None`` (default) waits forever.
+        shard_retries: Pool re-submissions per failed shard/task before
+            it falls back to in-process execution.  Recovery never
+            changes results — items are pure functions of their inputs.
+        faults: Deterministic fault-injection spec for chaos testing
+            (grammar in :mod:`repro.runtime.faults`; DESIGN.md "Fault
+            tolerance").  ``None`` (default) defers to the
+            ``REPRO_FAULTS`` environment variable.  Trajectories are
+            byte-identical with any recoverable plan injected.
+        checkpoint_path: Write an atomic exploration checkpoint here
+            every ``checkpoint_every`` committed iterations (``None``
+            disables checkpointing).
+        checkpoint_every: Commit period of checkpoint writes (≥ 1).
+        resume: Load this checkpoint and continue the search from it —
+            the final trajectory is byte-identical to an uninterrupted
+            run.  The checkpoint must fingerprint-match the circuit and
+            every search-defining config field (stop conditions and
+            execution knobs excluded; see
+            :mod:`repro.runtime.checkpoint`).
     """
 
     max_inputs: int = 10
@@ -158,6 +192,12 @@ class ExplorerConfig:
     chunk_words: Optional[int] = None
     chunk_budget_mb: Optional[float] = None
     sanitize: Optional[bool] = None
+    shard_timeout: Optional[float] = None
+    shard_retries: int = 2
+    faults: Optional[str] = None
+    checkpoint_path: Optional[str] = None
+    checkpoint_every: int = 1
+    resume: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.strategy not in STRATEGIES:
@@ -196,6 +236,22 @@ class ExplorerConfig:
                 "shard_jobs / chunk_cache_chunks require streaming "
                 "execution (set chunk_words or chunk_budget_mb)"
             )
+        if self.shard_retries < 0:
+            raise ExplorationError(
+                f"shard_retries must be >= 0, got {self.shard_retries}"
+            )
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            raise ExplorationError(
+                f"shard_timeout must be positive, got {self.shard_timeout}"
+            )
+        if self.checkpoint_every < 1:
+            raise ExplorationError(
+                f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
+            )
+        if isinstance(self.faults, str):
+            # Fail fast on malformed specs (raises FaultSpecError) rather
+            # than mid-run on the first injection check.
+            FaultPlan.parse(self.faults)
 
 
 @dataclass(frozen=True)
@@ -330,9 +386,17 @@ def explore(
     windows = list(windows)
     runtime_stats = RuntimeStats()
     sanitize = sanitize_enabled(config.sanitize)
+    # One fault-plan instance and one retry policy per run, threaded
+    # through every supervised layer (profiling pool, shard executor,
+    # profile cache) so "fire once" clauses fire once globally and the
+    # retry bounds cannot drift between layers.
+    fault_plan = faults_enabled(config.faults)
+    retry_policy = RetryPolicy(
+        max_retries=config.shard_retries, timeout=config.shard_timeout
+    )
     if profiles is None:
         cache = (
-            ProfileCache(config.cache_dir, sanitize=sanitize)
+            ProfileCache(config.cache_dir, sanitize=sanitize, faults=fault_plan)
             if config.cache_dir
             else None
         )
@@ -351,6 +415,8 @@ def explore(
             jobs=config.jobs,
             cache=cache,
             runtime_stats=runtime_stats,
+            policy=retry_policy,
+            faults=fault_plan,
         )
     profiles = list(profiles)
 
@@ -381,13 +447,65 @@ def explore(
         shard_jobs=shard_jobs,
         cache_chunks=config.chunk_cache_chunks,
         sanitize=sanitize,
+        policy=retry_policy,
+        faults=fault_plan,
     )
     try:
         return _run_exploration(
-            circuit, config, windows, profiles, evaluator, runtime_stats
+            circuit, config, windows, profiles, evaluator, runtime_stats,
+            rng=rng,
         )
     finally:
         evaluator.close()
+
+
+def _search_fingerprint(circuit: Circuit, config: ExplorerConfig) -> str:
+    """Checkpoint-compatibility fingerprint of this search.
+
+    Hashes the canonical circuit structure plus every *search-defining*
+    config field.  Stop conditions (``threshold`` / ``error_cap`` /
+    ``max_iterations``) and execution knobs that are byte-identical by
+    contract (engine, chunking, sharding, jobs, cache dir, sanitize,
+    faults, checkpoint/resume paths) are deliberately excluded so an
+    interrupted run can be resumed with different stop bounds or on a
+    differently-provisioned host (see :mod:`repro.runtime.checkpoint`).
+    """
+    return fingerprint_tokens(
+        canonical_circuit_bytes(circuit),
+        config.max_inputs,
+        config.max_outputs,
+        config.method,
+        config.algebra,
+        tuple(config.taus),
+        config.weight_mode,
+        config.selection,
+        config.match_macros,
+        config.qor,
+        config.n_samples,
+        config.seed,
+        config.strategy,
+        config.tie_epsilon,
+        config.tie_epsilon_scale,
+        config.refine_passes,
+        config.estimate_area,
+        config.library.name,
+        config.espresso,
+    )
+
+
+def _variant_pos(variants: Sequence, variant) -> int:
+    """Position of ``variant`` in its profile's per-degree list.
+
+    Identity comparison on purpose: committed variants always *are*
+    entries of the profile list, and ``CandidateVariant`` holds numpy
+    arrays, which makes value equality both expensive and ambiguous.
+    """
+    for i, v in enumerate(variants):
+        if v is variant:
+            return i
+    raise ExplorationError(
+        "committed variant is not an entry of its window profile"
+    )
 
 
 def _run_exploration(
@@ -397,6 +515,7 @@ def _run_exploration(
     profiles: List[WindowProfile],
     evaluator,
     runtime_stats: RuntimeStats,
+    rng=None,
 ) -> ExplorationResult:
     """Algorithm 1's greedy loop over a constructed evaluation engine."""
     profile_by_index = {p.window.index: p for p in profiles}
@@ -497,6 +616,65 @@ def _run_exploration(
                 counter += 1
         heapq.heapify(heap)
 
+    fingerprint: Optional[str] = None
+    if config.checkpoint_path or config.resume:
+        fingerprint = _search_fingerprint(circuit, config)
+
+    if config.resume:
+        # Replay the checkpoint's committed steps through the fresh
+        # evaluator.  Engine memo/cache state starts cold — a performance
+        # difference only; the determinism discipline guarantees every
+        # subsequent preview float matches the uninterrupted run.
+        ckpt = load_checkpoint(config.resume, expect_fingerprint=fingerprint)
+        for point in ckpt.trajectory[1:]:
+            _, widx, f, _, _, _ = point
+            variant = profile_by_index[widx].variants[f][ckpt.chosen[(widx, f)]]
+            evaluator.commit(widx, variant.table)
+            fs[widx] = f
+            result.chosen[(widx, f)] = variant
+        if delta_qor and len(ckpt.trajectory) > 1:
+            qor_eval.rebase(evaluator.current_outputs())
+        trajectory[:] = [TrajectoryPoint(*point) for point in ckpt.trajectory]
+        iteration = ckpt.iteration
+        current_qor = ckpt.current_qor
+        result.n_evaluations = ckpt.n_evaluations
+        heap = list(ckpt.heap)
+        counter = ckpt.counter
+        if rng is not None and ckpt.rng_state is not None:
+            rng.bit_generator.state = ckpt.rng_state
+
+    def write_checkpoint() -> None:
+        # Committed-variant identities and the trajectory's own floats are
+        # the whole logical loop state (module docstring of
+        # repro.runtime.checkpoint); everything engine-internal is rebuilt
+        # on resume by re-committing these steps.
+        chosen_positions = {
+            (widx, f): _variant_pos(profile_by_index[widx].variants[f], v)
+            for (widx, f), v in result.chosen.items()
+        }
+        save_checkpoint(
+            config.checkpoint_path,
+            ExploreCheckpoint(
+                fingerprint=fingerprint,
+                iteration=iteration,
+                current_qor=current_qor,
+                n_evaluations=result.n_evaluations,
+                fs=dict(fs),
+                chosen=chosen_positions,
+                trajectory=[
+                    (p.iteration, p.window_index, p.f, p.qor, p.est_area,
+                     tuple(p.fs))
+                    for p in trajectory
+                ],
+                heap=list(heap),
+                counter=counter,
+                rng_state=(
+                    rng.bit_generator.state if rng is not None else None
+                ),
+            ),
+        )
+        runtime_stats.n_checkpoints += 1
+
     while True:
         if config.max_iterations is not None and iteration >= config.max_iterations:
             break
@@ -580,5 +758,10 @@ def _run_exploration(
         if config.strategy == "lazy" and active(chosen):
             heapq.heappush(heap, (current_qor, counter, chosen))
             counter += 1
+        if (
+            config.checkpoint_path
+            and iteration % config.checkpoint_every == 0
+        ):
+            write_checkpoint()
 
     return result

@@ -505,6 +505,8 @@ def profile_windows(
     jobs: int = 1,
     cache: Optional[ProfileCache] = None,
     runtime_stats: Optional[RuntimeStats] = None,
+    policy=None,
+    faults=None,
 ) -> List[WindowProfile]:
     """Run the profiling phase over all windows.
 
@@ -527,6 +529,10 @@ def profile_windows(
             hits skip factorization and synthesis entirely.
         runtime_stats: Optional accumulator updated in place with task,
             cache, and work counters.
+        policy / faults: Supervised-dispatch retry bounds and
+            deterministic fault plan, forwarded to
+            :func:`~repro.runtime.run_tasks` (see DESIGN.md "Fault
+            tolerance").
 
     Returns:
         One :class:`WindowProfile` per window with variants for every
@@ -565,6 +571,8 @@ def profile_windows(
         cache=cache,
         jobs=jobs,
         stats=runtime_stats,
+        policy=policy,
+        faults=faults,
     )
     return [
         WindowProfile(

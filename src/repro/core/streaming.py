@@ -312,6 +312,8 @@ class StreamingEvaluator(CompiledEvaluator):
         cache_chunks: int = 0,
         exact_outputs: Optional[np.ndarray] = None,
         sanitize: Optional[bool] = None,
+        policy=None,
+        faults=None,
     ) -> None:
         if chunk_words < 1:
             raise SimulationError(
@@ -340,6 +342,11 @@ class StreamingEvaluator(CompiledEvaluator):
         self._chunk_epoch: Dict[int, int] = {}
         self._executor = None
         self._executor_ready = False
+        # Supervision knobs for the shard executor: the retry/timeout
+        # policy and the deterministic fault plan (None = defaults / no
+        # injection).  Held here because the executor is built lazily.
+        self._shard_policy = policy
+        self._shard_faults = faults
         self._precomputed_exact = exact_outputs
         super().__init__(
             circuit, windows, input_words, n_samples, stats=stats,
@@ -419,7 +426,13 @@ class StreamingEvaluator(CompiledEvaluator):
                 cache_chunks=self._cache_chunks,
                 sanitize=self._sanitize,
             )
-            self._executor = make_shard_executor(context, self._shard_jobs)
+            self._executor = make_shard_executor(
+                context,
+                self._shard_jobs,
+                policy=self._shard_policy,
+                faults=self._shard_faults,
+                stats=self._stats,
+            )
         return self._executor
 
     def close(self) -> None:

@@ -40,6 +40,43 @@ class ParseError(ReproError):
     """Raised when an interchange file (e.g. BLIF) cannot be parsed."""
 
 
+class ShardFailure(ReproError):
+    """Raised when a shard task fails permanently.
+
+    The supervised executor (:mod:`repro.runtime.executor`) retries a
+    failed shard on the pool (bounded, with backoff) and then re-runs it
+    in-process; only when the in-process fallback *also* fails does the
+    failure propagate — as this exception, carrying the shard index and
+    the formatted worker traceback of the last pool attempt so the root
+    cause is never lost behind the retry machinery.
+    """
+
+
+class WorkerTimeout(ReproError):
+    """Raised (internally) when a worker exceeds its attempt timeout.
+
+    A hung worker can no longer block a run forever: the supervisor
+    times the attempt out, terminates and respawns the compromised pool
+    (bounded by the respawn budget), and retries or falls back to
+    in-process execution.  Instances surface to callers only inside a
+    :class:`ShardFailure` chain.
+    """
+
+
+class CheckpointError(ReproError):
+    """Raised when an exploration checkpoint cannot be loaded or applied.
+
+    Covers unreadable/corrupt checkpoint files, format-version mismatches,
+    and resuming against a different circuit or search configuration than
+    the one that wrote the checkpoint (fingerprint mismatch — see
+    :mod:`repro.runtime.checkpoint`).
+    """
+
+
+class FaultSpecError(ReproError):
+    """Raised for malformed ``REPRO_FAULTS`` / ``--faults`` specs."""
+
+
 class ContractViolation(ReproError):
     """Raised when a runtime contract check fails.
 

@@ -5,19 +5,31 @@ window) is embarrassingly parallel across windows and fully deterministic
 given a window's truth table and the profiling parameters.  This package
 exploits both properties:
 
-* :mod:`repro.runtime.parallel` — a process-pool map with deterministic
-  result ordering (``jobs=1`` degrades to a plain serial loop).
+* :mod:`repro.runtime.parallel` — process-pool dispatch with deterministic
+  result ordering (``jobs=1`` degrades to a plain serial loop), including
+  the supervised layer (:class:`~repro.runtime.parallel.PoolSupervisor` /
+  :func:`~repro.runtime.parallel.supervised_map`): bounded per-item
+  retries with backoff (:class:`~repro.runtime.parallel.RetryPolicy`),
+  attempt timeouts that defeat hung workers, bounded pool rebuilds, and
+  per-item in-process fallback.
 * :mod:`repro.runtime.cache` — a content-addressed on-disk cache keyed by a
   canonical hash of the task inputs, so threshold sweeps and repeated CLI
-  invocations skip redundant factorization/synthesis work entirely.
+  invocations skip redundant factorization/synthesis work entirely;
+  corrupt entries are quarantined as misses, writes are fsync-durable.
 * :mod:`repro.runtime.driver` — the task driver tying the two together:
   same-run duplicate tasks are computed once, cache hits short-circuit
   dispatch, and a :class:`~repro.runtime.driver.RuntimeStats` record counts
-  the work actually performed.
+  the work actually performed (including resilience events).
+* :mod:`repro.runtime.executor` — the streaming engine's shard executor:
+  picklable chunk-range tasks over a persistent supervised pool.
+* :mod:`repro.runtime.faults` — deterministic fault injection
+  (``REPRO_FAULTS=<spec>``) for chaos-testing every recovery path above.
+* :mod:`repro.runtime.checkpoint` — atomic exploration checkpoints for
+  kill-and-resume with byte-identical continuations.
 
 The driver is deliberately generic (tasks in, payloads out, ordering
 preserved); window profiling in :mod:`repro.core.profile` is its first
-client, and later sharding/async work is expected to reuse the same seam.
+client, and the streaming shard executor reuses the same supervised seam.
 """
 
 from __future__ import annotations
@@ -28,18 +40,48 @@ from .cache import (
     array_token,
     canonical_circuit_bytes,
 )
+from .checkpoint import (
+    CHECKPOINT_VERSION,
+    ExploreCheckpoint,
+    fingerprint_tokens,
+    load_checkpoint,
+    save_checkpoint,
+)
 from .driver import RuntimeStats, format_bytes, run_tasks
-from .parallel import effective_jobs, parallel_map, resolve_jobs
+from .faults import FAULTS_ENV, FaultClause, FaultPlan, InjectedFault, faults_enabled
+from .parallel import (
+    PoolSupervisor,
+    RetryPolicy,
+    effective_jobs,
+    format_worker_failure,
+    parallel_map,
+    resolve_jobs,
+    supervised_map,
+)
 
 __all__ = [
     "CACHE_VERSION",
+    "CHECKPOINT_VERSION",
+    "ExploreCheckpoint",
+    "FAULTS_ENV",
+    "FaultClause",
+    "FaultPlan",
+    "InjectedFault",
+    "PoolSupervisor",
     "ProfileCache",
+    "RetryPolicy",
     "RuntimeStats",
     "array_token",
     "canonical_circuit_bytes",
     "effective_jobs",
+    "faults_enabled",
+    "fingerprint_tokens",
     "format_bytes",
+    "format_worker_failure",
+    "load_checkpoint",
     "parallel_map",
     "resolve_jobs",
     "run_tasks",
+    "save_checkpoint",
+    "supervised_map",
 ]

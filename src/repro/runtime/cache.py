@@ -17,9 +17,15 @@ and a threshold sweep or repeated CLI run on the same design hits on every
 window.  The key scheme is documented in DESIGN.md; bump
 :data:`CACHE_VERSION` whenever profiling output semantics change.
 
-Values are stored as one pickle file per key, written atomically
-(temp file + ``os.replace``) so concurrent runs sharing a cache directory
-never observe torn entries.
+Values are stored as one pickle file per key, written atomically and
+durably (temp file + flush + ``fsync`` + ``os.replace``) so concurrent
+runs sharing a cache directory never observe torn entries and a crash
+mid-write cannot leave one behind on non-atomic filesystems.  Reads are
+hardened the other way: any unpickling failure — truncation, garbage
+bytes, or a payload referencing classes this build no longer has — is a
+cache *miss*, and the offending file is quarantined (renamed to
+``*.corrupt``, counted in the ``corrupt`` stat) so it is diagnosable but
+never consulted again.
 """
 
 from __future__ import annotations
@@ -79,22 +85,31 @@ class ProfileCache:
     Attributes:
         hits / misses / stores: Access counters for this process's view of
             the cache (reset per instance, not persisted).
+        corrupt: Entries quarantined by :meth:`get` after failing to
+            unpickle (each also counts as a miss).
     """
 
-    def __init__(self, path, sanitize: Optional[bool] = None) -> None:
+    def __init__(self, path, sanitize: Optional[bool] = None, faults=None) -> None:
         self.path = Path(path)
         self.path.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.corrupt = 0
         # Sanitize mode (DESIGN.md "Static contracts"): payloads served
         # by get() have every reachable ndarray frozen, because entries
         # are shared across windows with identical content keys — one
         # consumer mutating a served array would corrupt the others.
         # None defers to the REPRO_SANITIZE environment variable.
         from ..analysis.sanitize import sanitize_enabled
+        from .faults import faults_enabled
 
         self._sanitize = sanitize_enabled(sanitize)
+        # Chaos harness (DESIGN.md "Fault tolerance"): a matching `cache`
+        # clause overwrites the n-th stored entry with garbage right
+        # after the atomic write, exercising the quarantine path end to
+        # end.  None defers to REPRO_FAULTS.
+        self._faults = faults_enabled(faults)
 
     @staticmethod
     def key_of(*tokens: bytes) -> str:
@@ -109,12 +124,38 @@ class ProfileCache:
         return self.path / f"{key}.pkl"
 
     def get(self, key: str):
-        """The stored value for ``key``, or None (corrupt entries = miss)."""
+        """The stored value for ``key``, or None (corrupt entries = miss).
+
+        Unpickling garbage raises more than ``UnpicklingError``: a
+        truncated file raises ``EOFError``, a file whose payload
+        references classes/attributes this build no longer defines
+        raises ``AttributeError``/``ImportError``, and malformed opcode
+        arguments raise ``IndexError``/``ValueError``.  All of them mean
+        "this entry is unusable", so all are misses — and the file is
+        quarantined to ``<key>.pkl.corrupt`` so the bad bytes stay
+        available for diagnosis without ever being consulted again.
+        """
+        path = self._file(key)
         try:
-            with open(self._file(key), "rb") as fh:
+            with open(path, "rb") as fh:
                 value = pickle.load(fh)
-        except (FileNotFoundError, EOFError, pickle.UnpicklingError):
+        except FileNotFoundError:
             self.misses += 1
+            return None
+        except (
+            EOFError,
+            pickle.UnpicklingError,
+            AttributeError,
+            ImportError,
+            IndexError,
+            ValueError,
+        ):
+            self.misses += 1
+            self.corrupt += 1
+            try:
+                os.replace(path, str(path) + ".corrupt")
+            except OSError:  # pragma: no cover - racing cleanup
+                pass
             return None
         self.hits += 1
         if self._sanitize:
@@ -124,11 +165,21 @@ class ProfileCache:
         return value
 
     def put(self, key: str, value) -> None:
-        """Store ``value`` under ``key`` atomically."""
+        """Store ``value`` under ``key`` atomically and durably.
+
+        The temp file is fsynced before ``os.replace`` publishes it:
+        without the fsync, a crash between the rename and the data
+        reaching disk can leave a *named* entry with torn contents on
+        journaled-metadata filesystems — exactly the state
+        :meth:`get`'s quarantine path exists to survive, but better
+        never to create it.
+        """
         fd, tmp = tempfile.mkstemp(dir=self.path, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
                 pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp, self._file(key))
         except BaseException:
             try:
@@ -136,6 +187,9 @@ class ProfileCache:
             except OSError:
                 pass
             raise
+        if self._faults is not None and self._faults.cache_fault(self.stores):
+            with open(self._file(key), "wb") as fh:
+                fh.write(b"\x80\x05garbage: injected cache corruption")
         self.stores += 1
 
     def __len__(self) -> int:

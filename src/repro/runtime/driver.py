@@ -17,7 +17,8 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
 from .cache import ProfileCache
-from .parallel import effective_jobs, parallel_map
+from .faults import FaultPlan
+from .parallel import RetryPolicy, effective_jobs, supervised_map
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -86,6 +87,18 @@ class RuntimeStats:
             (per-worker) chunk budget bounds; total footprint across a
             sharded run is ~``shard_jobs`` times it.
         jobs: Resolved worker count of the last run.
+        n_shard_retries / n_shard_fallbacks: Supervised shard executor
+            resilience events — pool re-submissions of a failed/timed-out
+            shard, and shards that exhausted their retries and re-ran
+            in-process (survivor outcomes kept either way).
+        n_task_retries / n_task_fallbacks: Same, for the profiling task
+            driver's supervised pool.
+        n_pool_rebuilds: Compromised pools (broken / hung-worker
+            timeout) killed and respawned, across both supervised
+            layers.
+        n_checkpoints: Exploration checkpoints written by ``explore()``.
+        cache_corrupt: Persistent-cache entries quarantined after
+            failing to unpickle (each also counted a miss).
     """
 
     n_tasks: int = 0
@@ -109,6 +122,13 @@ class RuntimeStats:
     chunk_words: int = 0
     peak_sample_matrix_bytes: int = 0
     jobs: int = 1
+    n_shard_retries: int = 0
+    n_shard_fallbacks: int = 0
+    n_task_retries: int = 0
+    n_task_fallbacks: int = 0
+    n_pool_rebuilds: int = 0
+    n_checkpoints: int = 0
+    cache_corrupt: int = 0
 
     def note_sample_matrix(self, nbytes: int) -> None:
         """Record a sample-matrix working-set high-water mark."""
@@ -147,7 +167,36 @@ class RuntimeStats:
                 f"chunk cache {self.n_chunk_cache_hits} hit / "
                 f"{self.n_chunk_cache_misses} miss)"
             )
+        resilience = self.resilience_summary()
+        if resilience:
+            text += f", {resilience}"
         return text
+
+    def resilience_summary(self) -> str:
+        """Fault-recovery accounting, or ``""`` when nothing misbehaved."""
+        events = (
+            self.n_shard_retries
+            + self.n_shard_fallbacks
+            + self.n_task_retries
+            + self.n_task_fallbacks
+            + self.n_pool_rebuilds
+            + self.cache_corrupt
+        )
+        if not events and not self.n_checkpoints:
+            return ""
+        parts = []
+        if events:
+            parts.append(
+                f"recovered: {self.n_shard_retries} shard retries / "
+                f"{self.n_shard_fallbacks} shard fallbacks, "
+                f"{self.n_task_retries} task retries / "
+                f"{self.n_task_fallbacks} task fallbacks, "
+                f"{self.n_pool_rebuilds} pool rebuilds, "
+                f"{self.cache_corrupt} corrupt cache entries quarantined"
+            )
+        if self.n_checkpoints:
+            parts.append(f"{self.n_checkpoints} checkpoints written")
+        return ", ".join(parts)
 
 
 def _count_work(stats: RuntimeStats, payloads: Sequence) -> None:
@@ -164,8 +213,16 @@ def run_tasks(
     cache: Optional[ProfileCache] = None,
     jobs: int = 1,
     stats: Optional[RuntimeStats] = None,
+    policy: Optional[RetryPolicy] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> Tuple[List[R], RuntimeStats]:
     """Execute ``task_fn`` over ``tasks``; results in task order.
+
+    Dispatch is supervised (:func:`~repro.runtime.parallel.
+    supervised_map`): one worker death or task exception costs that task
+    bounded retries plus at worst an in-process re-run instead of
+    aborting the whole profiling pass, and results stay byte-identical
+    to the serial loop because tasks are pure functions of their inputs.
 
     Args:
         tasks: Work items (picklable when ``jobs > 1``).
@@ -176,19 +233,27 @@ def run_tasks(
         cache: Persistent store; only meaningful together with ``key_fn``.
         jobs: Worker processes (``0`` = all cores, ``1`` = serial loop).
         stats: Accumulator to update in place (a fresh one is made if None).
+        policy: Retry/timeout/rebuild bounds for the supervised pool
+            (defaults applied by the supervisor when None).
+        faults: Deterministic chaos plan; ``task`` clauses crash matching
+            attempts (see :mod:`repro.runtime.faults`).
 
     Returns:
         ``(payloads, stats)`` with ``payloads[i]`` the result for
-        ``tasks[i]`` — byte-identical whatever ``jobs`` is.
+        ``tasks[i]`` — byte-identical whatever ``jobs`` is and whichever
+        tasks were retried or fell back.
     """
     stats = stats if stats is not None else RuntimeStats()
     stats.jobs = effective_jobs(jobs)
     tasks = list(tasks)
     stats.n_tasks += len(tasks)
     results: List[Optional[R]] = [None] * len(tasks)
+    corrupt_before = cache.corrupt if cache is not None else 0
 
     if key_fn is None:
-        payloads = parallel_map(task_fn, tasks, jobs)
+        payloads = supervised_map(
+            task_fn, tasks, jobs, policy=policy, faults=faults, stats=stats
+        )
         stats.tasks_computed += len(payloads)
         _count_work(stats, payloads)
         return list(payloads), stats
@@ -211,7 +276,14 @@ def run_tasks(
         positions[key] = [i]
         order.append((key, task))
 
-    payloads = parallel_map(task_fn, [task for _, task in order], jobs)
+    payloads = supervised_map(
+        task_fn,
+        [task for _, task in order],
+        jobs,
+        policy=policy,
+        faults=faults,
+        stats=stats,
+    )
     for (key, _), payload in zip(order, payloads):
         if cache is not None:
             cache.put(key, payload)
@@ -219,4 +291,6 @@ def run_tasks(
             results[i] = payload
     stats.tasks_computed += len(payloads)
     _count_work(stats, payloads)
+    if cache is not None:
+        stats.cache_corrupt += cache.corrupt - corrupt_before
     return results, stats

@@ -25,24 +25,37 @@ keep their evaluator machinery — compiled schedules, cone-epoch chunk
 caches — alive across tasks; each task ships only the small per-scan
 state (committed tables, candidate tables, epoch watermarks).
 
-The caller owns the fallback: :func:`make_shard_executor` returns
-``None`` when sharding is pointless (one job) or unavailable (sandboxed
-platforms without process pools), and :meth:`ProcessShardExecutor.run`
-returns ``None`` when the pool breaks mid-run — in both cases the
-streaming engine runs the identical shard tasks in-process.
+The caller owns the *total* fallback: :func:`make_shard_executor`
+returns ``None`` when sharding is pointless (one job) or unavailable
+(sandboxed platforms without process pools), and the streaming engine
+then runs the identical shard tasks in-process.  *Partial* failure is
+handled inside :class:`ProcessShardExecutor` itself: each shard is a
+supervised future (:class:`~repro.runtime.parallel.PoolSupervisor`)
+with bounded retries, an attempt timeout that defeats hung workers,
+bounded pool rebuilds on ``BrokenProcessPool``, and a per-shard
+in-process fallback — survivors' outcomes are kept and only the failed
+shards re-run, which the merge contract makes byte-identical to any
+other execution of the same shard plan.
 """
 
 from __future__ import annotations
 
+import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, TypeVar
 
 import numpy as np
 
-from .parallel import effective_jobs
+from ..errors import ShardFailure
+from .faults import FaultPlan, _raise_injected
+from .parallel import (
+    PoolSupervisor,
+    RetryPolicy,
+    effective_jobs,
+    format_worker_failure,
+)
 
 T = TypeVar("T")
 
@@ -211,6 +224,23 @@ def _run_shard(shard: ScanShard) -> ShardOutcome:
     return _WORKER.run(shard)
 
 
+def _run_shard_faulted(shard: ScanShard, kind: str, seconds: float) -> ShardOutcome:
+    """Worker entry point for an injected crash/hang on this attempt.
+
+    Faults are injected at submission time by *wrapping* the real task
+    rather than patching worker internals, so the failure travels the
+    exact exception/timeout machinery a real crash would: a ``crash``
+    raises :class:`~repro.runtime.faults.InjectedFault` out of the
+    worker, a ``hang`` sleeps past the supervisor's attempt timeout
+    (bounded, so a worker the supervisor failed to terminate still
+    exits) and then runs the task normally.
+    """
+    if kind == "crash":
+        _raise_injected(f"injected worker crash (shard of {len(shard.chunks)} chunks)")
+    time.sleep(seconds)
+    return _run_shard(shard)
+
+
 # ----------------------------------------------------------------------
 # Executor backends
 # ----------------------------------------------------------------------
@@ -233,49 +263,127 @@ class ShardExecutor:
 
 
 class ProcessShardExecutor(ShardExecutor):
-    """Process-pool backend with per-worker persistent evaluator state.
+    """Supervised process-pool backend with persistent worker state.
 
     The pool lives as long as the executor (one pool per exploration
     run, not per scan), so workers amortize schedule compilation and
     keep their cone-epoch chunk caches warm across iterations.
+
+    Each ``run`` dispatches per-shard futures through a
+    :class:`~repro.runtime.parallel.PoolSupervisor`: a failed or
+    timed-out shard is retried on the pool (bounded, with backoff; a
+    timeout or ``BrokenProcessPool`` kills and rebuilds the pool within
+    the respawn budget) and finally re-run in-process on a parent-side
+    :class:`~repro.core.streaming.ShardWorker` while every surviving
+    shard's outcome is kept.  A shard that fails even in-process raises
+    :class:`~repro.errors.ShardFailure` carrying the formatted worker
+    traceback of its last pool attempt.  ``faults`` threads the
+    deterministic chaos harness through submission (``crash``/``hang``
+    clauses wrap the attempt, ``pool`` clauses simulate a break at
+    dispatch).
     """
 
-    def __init__(self, context: StreamContext, jobs: int) -> None:
+    def __init__(
+        self,
+        context: StreamContext,
+        jobs: int,
+        policy: Optional[RetryPolicy] = None,
+        faults: Optional[FaultPlan] = None,
+        stats=None,
+    ) -> None:
         self.jobs = jobs
+        self._context = context
+        self._faults = faults
+        self._scan_no = 0
+        self._local_worker = None
         self._sanitize = bool(getattr(context, "sanitize", False))
         if self._sanitize:
             from ..analysis.pickleaudit import audit_payload
 
             audit_payload(context, "StreamContext")
-        self._pool = ProcessPoolExecutor(
-            max_workers=jobs, initializer=_init_worker, initargs=(context,)
+        self._supervisor = PoolSupervisor(
+            lambda: ProcessPoolExecutor(
+                max_workers=jobs, initializer=_init_worker, initargs=(context,)
+            ),
+            policy=policy,
+            stats=stats,
+            kind="shard",
         )
+        # Build eagerly so platform-level pool failures surface here and
+        # make_shard_executor can degrade to the serial streaming path.
+        self._supervisor.start()
+
+    def _run_in_process(self, shard: ScanShard) -> ShardOutcome:
+        """Parent-side fallback: the same task body, no pool.
+
+        The import is deferred for the same layering reason as
+        :func:`_init_worker`.  The worker instance is kept — like a pool
+        worker it re-syncs committed state per task, so reuse across
+        scans is exact.
+        """
+        if self._local_worker is None:
+            from ..core.streaming import ShardWorker
+
+            self._local_worker = ShardWorker(self._context)
+        return self._local_worker.run(shard)
 
     def run(self, shards: Sequence[ScanShard]) -> Optional[List[ShardOutcome]]:
+        shards = list(shards)
         if self._sanitize:
             from ..analysis.pickleaudit import audit_payload
 
             for i, shard in enumerate(shards):
                 audit_payload(shard, f"ScanShard[{i}]")
-        # Workers spawn lazily on first submit, so OS-level spawn failures
-        # (EAGAIN from fork on pid/memory-constrained hosts) surface here
-        # as plain OSError, not just BrokenProcessPool — both mean "no
-        # pool"; the caller runs the same shards in-process.
-        try:
-            return list(self._pool.map(_run_shard, shards))
-        except (BrokenProcessPool, OSError) as exc:  # pragma: no cover
+        scan = self._scan_no
+        self._scan_no += 1
+        inject_break = (
+            self._faults.pool_break(scan) if self._faults is not None else False
+        )
+
+        def submit(pool, i, attempt):
+            fault = (
+                self._faults.shard_fault(scan, i, attempt)
+                if self._faults is not None
+                else None
+            )
+            if fault is not None:
+                return pool.submit(
+                    _run_shard_faulted, shards[i], fault.kind, fault.seconds
+                )
+            return pool.submit(_run_shard, shards[i])
+
+        def run_local(i, last_exc):
             warnings.warn(
-                f"shard pool broke ({exc}); running shards in-process",
+                f"shard {i} exhausted pool attempts; running in-process",
                 RuntimeWarning,
             )
-            return None
+            try:
+                return self._run_in_process(shards[i])
+            except Exception as exc:
+                detail = (
+                    format_worker_failure(last_exc)
+                    if last_exc is not None
+                    else "(never reached the pool)"
+                )
+                raise ShardFailure(
+                    f"shard {i} failed on the pool and in-process; "
+                    f"last pool failure:\n{detail}"
+                ) from exc
+
+        return self._supervisor.run(
+            submit, run_local, len(shards), inject_break=inject_break
+        )
 
     def close(self) -> None:
-        self._pool.shutdown(wait=False, cancel_futures=True)
+        self._supervisor.close()
 
 
 def make_shard_executor(
-    context: StreamContext, jobs: int
+    context: StreamContext,
+    jobs: int,
+    policy: Optional[RetryPolicy] = None,
+    faults: Optional[FaultPlan] = None,
+    stats=None,
 ) -> Optional[ShardExecutor]:
     """Build the executor for ``jobs`` workers, or ``None`` for in-process.
 
@@ -283,13 +391,17 @@ def make_shard_executor(
     effective_jobs` policy as every other dispatch layer (``0`` = all
     cores).  ``None`` (one job, or no process-pool support on this
     platform) tells the streaming engine to run its shards serially —
-    byte-identical by the merge contract, just on one core.
+    byte-identical by the merge contract, just on one core.  ``policy``,
+    ``faults`` and ``stats`` configure the supervised retry loop (see
+    :class:`ProcessShardExecutor`).
     """
     jobs = effective_jobs(jobs)
     if jobs <= 1:
         return None
     try:
-        return ProcessShardExecutor(context, jobs)
+        return ProcessShardExecutor(
+            context, jobs, policy=policy, faults=faults, stats=stats
+        )
     except (OSError, PermissionError) as exc:  # pragma: no cover - platform
         warnings.warn(
             f"process pool unavailable ({exc}); streaming shards run "
