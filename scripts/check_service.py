@@ -1,0 +1,153 @@
+#!/usr/bin/env python
+"""CI smoke: the exploration service survives crashes byte-identically.
+
+Drives a real ``blasys serve`` daemon through the full chaos sequence
+(DESIGN.md "Service") and demands every job's final trajectory be
+byte-identical to a plain in-process exploration:
+
+1. two concurrent jobs — one plain, one with injected worker crashes
+   across two shard workers — both must match the reference;
+2. ``kill -9`` while a job is mid-run with a flushed checkpoint, then a
+   restart on the same journal directory: the job is recovered, resumed
+   from its checkpoint, and completes identically;
+3. SIGTERM (graceful: checkpoint and exit ``128 + SIGTERM``) mid-job,
+   restart, same identity;
+4. client-requested shutdown exits 0.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_service.py
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.bench import get_benchmark
+from repro.core.explorer import ExplorerConfig, explore
+from repro.errors import ExplorationError
+from repro.service import JobSpec, ServiceClient
+
+BASE = dict(
+    n_samples=700, max_inputs=8, max_outputs=8, strategy="full", chunk_words=3
+)
+
+
+def spec(**config) -> JobSpec:
+    merged = dict(BASE)
+    merged.update(config)
+    return JobSpec(bench="but", config=merged)
+
+
+def start_daemon(socket_path: Path, journal_dir: Path) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parent.parent / "src")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--socket", str(socket_path), "--journal", str(journal_dir),
+            "--max-concurrent", "2",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.STDOUT,
+    )
+    ServiceClient(str(socket_path), timeout=300.0).wait_ready(timeout=60.0)
+    return proc
+
+
+def await_checkpoint(journal_dir: Path, job_id: str, client: ServiceClient) -> None:
+    """Block until the job has flushed a checkpoint (so an interruption
+    provably lands mid-run with recoverable state)."""
+    ckpt = journal_dir / f"{job_id}.ckpt"
+    deadline = time.monotonic() + 120
+    while not ckpt.exists():
+        if time.monotonic() > deadline:
+            raise SystemExit(f"FAIL: {job_id} never wrote a checkpoint")
+        if client.status(job_id).terminal:
+            raise SystemExit(
+                f"FAIL: {job_id} finished before it could be interrupted"
+            )
+        time.sleep(0.002)
+
+
+def main() -> int:
+    circuit = get_benchmark("but").factory()
+    reference = explore(circuit, ExplorerConfig(**BASE))
+    ref_key = [
+        (p.iteration, p.window_index, p.f, float(p.qor), float(p.est_area),
+         tuple(p.fs))
+        for p in reference.trajectory
+    ]
+
+    tmp = Path(tempfile.mkdtemp(prefix="blasys-service-smoke-"))
+    socket_path = tmp / "b.sock"
+    journal_dir = tmp / "jobs"
+    client = ServiceClient(str(socket_path), timeout=600.0)
+
+    def check(record, label: str) -> None:
+        assert record.state == "done", (
+            f"{label}: expected done, got {record.state} ({record.error})"
+        )
+        assert record.trajectory_key() == ref_key, (
+            f"{label}: trajectory diverged from the in-process reference"
+        )
+        print(f"  {label}: byte-identical "
+              f"({len(record.trajectory)} points"
+              + (", resumed from checkpoint" if record.resumed else "") + ")")
+
+    # -- leg 1: concurrent jobs, one under injected worker crashes -------
+    print("leg 1: two concurrent jobs (one with injected shard crashes)")
+    daemon = start_daemon(socket_path, journal_dir)
+    plain = client.submit(spec())
+    chaotic = client.submit(spec(
+        shard_jobs=2, faults="crash:shard=0,attempt=0,scan=0",
+    ))
+    check(client.wait(plain), "plain job")
+    check(client.wait(chaotic), "fault-injected job")
+
+    # -- leg 2: kill -9 mid-run, restart, resume -------------------------
+    print("leg 2: kill -9 mid-run, restart, byte-identical resume")
+    victim = client.submit(spec())
+    await_checkpoint(journal_dir, victim, client)
+    daemon.kill()  # SIGKILL: no handlers, no goodbye
+    daemon.wait(timeout=60)
+    daemon = start_daemon(socket_path, journal_dir)
+    record = client.wait(victim)
+    assert record.resumed, "killed job did not resume from its checkpoint"
+    check(record, "kill -9 survivor")
+
+    # -- leg 3: SIGTERM mid-run (graceful), restart, resume --------------
+    print("leg 3: SIGTERM mid-run, restart, byte-identical resume")
+    victim = client.submit(spec())
+    await_checkpoint(journal_dir, victim, client)
+    daemon.send_signal(signal.SIGTERM)
+    code = daemon.wait(timeout=120)
+    assert code == 128 + signal.SIGTERM, (
+        f"SIGTERM exit code {code}, expected {128 + signal.SIGTERM}"
+    )
+    daemon = start_daemon(socket_path, journal_dir)
+    record = client.wait(victim)
+    check(record, "SIGTERM survivor")
+
+    # -- leg 4: client shutdown exits 0 ----------------------------------
+    try:
+        client.shutdown()
+    except ExplorationError:
+        pass  # the daemon may close the socket before the reply lands
+    code = daemon.wait(timeout=120)
+    assert code == 0, f"client shutdown exit code {code}, expected 0"
+    print("leg 4: client shutdown exited 0")
+
+    print("OK: service chaos smoke — all trajectories byte-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

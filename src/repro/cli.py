@@ -8,6 +8,14 @@ Examples::
     blasys compare --bench adder32 --thresholds 0.05 0.25   # vs SALSA
     blasys lint                # contract lint over the shipped package
     blasys lint src tests      # explicit paths
+
+Service mode (DESIGN.md "Service")::
+
+    blasys serve --socket /tmp/b.sock --journal /tmp/jobs   # daemon
+    blasys submit --socket /tmp/b.sock --bench mult8 --wait
+    blasys jobs --socket /tmp/b.sock
+    blasys job job-0001 --socket /tmp/b.sock --wait
+    blasys shutdown --socket /tmp/b.sock
 """
 
 from __future__ import annotations
@@ -20,7 +28,9 @@ from .bench import BENCHMARK_ORDER, get_benchmark
 from .baselines import run_salsa
 from .circuit import read_blif, write_blif, write_verilog
 from .core.explorer import ExplorerConfig, explore
+from .errors import ExplorationError, ServiceShutdown
 from .flow import run_blasys
+from .runtime import CancelToken, RunContext, ShutdownGuard
 from .synth import evaluate_design
 
 
@@ -33,6 +43,23 @@ def _load_circuit(args):
 
 
 def _config(args) -> ExplorerConfig:
+    # Checkpoint flag coherence: --checkpoint-every and --resume only
+    # mean something relative to a checkpoint path.  Accepting them
+    # alone would silently drop the user's durability request (no file
+    # ever written), so both are hard errors rather than warnings.
+    if args.checkpoint_every is not None and not args.checkpoint:
+        raise ExplorationError(
+            "--checkpoint-every requires --checkpoint PATH: the period "
+            "controls how often the checkpoint file is written, so "
+            "without a path no checkpoint would ever be produced"
+        )
+    if args.resume and not args.checkpoint:
+        raise ExplorationError(
+            "--resume requires --checkpoint PATH: progress made after "
+            "resuming would otherwise be un-checkpointed, and a second "
+            "interruption would lose it (pass the same path to resume "
+            "in place, or a new one to fork the run)"
+        )
     return ExplorerConfig(
         max_inputs=args.k,
         max_outputs=args.m,
@@ -52,7 +79,9 @@ def _config(args) -> ExplorerConfig:
         shard_retries=args.shard_retries,
         faults=args.faults,
         checkpoint_path=args.checkpoint,
-        checkpoint_every=args.checkpoint_every,
+        checkpoint_every=(
+            1 if args.checkpoint_every is None else args.checkpoint_every
+        ),
         resume=args.resume,
     )
 
@@ -125,8 +154,9 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                    help="write an atomic exploration checkpoint to this "
                         "path every --checkpoint-every committed "
                         "iterations")
-    p.add_argument("--checkpoint-every", type=int, default=1,
-                   help="commit period of checkpoint writes")
+    p.add_argument("--checkpoint-every", type=int, default=None,
+                   help="commit period of checkpoint writes (default 1; "
+                        "requires --checkpoint)")
     p.add_argument("--resume", default=None,
                    help="resume exploration from this checkpoint; the "
                         "final trajectory is byte-identical to an "
@@ -134,9 +164,41 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                         "circuit and search-defining flags)")
 
 
+def _interrupted(guard: ShutdownGuard, config: ExplorerConfig) -> int:
+    """Report a signal-interrupted run; exit code is ``128 + signum``."""
+    import signal as _signal
+
+    name = (
+        _signal.Signals(guard.signum).name
+        if guard.signum is not None else "shutdown"
+    )
+    tail = (
+        f"; checkpoint flushed to {config.checkpoint_path} (pass "
+        f"--resume {config.checkpoint_path} to continue)"
+        if config.checkpoint_path else
+        " (no --checkpoint was set, so progress is not recoverable)"
+    )
+    print(f"interrupted by {name}{tail}", file=sys.stderr)
+    return 128 + guard.signum if guard.signum is not None else 1
+
+
 def _cmd_run(args) -> int:
     circuit = _load_circuit(args)
-    result = run_blasys(circuit, thresholds=args.thresholds, config=_config(args))
+    config = _config(args)
+    # A Ctrl-C / SIGTERM during exploration cancels cooperatively: the
+    # greedy loop stops at the next iteration boundary, worker pools are
+    # closed (no orphan processes), and the final checkpoint — when
+    # --checkpoint is set — is flushed before we exit.
+    token = CancelToken()
+    guard = ShutdownGuard(token)
+    try:
+        with guard:
+            result = run_blasys(
+                circuit, thresholds=args.thresholds, config=config,
+                context=RunContext(cancel=token),
+            )
+    except ServiceShutdown:
+        return _interrupted(guard, config)
     print(result.summary())
     if args.out and result.designs:
         best = result.designs[min(result.designs)]
@@ -182,8 +244,15 @@ def _cmd_compare(args) -> int:
     config = replace(config, threshold=max(args.thresholds))
     base = evaluate_design(circuit, match_macros=False,
                            n_activity_samples=2048)
-    blasys = explore(circuit, config)
-    salsa = run_salsa(circuit, config)
+    token = CancelToken()
+    guard = ShutdownGuard(token)
+    try:
+        with guard:
+            blasys = explore(circuit, config,
+                             context=RunContext(cancel=token))
+            salsa = run_salsa(circuit, config)
+    except ServiceShutdown:
+        return _interrupted(guard, config)
     print(f"{circuit.name}: baseline {base.area_um2:.1f} um2")
     for thr in args.thresholds:
         cols = []
@@ -199,6 +268,126 @@ def _cmd_compare(args) -> int:
             cols.append(f"{label} {saving:5.1f}%")
         print(f"  thr={thr:>5.0%}: " + "  ".join(cols))
     return 0
+
+
+# -- service mode ---------------------------------------------------------
+
+def _cmd_serve(args) -> int:
+    # Deferred import: serving pulls in socketserver/threading machinery
+    # the one-shot commands never need.
+    from .service import serve
+
+    return serve(
+        args.socket,
+        args.journal,
+        max_queue=args.max_queue,
+        max_memory_mb=args.max_memory_mb,
+        max_concurrent=args.max_concurrent,
+        cache_dir=args.cache_dir,
+        max_pool_workers=args.pool_workers,
+        checkpoint_every=args.checkpoint_every,
+        drain_on_term=args.drain_on_term,
+        quiet=args.quiet,
+    )
+
+
+def _client(args):
+    from .service import ServiceClient
+
+    return ServiceClient(args.socket, timeout=args.timeout)
+
+
+def _print_job(record) -> None:
+    line = f"{record.job_id}  {record.state:9s}  {record.spec.name}"
+    if record.resumed:
+        line += "  [resumed]"
+    if record.error:
+        line += f"  ({record.error})"
+    print(line)
+    if record.trajectory:
+        last = record.trajectory[-1]
+        print(
+            f"  {len(record.trajectory)} trajectory points, "
+            f"{record.n_evaluations} evaluations, "
+            f"final qor={last[3]:.6g} est_area={last[4]:.6g}"
+        )
+
+
+def _cmd_submit(args) -> int:
+    from .service import JobSpec
+
+    if args.blif:
+        with open(args.blif) as fh:
+            blif_text = fh.read()
+    else:
+        blif_text = None
+    config = {
+        key: value
+        for key, value in (
+            ("max_inputs", args.k),
+            ("max_outputs", args.m),
+            ("n_samples", args.samples),
+            ("strategy", args.strategy),
+            ("weight_mode", args.weights),
+            ("seed", args.seed),
+            ("threshold", args.threshold),
+            ("jobs", args.jobs),
+            ("shard_jobs", args.shard_jobs),
+            ("chunk_words", args.chunk_words),
+            ("chunk_budget_mb", args.chunk_budget_mb),
+            ("chunk_cache_chunks", args.chunk_cache_chunks),
+            ("engine", args.engine),
+        )
+        if value is not None
+    }
+    spec = JobSpec(
+        bench=args.bench, blif=blif_text,
+        name=args.name or args.bench or args.blif or "",
+        deadline_s=args.deadline, config=config,
+    )
+    client = _client(args)
+    job_id = client.submit(spec)
+    print(f"submitted {job_id}")
+    if args.wait:
+        record = client.wait(job_id, timeout=args.timeout)
+        _print_job(record)
+        return 0 if record.state == "done" else 1
+    return 0
+
+
+def _cmd_jobs(args) -> int:
+    records = _client(args).list_jobs()
+    if not records:
+        print("no jobs")
+        return 0
+    for record in records:
+        _print_job(record)
+    return 0
+
+
+def _cmd_job(args) -> int:
+    client = _client(args)
+    if args.cancel:
+        record = client.cancel(args.job_id)
+    elif args.wait:
+        record = client.wait(args.job_id, timeout=args.timeout)
+    else:
+        record = client.status(args.job_id)
+    _print_job(record)
+    return 0 if record.state in ("done", "queued", "running") else 1
+
+
+def _cmd_shutdown(args) -> int:
+    _client(args).shutdown(drain=args.drain)
+    print("shutdown requested" + (" (draining)" if args.drain else ""))
+    return 0
+
+
+def _add_client_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--socket", required=True,
+                   help="Unix socket of the running blasys serve daemon")
+    p.add_argument("--timeout", type=float, default=600.0,
+                   help="per-request socket timeout in seconds")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -235,6 +424,87 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--no-shard-audit", action="store_true",
                         help="skip the import-based shard payload audit")
     p_lint.set_defaults(fn=_cmd_lint)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the exploration service daemon (DESIGN.md 'Service')",
+    )
+    p_serve.add_argument("--socket", required=True,
+                         help="Unix socket path to listen on")
+    p_serve.add_argument("--journal", required=True,
+                         help="journal directory: job log, per-job "
+                              "checkpoints, shared profile cache; restart "
+                              "on the same directory to recover unfinished "
+                              "jobs")
+    p_serve.add_argument("--max-queue", type=int, default=8,
+                         help="admission bound on queued+running jobs")
+    p_serve.add_argument("--max-concurrent", type=int, default=1,
+                         help="jobs explored concurrently")
+    p_serve.add_argument("--max-memory-mb", type=float, default=0.0,
+                         help="admission bound on the summed sample-matrix "
+                              "estimate of admitted jobs (0 = unbounded)")
+    p_serve.add_argument("--cache-dir", default=None,
+                         help="shared profile cache directory (default: "
+                              "<journal>/cache; '' disables)")
+    p_serve.add_argument("--pool-workers", type=int, default=0,
+                         help="total shard-pool worker budget across jobs "
+                              "(0 = unbounded; jobs beyond the budget run "
+                              "their scans in-process)")
+    p_serve.add_argument("--checkpoint-every", type=int, default=1,
+                         help="per-job checkpoint commit period")
+    p_serve.add_argument("--drain-on-term", action="store_true",
+                         help="on SIGTERM finish queued jobs instead of "
+                              "checkpointing in-flight ones")
+    p_serve.add_argument("--quiet", action="store_true")
+    p_serve.set_defaults(fn=_cmd_serve)
+
+    p_sub = sub.add_parser("submit", help="submit a job to a running service")
+    _add_client_common(p_sub)
+    p_sub.add_argument("--bench",
+                       help=f"benchmark name ({', '.join(BENCHMARK_ORDER)})")
+    p_sub.add_argument("--blif", help="BLIF file to upload inline")
+    p_sub.add_argument("--name", help="display label (default: circuit)")
+    p_sub.add_argument("--deadline", type=float, default=None,
+                       help="wall-clock budget in seconds once running")
+    p_sub.add_argument("--wait", action="store_true",
+                       help="block until the job reaches a terminal state")
+    p_sub.add_argument("--k", type=int, default=None, help="window input budget")
+    p_sub.add_argument("--m", type=int, default=None, help="window output budget")
+    p_sub.add_argument("--samples", type=int, default=None)
+    p_sub.add_argument("--strategy", choices=["full", "lazy"], default=None)
+    p_sub.add_argument("--weights", choices=["uniform", "significance"],
+                       default=None)
+    p_sub.add_argument("--seed", type=int, default=None)
+    p_sub.add_argument("--threshold", type=float, default=None,
+                       help="error threshold bounding the search")
+    p_sub.add_argument("--jobs", type=int, default=None)
+    p_sub.add_argument("--shard-jobs", type=int, default=None)
+    p_sub.add_argument("--chunk-words", type=int, default=None)
+    p_sub.add_argument("--chunk-budget-mb", type=float, default=None)
+    p_sub.add_argument("--chunk-cache-chunks", type=int, default=None)
+    p_sub.add_argument("--engine", choices=["compiled", "reference"],
+                       default=None)
+    p_sub.set_defaults(fn=_cmd_submit)
+
+    p_jobs = sub.add_parser("jobs", help="list jobs on a running service")
+    _add_client_common(p_jobs)
+    p_jobs.set_defaults(fn=_cmd_jobs)
+
+    p_job = sub.add_parser("job", help="inspect/wait/cancel one job")
+    _add_client_common(p_job)
+    p_job.add_argument("job_id")
+    p_job.add_argument("--wait", action="store_true",
+                       help="block until the job reaches a terminal state")
+    p_job.add_argument("--cancel", action="store_true",
+                       help="request cooperative cancellation")
+    p_job.set_defaults(fn=_cmd_job)
+
+    p_down = sub.add_parser("shutdown", help="stop a running service")
+    _add_client_common(p_down)
+    p_down.add_argument("--drain", action="store_true",
+                        help="finish queued jobs before stopping (default: "
+                             "checkpoint in-flight jobs for the next start)")
+    p_down.set_defaults(fn=_cmd_shutdown)
     return parser
 
 

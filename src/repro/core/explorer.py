@@ -28,7 +28,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..analysis.sanitize import sanitize_enabled
-from ..errors import ExplorationError
+from ..errors import (
+    ExplorationError,
+    JobCancelled,
+    JobDeadlineExceeded,
+    ServiceShutdown,
+)
 from ..circuit.netlist import Circuit
 from ..circuit.stimulus import stimulus_input_words
 from ..partition.decompose import decompose
@@ -39,6 +44,7 @@ from ..runtime import (
     FaultPlan,
     ProfileCache,
     RetryPolicy,
+    RunContext,
     RuntimeStats,
     canonical_circuit_bytes,
     effective_jobs,
@@ -366,6 +372,7 @@ def explore(
     config: ExplorerConfig = ExplorerConfig(),
     windows: Optional[Sequence[Window]] = None,
     profiles: Optional[Sequence[WindowProfile]] = None,
+    context: Optional[RunContext] = None,
 ) -> ExplorationResult:
     """Run Algorithm 1 end to end.
 
@@ -374,11 +381,25 @@ def explore(
         config: See :class:`ExplorerConfig`.
         windows / profiles: Reuse a previous decomposition/profiling (e.g.
             to sweep several thresholds or strategies without re-profiling).
+        context: Per-run hooks (:class:`~repro.runtime.RunContext`):
+            cooperative cancellation/deadline token, per-step progress
+            callback, a shared profile cache overriding
+            ``config.cache_dir``, and a shard-executor factory.  A
+            cancelled run raises the token's verdict exception
+            (:class:`~repro.errors.JobCancelled` /
+            :class:`~repro.errors.JobDeadlineExceeded` /
+            :class:`~repro.errors.ServiceShutdown`) at the next safe
+            boundary — after flushing a final checkpoint when
+            ``config.checkpoint_path`` is set, so resuming that
+            checkpoint continues the search byte-identically.
 
     Returns:
         An :class:`ExplorationResult` whose trajectory records QoR and
         estimated area after every committed step.
     """
+    if context is None:
+        context = RunContext()
+    context.check_cancel()
     if windows is None:
         windows = decompose(
             circuit, config.max_inputs, config.max_outputs, config.refine_passes
@@ -395,11 +416,19 @@ def explore(
         max_retries=config.shard_retries, timeout=config.shard_timeout
     )
     if profiles is None:
-        cache = (
-            ProfileCache(config.cache_dir, sanitize=sanitize, faults=fault_plan)
-            if config.cache_dir
-            else None
-        )
+        if context.cache is not None:
+            # A live shared cache (the exploration service's) overrides
+            # the per-run directory: concurrent jobs on the same circuit
+            # dedup identical window truth tables through one store.
+            cache = context.cache
+        else:
+            cache = (
+                ProfileCache(
+                    config.cache_dir, sanitize=sanitize, faults=fault_plan
+                )
+                if config.cache_dir
+                else None
+            )
         profiles = profile_windows(
             circuit,
             windows,
@@ -417,8 +446,10 @@ def explore(
             runtime_stats=runtime_stats,
             policy=retry_policy,
             faults=fault_plan,
+            cancel=context.cancel,
         )
     profiles = list(profiles)
+    context.check_cancel()
 
     rng = np.random.default_rng(config.seed)
     input_words = stimulus_input_words(circuit, config.n_samples, rng)
@@ -449,11 +480,13 @@ def explore(
         sanitize=sanitize,
         policy=retry_policy,
         faults=fault_plan,
+        executor_factory=context.executor_factory,
+        cancel=context.cancel,
     )
     try:
         return _run_exploration(
             circuit, config, windows, profiles, evaluator, runtime_stats,
-            rng=rng,
+            rng=rng, context=context,
         )
     finally:
         evaluator.close()
@@ -516,8 +549,11 @@ def _run_exploration(
     evaluator,
     runtime_stats: RuntimeStats,
     rng=None,
+    context: Optional[RunContext] = None,
 ) -> ExplorationResult:
     """Algorithm 1's greedy loop over a constructed evaluation engine."""
+    if context is None:
+        context = RunContext()
     profile_by_index = {p.window.index: p for p in profiles}
     qor_eval = QoREvaluator(
         circuit, evaluator.exact_outputs, config.n_samples, config.qor,
@@ -675,93 +711,110 @@ def _run_exploration(
         )
         runtime_stats.n_checkpoints += 1
 
-    while True:
-        if config.max_iterations is not None and iteration >= config.max_iterations:
-            break
-        if config.threshold is not None and current_qor > config.threshold:
-            break
-        if config.error_cap is not None and current_qor >= config.error_cap:
-            break
-
-        chosen: Optional[int] = None
-        chosen_error: Optional[float] = None
-        chosen_variant = None
-        if config.strategy == "full":
-            candidates = [idx for idx in fs if active(idx)]
-            if not candidates:
+    def greedy_loop() -> None:
+        nonlocal iteration, current_qor, counter
+        while True:
+            context.check_cancel()
+            if config.max_iterations is not None and iteration >= config.max_iterations:
                 break
-            if delta_qor:
-                # One stacked pass evaluates the whole iteration's scan:
-                # every window's candidates share a single wide execution
-                # of the quotient schedule (resident: CompiledEvaluator.
-                # preview_scan; streaming: one chunked pass sharing each
-                # chunk's base state); scoring order matches the serial
-                # loop.
-                per_window = [
-                    profile_by_index[idx].variants[fs[idx] - 1]
-                    for idx in candidates
-                ]
-                requests = [
-                    (idx, [v.table for v in variants])
-                    for idx, variants in zip(candidates, per_window)
-                ]
-                if streaming:
-                    scans = evaluator.scan_errors(requests, qor_eval)
-                else:
-                    scans = evaluator.preview_scan(requests)
-                for idx, variants, previews in zip(
-                    candidates, per_window, scans
-                ):
-                    err, variant = pick_best(variants, previews, current_qor)
-                    if chosen_error is None or err < chosen_error:
-                        chosen, chosen_error, chosen_variant = (
-                            idx, err, variant,
-                        )
-            else:
-                for idx in candidates:
-                    err, variant = preview_error(idx, current_qor)
-                    if chosen_error is None or err < chosen_error:
-                        chosen, chosen_error, chosen_variant = (
-                            idx, err, variant,
-                        )
-        else:
-            while heap:
-                stale_err, _, idx = heapq.heappop(heap)
-                if not active(idx):
-                    continue
-                fresh, variant = preview_error(idx, current_qor)
-                if not heap or fresh <= heap[0][0]:
-                    chosen, chosen_error, chosen_variant = idx, fresh, variant
+            if config.threshold is not None and current_qor > config.threshold:
+                break
+            if config.error_cap is not None and current_qor >= config.error_cap:
+                break
+
+            chosen: Optional[int] = None
+            chosen_error: Optional[float] = None
+            chosen_variant = None
+            if config.strategy == "full":
+                candidates = [idx for idx in fs if active(idx)]
+                if not candidates:
                     break
-                heapq.heappush(heap, (fresh, counter, idx))
-                counter += 1
-            if chosen is None:
-                break
+                if delta_qor:
+                    # One stacked pass evaluates the whole iteration's scan:
+                    # every window's candidates share a single wide execution
+                    # of the quotient schedule (resident: CompiledEvaluator.
+                    # preview_scan; streaming: one chunked pass sharing each
+                    # chunk's base state); scoring order matches the serial
+                    # loop.
+                    per_window = [
+                        profile_by_index[idx].variants[fs[idx] - 1]
+                        for idx in candidates
+                    ]
+                    requests = [
+                        (idx, [v.table for v in variants])
+                        for idx, variants in zip(candidates, per_window)
+                    ]
+                    if streaming:
+                        scans = evaluator.scan_errors(requests, qor_eval)
+                    else:
+                        scans = evaluator.preview_scan(requests)
+                    for idx, variants, previews in zip(
+                        candidates, per_window, scans
+                    ):
+                        err, variant = pick_best(variants, previews, current_qor)
+                        if chosen_error is None or err < chosen_error:
+                            chosen, chosen_error, chosen_variant = (
+                                idx, err, variant,
+                            )
+                else:
+                    for idx in candidates:
+                        err, variant = preview_error(idx, current_qor)
+                        if chosen_error is None or err < chosen_error:
+                            chosen, chosen_error, chosen_variant = (
+                                idx, err, variant,
+                            )
+            else:
+                while heap:
+                    stale_err, _, idx = heapq.heappop(heap)
+                    if not active(idx):
+                        continue
+                    fresh, variant = preview_error(idx, current_qor)
+                    if not heap or fresh <= heap[0][0]:
+                        chosen, chosen_error, chosen_variant = idx, fresh, variant
+                        break
+                    heapq.heappush(heap, (fresh, counter, idx))
+                    counter += 1
+                if chosen is None:
+                    break
 
-        evaluator.commit(chosen, chosen_variant.table)
-        if delta_qor:
-            qor_eval.rebase(evaluator.current_outputs())
-        fs[chosen] -= 1
-        result.chosen[(chosen, fs[chosen])] = chosen_variant
-        current_qor = chosen_error
-        iteration += 1
-        trajectory.append(
-            TrajectoryPoint(
-                iteration,
-                chosen,
-                fs[chosen],
-                current_qor,
-                _estimated_area(profiles, fs, result.chosen),
-                tuple(fs[p.window.index] for p in profiles),
+            evaluator.commit(chosen, chosen_variant.table)
+            if delta_qor:
+                qor_eval.rebase(evaluator.current_outputs())
+            fs[chosen] -= 1
+            result.chosen[(chosen, fs[chosen])] = chosen_variant
+            current_qor = chosen_error
+            iteration += 1
+            trajectory.append(
+                TrajectoryPoint(
+                    iteration,
+                    chosen,
+                    fs[chosen],
+                    current_qor,
+                    _estimated_area(profiles, fs, result.chosen),
+                    tuple(fs[p.window.index] for p in profiles),
+                )
             )
-        )
-        if config.strategy == "lazy" and active(chosen):
-            heapq.heappush(heap, (current_qor, counter, chosen))
-            counter += 1
-        if (
-            config.checkpoint_path
-            and iteration % config.checkpoint_every == 0
-        ):
+            if context.on_progress is not None:
+                context.on_progress(trajectory[-1])
+            if config.strategy == "lazy" and active(chosen):
+                heapq.heappush(heap, (current_qor, counter, chosen))
+                counter += 1
+            if (
+                config.checkpoint_path
+                and iteration % config.checkpoint_every == 0
+            ):
+                write_checkpoint()
+
+    try:
+        greedy_loop()
+    except (JobCancelled, JobDeadlineExceeded, ServiceShutdown):
+        # Cancellation surfaces only at safe boundaries — the loop top,
+        # or inside a preview scan, which mutates no committed state —
+        # so the committed trajectory is always consistent; flush it
+        # and let the verdict propagate.  Resuming that checkpoint
+        # continues the search byte-identically to an uninterrupted run.
+        if config.checkpoint_path:
             write_checkpoint()
+        raise
 
     return result

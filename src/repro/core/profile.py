@@ -507,6 +507,7 @@ def profile_windows(
     runtime_stats: Optional[RuntimeStats] = None,
     policy=None,
     faults=None,
+    cancel=None,
 ) -> List[WindowProfile]:
     """Run the profiling phase over all windows.
 
@@ -533,6 +534,8 @@ def profile_windows(
             deterministic fault plan, forwarded to
             :func:`~repro.runtime.run_tasks` (see DESIGN.md "Fault
             tolerance").
+        cancel: Cooperative :class:`~repro.runtime.CancelToken` checked
+            at dispatch boundaries, likewise forwarded.
 
     Returns:
         One :class:`WindowProfile` per window with variants for every
@@ -573,6 +576,7 @@ def profile_windows(
         stats=runtime_stats,
         policy=policy,
         faults=faults,
+        cancel=cancel,
     )
     return [
         WindowProfile(

@@ -290,6 +290,13 @@ class StreamingEvaluator(CompiledEvaluator):
         exact_outputs: Precomputed packed exact output rows; skips the
             initial full-axis simulation (the shard-worker fast path —
             workers receive the parent's exact rows in their context).
+        executor_factory: Replacement for :func:`repro.runtime.executor.
+            make_shard_executor` with the same signature — the
+            exploration service leases shared worker pools through here
+            (``None`` keeps the per-run pool).
+        cancel: Cooperative :class:`~repro.runtime.cancel.CancelToken`
+            checked at chunk and shard-dispatch boundaries; a cancelled
+            scan raises before mutating any committed state.
 
     The resident preview APIs (:meth:`preview`, :meth:`preview_batch`,
     :meth:`preview_batch_delta`, :meth:`preview_scan`) are unavailable —
@@ -314,6 +321,8 @@ class StreamingEvaluator(CompiledEvaluator):
         sanitize: Optional[bool] = None,
         policy=None,
         faults=None,
+        executor_factory=None,
+        cancel=None,
     ) -> None:
         if chunk_words < 1:
             raise SimulationError(
@@ -347,6 +356,11 @@ class StreamingEvaluator(CompiledEvaluator):
         # injection).  Held here because the executor is built lazily.
         self._shard_policy = policy
         self._shard_faults = faults
+        # Optional make_shard_executor replacement (the exploration
+        # service leases shared pools through here) and a cooperative
+        # cancellation token checked at chunk/dispatch boundaries.
+        self._executor_factory = executor_factory
+        self._cancel = cancel
         self._precomputed_exact = exact_outputs
         super().__init__(
             circuit, windows, input_words, n_samples, stats=stats,
@@ -426,7 +440,12 @@ class StreamingEvaluator(CompiledEvaluator):
                 cache_chunks=self._cache_chunks,
                 sanitize=self._sanitize,
             )
-            self._executor = make_shard_executor(
+            factory = (
+                self._executor_factory
+                if self._executor_factory is not None
+                else make_shard_executor
+            )
+            self._executor = factory(
                 context,
                 self._shard_jobs,
                 policy=self._shard_policy,
@@ -926,7 +945,7 @@ class StreamingEvaluator(CompiledEvaluator):
                     )
                     for chs in shard_chunks
                 ]
-                outcomes = executor.run(shards)
+                outcomes = executor.run(shards, cancel=self._cancel)
                 if outcomes is not None:
                     self._merge_outcomes(accs, outcomes, len(shards))
                     return
@@ -938,6 +957,10 @@ class StreamingEvaluator(CompiledEvaluator):
         if self._stats is not None:
             self._stats.n_shard_tasks += 1
         for chunk in self._chunks:
+            if self._cancel is not None:
+                # A scan mutates no committed state, so abandoning it at
+                # a chunk boundary leaves the evaluator checkpointable.
+                self._cancel.check()
             self._scan_chunk_into(chunk, todo, accs, hamming, qor)
 
     def _merge_outcomes(

@@ -77,6 +77,51 @@ class FaultSpecError(ReproError):
     """Raised for malformed ``REPRO_FAULTS`` / ``--faults`` specs."""
 
 
+class JobRejected(ReproError):
+    """Raised when the exploration service refuses to admit a job.
+
+    Admission control (:mod:`repro.service.scheduler`) bounds the queue
+    depth and the summed memory estimate of admitted jobs; a saturated
+    service rejects new work *at submit time* with the concrete reason
+    (queue full, memory budget exceeded, service draining) instead of
+    accepting jobs it cannot serve.  Rejection is an admission verdict,
+    not a failure — nothing about the job itself is wrong.
+    """
+
+
+class JobDeadlineExceeded(ReproError):
+    """Raised when a job's wall-clock deadline expires mid-exploration.
+
+    Deadlines are enforced cooperatively: the exploration loop and the
+    supervised pool layers check the job's :class:`~repro.runtime.cancel.
+    CancelToken` at iteration/dispatch boundaries, so an expired job
+    stops at the next safe point — after flushing a final checkpoint
+    when checkpointing is active — and only that job fails; concurrent
+    jobs proceed untouched.
+    """
+
+
+class JobCancelled(ReproError):
+    """Raised inside a job whose caller requested cancellation.
+
+    Same cooperative mechanism as :class:`JobDeadlineExceeded`, different
+    verdict: the work was abandoned on purpose, not timed out.
+    """
+
+
+class ServiceShutdown(ReproError):
+    """Raised inside in-flight work when a graceful shutdown begins.
+
+    SIGTERM/SIGINT (daemon or plain CLI run — see
+    :class:`~repro.runtime.cancel.ShutdownGuard`) cancels outstanding
+    work with this exception; the exploration loop flushes a final
+    checkpoint before letting it propagate, so an interrupted job
+    resumes byte-identically on the next start.  Distinct from
+    :class:`JobCancelled` so recovery logic can tell "abandon" from
+    "continue later".
+    """
+
+
 class ContractViolation(ReproError):
     """Raised when a runtime contract check fails.
 

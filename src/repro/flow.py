@@ -141,6 +141,7 @@ def run_blasys(
     library: Library = LIB65,
     clock_mhz: float = DEFAULT_CLOCK_MHZ,
     activity_samples: int = 2048,
+    context=None,
 ) -> FlowResult:
     """Run the complete BLASYS flow against one or more error thresholds.
 
@@ -155,6 +156,9 @@ def run_blasys(
             ``max(thresholds)`` raises :class:`ExplorationError` instead of
             silently realizing nothing at the larger thresholds.
         final_samples: Sample count for the independent error re-measurement.
+        context: Per-run :class:`~repro.runtime.RunContext` forwarded to
+            :func:`~repro.core.explorer.explore` (cancellation/deadline
+            token, progress callback, shared cache, executor factory).
 
     Raises:
         ExplorationError: No thresholds given, or ``config.threshold`` is
@@ -185,7 +189,7 @@ def run_blasys(
         clock_mhz=clock_mhz,
         match_macros=config.match_macros,
     )
-    exploration = explore(circuit, config)
+    exploration = explore(circuit, config, context=context)
 
     result = FlowResult(
         circuit, baseline, exploration, qor_metric=config.qor.metric

@@ -26,6 +26,11 @@ exploits both properties:
   (``REPRO_FAULTS=<spec>``) for chaos-testing every recovery path above.
 * :mod:`repro.runtime.checkpoint` — atomic exploration checkpoints for
   kill-and-resume with byte-identical continuations.
+* :mod:`repro.runtime.cancel` — cooperative cancellation/deadline tokens,
+  the per-run :class:`~repro.runtime.cancel.RunContext` hook bundle, and
+  scoped SIGINT/SIGTERM handling (:class:`~repro.runtime.cancel.
+  ShutdownGuard`) so interrupted runs checkpoint and close their pools
+  instead of leaking workers.
 
 The driver is deliberately generic (tasks in, payloads out, ordering
 preserved); window profiling in :mod:`repro.core.profile` is its first
@@ -40,6 +45,7 @@ from .cache import (
     array_token,
     canonical_circuit_bytes,
 )
+from .cancel import CancelToken, RunContext, ShutdownGuard
 from .checkpoint import (
     CHECKPOINT_VERSION,
     ExploreCheckpoint,
@@ -62,6 +68,7 @@ from .parallel import (
 __all__ = [
     "CACHE_VERSION",
     "CHECKPOINT_VERSION",
+    "CancelToken",
     "ExploreCheckpoint",
     "FAULTS_ENV",
     "FaultClause",
@@ -70,7 +77,9 @@ __all__ = [
     "PoolSupervisor",
     "ProfileCache",
     "RetryPolicy",
+    "RunContext",
     "RuntimeStats",
+    "ShutdownGuard",
     "array_token",
     "canonical_circuit_bytes",
     "effective_jobs",

@@ -87,15 +87,50 @@ class ProfileCache:
             the cache (reset per instance, not persisted).
         corrupt: Entries quarantined by :meth:`get` after failing to
             unpickle (each also counts as a miss).
+        corrupt_purged: Quarantined files deleted by the bounded-retention
+            sweep (see ``corrupt_keep`` / :meth:`purge_corrupt`).
+
+    Args:
+        corrupt_keep: Retention bound on quarantined ``*.pkl.corrupt``
+            files.  Each quarantine triggers a sweep that keeps only the
+            newest ``corrupt_keep`` files (oldest deleted first, ties
+            broken by name so the order is deterministic).  Quarantined
+            entries exist purely for post-mortem diagnosis — without a
+            bound, a recurring corruption source (bad disk, crashing
+            writer) grows the directory without limit.  ``0`` deletes
+            quarantined files immediately; ``None`` disables the sweep
+            (unbounded, the pre-bound behavior).
+        corrupt_max_age_s: Optional age cap — the sweep additionally
+            deletes quarantined files whose mtime is older than this
+            many seconds, regardless of count.
     """
 
-    def __init__(self, path, sanitize: Optional[bool] = None, faults=None) -> None:
+    def __init__(
+        self,
+        path,
+        sanitize: Optional[bool] = None,
+        faults=None,
+        corrupt_keep: Optional[int] = 16,
+        corrupt_max_age_s: Optional[float] = None,
+    ) -> None:
         self.path = Path(path)
         self.path.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
         self.stores = 0
         self.corrupt = 0
+        self.corrupt_purged = 0
+        if corrupt_keep is not None and corrupt_keep < 0:
+            raise ValueError(
+                f"corrupt_keep must be >= 0 or None, got {corrupt_keep}"
+            )
+        if corrupt_max_age_s is not None and corrupt_max_age_s < 0:
+            raise ValueError(
+                f"corrupt_max_age_s must be >= 0 or None, "
+                f"got {corrupt_max_age_s}"
+            )
+        self.corrupt_keep = corrupt_keep
+        self.corrupt_max_age_s = corrupt_max_age_s
         # Sanitize mode (DESIGN.md "Static contracts"): payloads served
         # by get() have every reachable ndarray frozen, because entries
         # are shared across windows with identical content keys — one
@@ -156,6 +191,7 @@ class ProfileCache:
                 os.replace(path, str(path) + ".corrupt")
             except OSError:  # pragma: no cover - racing cleanup
                 pass
+            self.purge_corrupt()
             return None
         self.hits += 1
         if self._sanitize:
@@ -191,6 +227,45 @@ class ProfileCache:
             with open(self._file(key), "wb") as fh:
                 fh.write(b"\x80\x05garbage: injected cache corruption")
         self.stores += 1
+
+    def purge_corrupt(self) -> int:
+        """Apply the quarantine retention bound; returns files deleted.
+
+        Keeps the newest :attr:`corrupt_keep` ``*.pkl.corrupt`` files and
+        drops any older than :attr:`corrupt_max_age_s`.  Cleanup order is
+        deterministic — oldest mtime first, name as the tie-break — so
+        concurrent sweeps of the same directory converge on the same
+        survivors.  Quarantined entries are never consulted by
+        :meth:`get`; this only bounds their disk/diagnostic footprint.
+        """
+        if self.corrupt_keep is None and self.corrupt_max_age_s is None:
+            return 0
+        import time
+
+        entries = []
+        for p in self.path.glob("*.pkl.corrupt"):  # contract-ok: listing-order -- sorted below before any decision
+            try:
+                entries.append((p.stat().st_mtime, p.name, p))
+            except OSError:  # pragma: no cover - racing cleanup
+                continue
+        entries.sort()  # oldest first; name breaks mtime ties
+        doomed = []
+        if self.corrupt_keep is not None and len(entries) > self.corrupt_keep:
+            excess = len(entries) - self.corrupt_keep
+            doomed.extend(entries[:excess])
+            entries = entries[excess:]
+        if self.corrupt_max_age_s is not None:
+            horizon = time.time() - self.corrupt_max_age_s
+            doomed.extend(e for e in entries if e[0] < horizon)
+        purged = 0
+        for _, _, p in doomed:
+            try:
+                p.unlink()
+                purged += 1
+            except OSError:  # pragma: no cover - racing cleanup
+                continue
+        self.corrupt_purged += purged
+        return purged
 
     def __len__(self) -> int:
         # Cardinality only — no iteration order reaches any output.

@@ -1,0 +1,207 @@
+"""Cooperative cancellation, deadlines, and graceful-shutdown signals.
+
+Long-running work in this repo — exploration loops, supervised pool
+dispatch — is made interruptible *cooperatively*: a
+:class:`CancelToken` is threaded through the layers and checked at safe
+boundaries (loop iterations, dispatch rounds), never by killing threads
+mid-computation.  That keeps every interruption point a place where the
+determinism contract holds: an interrupted exploration can flush a
+checkpoint whose resume is byte-identical to the uninterrupted run
+(DESIGN.md "Fault tolerance" / "Service").
+
+Three cancellation verdicts share the mechanism and differ only in the
+exception raised, so callers can tell them apart:
+
+* :class:`~repro.errors.JobDeadlineExceeded` — the token's wall-clock
+  deadline expired (armed once at construction, checked lazily);
+* :class:`~repro.errors.JobCancelled` — a caller abandoned the work;
+* :class:`~repro.errors.ServiceShutdown` — a graceful shutdown began
+  and the work should checkpoint and stop (to be continued later).
+
+:class:`ShutdownGuard` is the signal-handling end: it installs
+SIGINT/SIGTERM handlers that cancel a token with
+:class:`~repro.errors.ServiceShutdown` instead of letting the default
+handler kill the process with pools still alive and checkpoints
+unflushed.  Both the daemon (:mod:`repro.service.server`) and plain CLI
+runs (``blasys run``) route through it, so "no leaked workers on
+Ctrl-C" holds everywhere.
+
+:class:`RunContext` bundles the per-run cross-cutting hooks — the
+cancel token, a trajectory progress callback, a shared profile cache,
+and a shard-executor factory — that :func:`repro.core.explorer.explore`
+threads through the engine layers.  It exists so the exploration
+service can multiplex many jobs over shared runtime assets without the
+config (a frozen, fingerprinted dataclass) having to carry live
+objects.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..errors import JobCancelled, JobDeadlineExceeded, ServiceShutdown
+
+
+class CancelToken:
+    """A thread-safe cooperative cancellation flag with an optional deadline.
+
+    Args:
+        deadline_s: Wall-clock budget in seconds from construction;
+            ``None`` means no deadline.  Expiry is detected lazily at
+            :meth:`check` time (monotonic clock), so a token is cheap to
+            create and costs nothing until consulted.
+
+    The token is sticky: once cancelled (explicitly or by deadline
+    expiry) every subsequent :meth:`check` raises the same exception
+    type with the same reason.
+    """
+
+    def __init__(self, deadline_s: Optional[float] = None) -> None:
+        self._lock = threading.Lock()
+        self._exc_type: Optional[type] = None
+        self._reason: str = ""
+        self._deadline: Optional[float] = (
+            time.monotonic() + deadline_s if deadline_s is not None else None
+        )
+        self._deadline_s = deadline_s
+
+    def cancel(
+        self, reason: str, exc_type: type = JobCancelled
+    ) -> None:
+        """Cancel the token; the first cancellation wins."""
+        with self._lock:
+            if self._exc_type is None:
+                self._exc_type = exc_type
+                self._reason = reason
+
+    def shutdown(self, reason: str = "service shutting down") -> None:
+        """Cancel with :class:`~repro.errors.ServiceShutdown` semantics."""
+        self.cancel(reason, ServiceShutdown)
+
+    @property
+    def cancelled(self) -> bool:
+        """True once cancelled or past the deadline (without raising)."""
+        self._poll_deadline()
+        return self._exc_type is not None
+
+    def remaining(self) -> Optional[float]:
+        """Seconds until the deadline, or ``None`` when there is none."""
+        if self._deadline is None:
+            return None
+        return max(0.0, self._deadline - time.monotonic())
+
+    def _poll_deadline(self) -> None:
+        if self._deadline is not None and time.monotonic() >= self._deadline:
+            self.cancel(
+                f"deadline of {self._deadline_s:.3g}s exceeded",
+                JobDeadlineExceeded,
+            )
+
+    def check(self) -> None:
+        """Raise the cancellation exception if cancelled/expired; else no-op."""
+        self._poll_deadline()
+        with self._lock:
+            if self._exc_type is not None:
+                raise self._exc_type(self._reason)
+
+
+@dataclass
+class RunContext:
+    """Per-run cross-cutting hooks threaded through ``explore()``.
+
+    Attributes:
+        cancel: Cooperative cancellation/deadline token, checked at loop
+            iterations and pool dispatch rounds.  ``None`` disables all
+            checks (zero overhead on the plain path).
+        on_progress: Called with each freshly committed
+            :class:`~repro.core.explorer.TrajectoryPoint` — the service
+            uses it to stream per-job progress; it must not mutate the
+            point and must not raise (exceptions propagate and fail the
+            run).
+        cache: A live :class:`~repro.runtime.cache.ProfileCache` shared
+            across runs; overrides ``config.cache_dir`` so concurrent
+            jobs dedup identical window truth tables through one store.
+        executor_factory: Replacement for :func:`repro.runtime.executor.
+            make_shard_executor` with the same signature — the service
+            supplies :meth:`ShardExecutorRegistry.lease` here so jobs
+            with identical streaming contexts share one warm worker
+            pool.  ``None`` keeps the per-run pool.
+    """
+
+    cancel: Optional[CancelToken] = None
+    on_progress: Optional[Callable] = None
+    cache: Optional[object] = None
+    executor_factory: Optional[Callable] = None
+
+    def check_cancel(self) -> None:
+        if self.cancel is not None:
+            self.cancel.check()
+
+
+class ShutdownGuard:
+    """Scoped SIGINT/SIGTERM handlers that cancel a token gracefully.
+
+    Used as a context manager around interruptible work::
+
+        token = CancelToken()
+        with ShutdownGuard(token):
+            explore(circuit, config, context=RunContext(cancel=token))
+
+    The handler only flips the token — the work itself stops at its next
+    cooperative check, flushes its checkpoint, and unwinds through the
+    normal ``finally`` blocks (pool close, cache flush), so no worker
+    processes leak.  A second signal while already shutting down falls
+    through to the previous handler (typically the interpreter default),
+    so a stuck run can still be killed the hard way.
+
+    Handlers are restored on exit.  Installation is a no-op off the main
+    thread (CPython restricts ``signal.signal`` to it); the daemon
+    installs its guard on the main thread before spawning workers.
+    """
+
+    SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+    def __init__(self, token: CancelToken) -> None:
+        self.token = token
+        self.signum: Optional[int] = None
+        self._previous: dict = {}
+        self._installed = False
+
+    def _handler(self, signum, frame) -> None:
+        if self.token.cancelled:
+            previous = self._previous.get(signum)
+            if callable(previous):
+                previous(signum, frame)
+            return
+        self.signum = signum
+        name = signal.Signals(signum).name
+        self.token.shutdown(
+            f"received {name}; finishing the current step, flushing "
+            "checkpoints and closing worker pools"
+        )
+
+    def install(self) -> "ShutdownGuard":
+        if threading.current_thread() is not threading.main_thread():
+            return self  # signal API is main-thread-only; run unguarded
+        for signum in self.SIGNALS:
+            self._previous[signum] = signal.signal(signum, self._handler)
+        self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        if not self._installed:
+            return
+        for signum, previous in self._previous.items():
+            signal.signal(signum, previous)
+        self._previous.clear()
+        self._installed = False
+
+    def __enter__(self) -> "ShutdownGuard":
+        return self.install()
+
+    def __exit__(self, *exc_info) -> None:
+        self.uninstall()

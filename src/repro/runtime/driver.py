@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
 from .cache import ProfileCache
+from .cancel import CancelToken
 from .faults import FaultPlan
 from .parallel import RetryPolicy, effective_jobs, supervised_map
 
@@ -99,6 +100,16 @@ class RuntimeStats:
         n_checkpoints: Exploration checkpoints written by ``explore()``.
         cache_corrupt: Persistent-cache entries quarantined after
             failing to unpickle (each also counted a miss).
+        cache_corrupt_purged: Quarantined ``*.pkl.corrupt`` files deleted
+            by the cache's bounded-retention sweep (oldest first).
+        jobs_admitted / jobs_rejected: Exploration-service admission
+            verdicts (queue/memory bounds — see
+            :mod:`repro.service.scheduler`).
+        jobs_completed / jobs_failed / jobs_cancelled: Terminal job
+            outcomes; a deadline expiry counts as failed, an operator
+            cancel as cancelled.
+        jobs_recovered: Jobs restored from the journal on service
+            restart (re-queued or resumed from their checkpoint).
     """
 
     n_tasks: int = 0
@@ -129,6 +140,13 @@ class RuntimeStats:
     n_pool_rebuilds: int = 0
     n_checkpoints: int = 0
     cache_corrupt: int = 0
+    cache_corrupt_purged: int = 0
+    jobs_admitted: int = 0
+    jobs_rejected: int = 0
+    jobs_completed: int = 0
+    jobs_failed: int = 0
+    jobs_cancelled: int = 0
+    jobs_recovered: int = 0
 
     def note_sample_matrix(self, nbytes: int) -> None:
         """Record a sample-matrix working-set high-water mark."""
@@ -186,17 +204,53 @@ class RuntimeStats:
             return ""
         parts = []
         if events:
+            quarantine = f"{self.cache_corrupt} corrupt cache entries quarantined"
+            if self.cache_corrupt_purged:
+                quarantine += f" ({self.cache_corrupt_purged} purged)"
             parts.append(
                 f"recovered: {self.n_shard_retries} shard retries / "
                 f"{self.n_shard_fallbacks} shard fallbacks, "
                 f"{self.n_task_retries} task retries / "
                 f"{self.n_task_fallbacks} task fallbacks, "
                 f"{self.n_pool_rebuilds} pool rebuilds, "
-                f"{self.cache_corrupt} corrupt cache entries quarantined"
+                + quarantine
             )
         if self.n_checkpoints:
             parts.append(f"{self.n_checkpoints} checkpoints written")
         return ", ".join(parts)
+
+    def service_summary(self) -> str:
+        """Job-level accounting for the exploration service."""
+        text = (
+            f"service: {self.jobs_admitted} admitted / "
+            f"{self.jobs_rejected} rejected, "
+            f"{self.jobs_completed} completed, {self.jobs_failed} failed, "
+            f"{self.jobs_cancelled} cancelled"
+        )
+        if self.jobs_recovered:
+            text += f", {self.jobs_recovered} recovered from journal"
+        return text
+
+    def absorb(self, other: "RuntimeStats") -> None:
+        """Fold another record's counters into this one (service-level
+        aggregation across per-job stats).  Max-valued fields keep the
+        max; resolved-worker-count fields keep the widest run."""
+        for name in (
+            "n_tasks", "tasks_computed", "cache_hits", "cache_misses",
+            "dedup_hits", "n_factorizations", "n_ladder_levels",
+            "n_syntheses", "n_preview_sweeps", "n_preview_cache_hits",
+            "n_sweep_units", "n_cones_compiled", "n_chunk_passes",
+            "n_shard_tasks", "n_stacked_blocks", "n_chunk_cache_hits",
+            "n_chunk_cache_misses", "n_shard_retries", "n_shard_fallbacks",
+            "n_task_retries", "n_task_fallbacks", "n_pool_rebuilds",
+            "n_checkpoints", "cache_corrupt", "cache_corrupt_purged",
+            "jobs_admitted", "jobs_rejected", "jobs_completed",
+            "jobs_failed", "jobs_cancelled", "jobs_recovered",
+        ):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        for name in ("peak_sample_matrix_bytes", "chunk_words",
+                     "jobs", "shard_jobs"):
+            setattr(self, name, max(getattr(self, name), getattr(other, name)))
 
 
 def _count_work(stats: RuntimeStats, payloads: Sequence) -> None:
@@ -215,6 +269,7 @@ def run_tasks(
     stats: Optional[RuntimeStats] = None,
     policy: Optional[RetryPolicy] = None,
     faults: Optional[FaultPlan] = None,
+    cancel: Optional[CancelToken] = None,
 ) -> Tuple[List[R], RuntimeStats]:
     """Execute ``task_fn`` over ``tasks``; results in task order.
 
@@ -237,6 +292,8 @@ def run_tasks(
             (defaults applied by the supervisor when None).
         faults: Deterministic chaos plan; ``task`` clauses crash matching
             attempts (see :mod:`repro.runtime.faults`).
+        cancel: Cooperative cancellation token checked at dispatch
+            boundaries (see :mod:`repro.runtime.cancel`).
 
     Returns:
         ``(payloads, stats)`` with ``payloads[i]`` the result for
@@ -249,10 +306,12 @@ def run_tasks(
     stats.n_tasks += len(tasks)
     results: List[Optional[R]] = [None] * len(tasks)
     corrupt_before = cache.corrupt if cache is not None else 0
+    purged_before = cache.corrupt_purged if cache is not None else 0
 
     if key_fn is None:
         payloads = supervised_map(
-            task_fn, tasks, jobs, policy=policy, faults=faults, stats=stats
+            task_fn, tasks, jobs, policy=policy, faults=faults, stats=stats,
+            cancel=cancel,
         )
         stats.tasks_computed += len(payloads)
         _count_work(stats, payloads)
@@ -283,6 +342,7 @@ def run_tasks(
         policy=policy,
         faults=faults,
         stats=stats,
+        cancel=cancel,
     )
     for (key, _), payload in zip(order, payloads):
         if cache is not None:
@@ -293,4 +353,5 @@ def run_tasks(
     _count_work(stats, payloads)
     if cache is not None:
         stats.cache_corrupt += cache.corrupt - corrupt_before
+        stats.cache_corrupt_purged += cache.corrupt_purged - purged_before
     return results, stats

@@ -42,6 +42,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, TypeVar
 
 from ..errors import WorkerTimeout
+from .cancel import CancelToken
 from .faults import FaultPlan, _raise_injected
 
 T = TypeVar("T")
@@ -71,6 +72,43 @@ def effective_jobs(jobs: int, n_items: Optional[int] = None) -> int:
     return resolved
 
 
+def bind_worker_to_parent() -> None:
+    """Pool-worker initializer: die when the parent process dies.
+
+    ``fork``-started workers survive a SIGKILLed parent — and keep every
+    inherited descriptor alive, including a service daemon's *listening
+    socket*, whose stale backlog can then swallow client connections
+    racing a restarted daemon's re-bind.  ``PR_SET_PDEATHSIG`` makes the
+    kernel deliver SIGTERM to the worker the moment its parent exits for
+    any reason.  Linux-only and best-effort: on other platforms workers
+    rely on the pools' normal shutdown paths, which every graceful exit
+    already runs.
+    """
+    import signal as _signal
+
+    # fork inherits the parent's Python-level signal handlers.  A service
+    # daemon (or a CLI run inside ShutdownGuard) handles SIGTERM/SIGINT by
+    # cancelling a token — in a worker that handler is a no-op on a dead
+    # copy of the token, so the death signal below would be absorbed and
+    # the worker would linger.  Workers must die on these signals.
+    for signum in (_signal.SIGTERM, _signal.SIGINT):
+        try:
+            _signal.signal(signum, _signal.SIG_DFL)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
+    try:
+        import ctypes
+
+        PR_SET_PDEATHSIG = 1
+        ctypes.CDLL(None).prctl(PR_SET_PDEATHSIG, _signal.SIGTERM)
+        if os.getppid() == 1:
+            # The parent died between fork and prctl: the death signal
+            # will never fire, so honor the contract by hand.
+            os._exit(0)
+    except Exception:  # pragma: no cover - non-Linux platforms
+        pass
+
+
 def parallel_map(
     fn: Callable[[T], R], items: Sequence[T], jobs: int = 1
 ) -> List[R]:
@@ -85,7 +123,9 @@ def parallel_map(
     if jobs == 1 or len(items) <= 1:
         return [fn(item) for item in items]
     try:
-        pool = ProcessPoolExecutor(max_workers=jobs)
+        pool = ProcessPoolExecutor(
+            max_workers=jobs, initializer=bind_worker_to_parent
+        )
     except (OSError, PermissionError) as exc:  # pragma: no cover
         warnings.warn(
             f"process pool unavailable ({exc}); running serially", RuntimeWarning
@@ -269,6 +309,7 @@ class PoolSupervisor:
         run_local: Callable[[int, Optional[BaseException]], R],
         n_items: int,
         inject_break: bool = False,
+        cancel: Optional[CancelToken] = None,
     ) -> List[R]:
         """Run items ``0..n_items-1``, returning results in item order.
 
@@ -281,6 +322,16 @@ class PoolSupervisor:
         ``BrokenProcessPool`` at dispatch time — the pool is discarded
         and rebuilt exactly as a real break would be, without charging
         any item a retry.
+
+        ``cancel`` makes the dispatch loop cooperative: the token is
+        checked before every dispatch/retry round and before the
+        in-process fallback, so an expired deadline or a shutdown
+        request stops the batch at a round boundary (already-submitted
+        futures finish on the pool and are discarded; the pool itself
+        stays healthy for other users).  The raised exception is the
+        token's verdict (:class:`~repro.errors.JobDeadlineExceeded`,
+        :class:`~repro.errors.JobCancelled`, or
+        :class:`~repro.errors.ServiceShutdown`).
         """
         results: List[R] = [None] * n_items  # type: ignore[list-item]
         attempts = [0] * n_items
@@ -289,6 +340,8 @@ class PoolSupervisor:
         fallback: List[int] = []
         retry_round = 0
         while pending:
+            if cancel is not None:
+                cancel.check()
             pool = self._acquire()
             if pool is None:
                 fallback.extend(pending)
@@ -346,6 +399,8 @@ class PoolSupervisor:
                 if delay > 0:
                     time.sleep(delay)
         for i in sorted(fallback):
+            if cancel is not None:
+                cancel.check()
             self._count(self._fallback_counter)
             results[i] = run_local(i, last_exc[i])
         return results
@@ -358,6 +413,7 @@ def supervised_map(
     policy: Optional[RetryPolicy] = None,
     faults: Optional[FaultPlan] = None,
     stats=None,
+    cancel: Optional[CancelToken] = None,
 ) -> List[R]:
     """:func:`parallel_map` with per-item retries and local fallback.
 
@@ -371,14 +427,23 @@ def supervised_map(
 
     ``faults`` threads the deterministic chaos harness through: a
     matching ``task`` clause replaces that attempt's submission with an
-    :class:`~repro.runtime.faults.InjectedFault` raiser.
+    :class:`~repro.runtime.faults.InjectedFault` raiser.  ``cancel``
+    makes dispatch cooperative (checked per item on the serial path,
+    per round on the supervised pool path).
     """
     items = list(items)
     jobs = effective_jobs(jobs, len(items))
     if jobs == 1 or len(items) <= 1:
-        return [fn(item) for item in items]
+        results = []
+        for item in items:
+            if cancel is not None:
+                cancel.check()
+            results.append(fn(item))
+        return results
     supervisor = PoolSupervisor(
-        lambda: ProcessPoolExecutor(max_workers=jobs),
+        lambda: ProcessPoolExecutor(
+            max_workers=jobs, initializer=bind_worker_to_parent
+        ),
         policy=policy,
         stats=stats,
         kind="task",
@@ -396,6 +461,6 @@ def supervised_map(
         return fn(items[i])
 
     try:
-        return supervisor.run(submit, run_local, len(items))
+        return supervisor.run(submit, run_local, len(items), cancel=cancel)
     finally:
         supervisor.close()

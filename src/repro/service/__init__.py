@@ -1,0 +1,60 @@
+"""Exploration-as-a-service: a supervised job daemon over the runtime.
+
+The repo's exploration runs are deterministic, checkpointable, and
+supervised (PR 5–7); this package turns them into a *service*: a
+persistent daemon (``blasys serve``) that admits exploration jobs over a
+Unix socket, multiplexes them across one shared profile cache and one
+shared shard-pool registry, and survives crashes — admission, deadlines,
+journaling and recovery are the robustness headline (DESIGN.md
+"Service").
+
+* :mod:`repro.service.protocol` — JSON job specs/records and the
+  admission memory estimate (the streaming engine's own budget math).
+* :mod:`repro.service.journal` — the crash-safe job journal
+  (checksummed JSON lines, fsync appends, torn-tail-tolerant replay,
+  atomic compaction).
+* :mod:`repro.service.scheduler` — admission control, per-job
+  deadline/cancel tokens, isolation, shared-asset multiplexing, journal
+  recovery, graceful shutdown.
+* :mod:`repro.service.server` / :mod:`repro.service.client` — the
+  newline-JSON Unix-socket daemon and its client.
+
+The recovery rule, end to end: ``kill -9`` the daemon at any moment,
+restart it on the same journal directory, and every unfinished job runs
+to completion with a trajectory byte-identical to a never-interrupted
+run — the journal replays admissions, per-job checkpoints resume
+in-flight searches, and the determinism discipline does the rest.
+"""
+
+from __future__ import annotations
+
+from .client import ServiceClient
+from .journal import JobJournal
+from .protocol import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    JobRecord,
+    JobSpec,
+    estimate_job_bytes,
+)
+from .scheduler import ExplorationScheduler
+from .server import ExplorationServer, serve
+
+__all__ = [
+    "CANCELLED",
+    "DONE",
+    "FAILED",
+    "QUEUED",
+    "RUNNING",
+    "ExplorationScheduler",
+    "ExplorationServer",
+    "JobJournal",
+    "JobRecord",
+    "JobSpec",
+    "ServiceClient",
+    "estimate_job_bytes",
+    "serve",
+]

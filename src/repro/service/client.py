@@ -1,0 +1,127 @@
+"""Client side of the exploration service: connect, submit, wait.
+
+:class:`ServiceClient` wraps the newline-delimited JSON protocol of
+:mod:`repro.service.server` in plain method calls.  Each request opens a
+fresh connection — the daemon is threaded and requests are short, so
+connection reuse buys nothing and per-request sockets keep the client
+trivially fork/thread-safe.  Server-side refusals come back as the
+exceptions the library already defines: an admission refusal raises
+:class:`~repro.errors.JobRejected`, any other service error raises
+:class:`~repro.errors.ExplorationError`.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Dict, List, Optional
+
+from ..errors import ExplorationError, JobRejected
+from .protocol import JobRecord, JobSpec
+
+
+class ServiceClient:
+    """Talk to a running ``blasys serve`` daemon.
+
+    Args:
+        socket_path: The daemon's Unix socket.
+        timeout: Per-request socket timeout in seconds (also the default
+            budget of :meth:`wait_ready`).
+    """
+
+    def __init__(self, socket_path: str, timeout: float = 60.0) -> None:
+        self.socket_path = socket_path
+        self.timeout = timeout
+
+    # -- transport -------------------------------------------------------
+    def request(
+        self, op: str, rpc_timeout: Optional[float] = None, **payload
+    ) -> Dict:
+        budget = self.timeout if rpc_timeout is None else rpc_timeout
+        message = dict(payload)
+        message["op"] = op
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+            sock.settimeout(budget)
+            try:
+                sock.connect(self.socket_path)
+            except OSError as exc:
+                raise ExplorationError(
+                    f"cannot reach service at {self.socket_path}: {exc}"
+                ) from exc
+            try:
+                sock.sendall((json.dumps(message) + "\n").encode())
+                raw = b""
+                while not raw.endswith(b"\n"):
+                    chunk = sock.recv(65536)
+                    if not chunk:
+                        break
+                    raw += chunk
+            except socket.timeout as exc:
+                # One failure mode this covers: a daemon killed with
+                # SIGKILL leaves its listening socket's backlog alive in
+                # orphaned pool workers — a connection racing the
+                # restarted daemon's re-bind can land there and would
+                # otherwise hang for the full client timeout.  Surfacing
+                # it as ExplorationError makes wait_ready() retry on a
+                # fresh connection (which reaches the re-bound socket).
+                raise ExplorationError(
+                    f"service at {self.socket_path} did not answer "
+                    f"'{op}' within {budget:.1f}s"
+                ) from exc
+        if not raw:
+            raise ExplorationError(
+                f"service at {self.socket_path} closed the connection"
+            )
+        response = json.loads(raw.decode())
+        if response.get("ok"):
+            return response
+        error = response.get("error", "unknown service error")
+        if response.get("rejected"):
+            raise JobRejected(error)
+        raise ExplorationError(error)
+
+    def wait_ready(self, timeout: Optional[float] = None) -> None:
+        """Block until the daemon answers ``ping`` (startup race helper)."""
+        budget = self.timeout if timeout is None else timeout
+        deadline = time.monotonic() + budget
+        while True:
+            try:
+                # Short per-ping budget: a ping swallowed by a stale
+                # socket (see request()) must not consume the whole
+                # readiness window before the first retry.
+                self.request("ping", rpc_timeout=1.0)
+                return
+            except ExplorationError:
+                if time.monotonic() >= deadline:
+                    raise ExplorationError(
+                        f"service at {self.socket_path} did not come up "
+                        f"within {budget:.1f}s"
+                    )
+                time.sleep(0.05)
+
+    # -- operations ------------------------------------------------------
+    def submit(self, spec: JobSpec) -> str:
+        return self.request("submit", spec=spec.to_dict())["job_id"]
+
+    def status(self, job_id: str) -> JobRecord:
+        return JobRecord.from_dict(self.request("status", job_id=job_id)["job"])
+
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> JobRecord:
+        return JobRecord.from_dict(
+            self.request("wait", job_id=job_id, timeout=timeout)["job"]
+        )
+
+    def list_jobs(self) -> List[JobRecord]:
+        return [
+            JobRecord.from_dict(j) for j in self.request("list")["jobs"]
+        ]
+
+    def cancel(self, job_id: str) -> JobRecord:
+        return JobRecord.from_dict(self.request("cancel", job_id=job_id)["job"])
+
+    def stats(self) -> Dict:
+        return self.request("stats")["stats"]
+
+    def shutdown(self, drain: bool = False) -> None:
+        self.request("shutdown", drain=drain)

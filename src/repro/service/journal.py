@@ -1,0 +1,107 @@
+"""Crash-safe job journal: append-only JSON lines with per-record CRCs.
+
+The journal is the service's source of truth for job state across
+crashes.  Its durability discipline mirrors the exploration checkpoint's
+(:mod:`repro.runtime.checkpoint`), adapted to an append-only log:
+
+* **Appends** are one line per event — ``{"rec": {...}, "crc":
+  "<8 hex>"}`` where the checksum covers the canonical JSON encoding of
+  the record — written with flush + ``fsync`` before :meth:`append`
+  returns, so an acknowledged submit is on disk before the client hears
+  about it.
+* **Replay** tolerates a torn tail: a ``kill -9`` mid-append leaves at
+  most one partial last line, which replay drops with a warning.  A
+  corrupt line *before* intact ones means real damage (not a torn
+  append — the log is append-only), so replay stops there too rather
+  than resurrecting jobs whose later history is unreadable; everything
+  up to the first bad line is recovered.
+* **Compaction** rewrites the log as one ``submit`` event per live job
+  via the checkpoint module's tmp + fsync + replace pattern, so a crash
+  mid-compaction leaves the old journal intact.
+
+Journal events are tiny dicts (``op`` plus payload); the scheduler owns
+their semantics — this module only makes them durable and replayable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import warnings
+from pathlib import Path
+from typing import Dict, List, Union
+
+from .protocol import canonical_json
+
+
+def _crc(payload: str) -> str:
+    return hashlib.sha256(payload.encode()).hexdigest()[:8]
+
+
+class JobJournal:
+    """Append-only, checksummed, fsync-durable event log."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        #: Lines dropped by the last :meth:`replay` (torn tail / damage).
+        self.dropped = 0
+
+    def append(self, record: Dict) -> None:
+        """Durably append one event; returns only once it is on disk."""
+        payload = canonical_json(record)
+        line = canonical_json({"rec": record, "crc": _crc(payload)}) + "\n"
+        with open(self.path, "ab") as fh:
+            fh.write(line.encode())
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def replay(self) -> List[Dict]:
+        """Read back every intact event, dropping the torn tail."""
+        self.dropped = 0
+        if not self.path.exists():
+            return []
+        records: List[Dict] = []
+        with open(self.path, "rb") as fh:
+            lines = fh.read().split(b"\n")
+        for pos, raw in enumerate(lines):
+            if not raw.strip():
+                continue
+            try:
+                entry = json.loads(raw.decode())
+                record = entry["rec"]
+                if entry["crc"] != _crc(canonical_json(record)):
+                    raise ValueError("checksum mismatch")
+            except (ValueError, KeyError, UnicodeDecodeError) as exc:
+                remaining = sum(1 for l in lines[pos:] if l.strip())
+                self.dropped = remaining
+                warnings.warn(
+                    f"job journal {self.path}: dropping {remaining} "
+                    f"unreadable line(s) from position {pos} ({exc}); "
+                    "recovered state stops at the last intact event",
+                    RuntimeWarning,
+                )
+                break
+            records.append(record)
+        return records
+
+    def compact(self, records: List[Dict]) -> None:
+        """Atomically rewrite the journal to exactly ``records``.
+
+        Same tmp + fsync + replace discipline as
+        :func:`repro.runtime.checkpoint.save_checkpoint`: the journal is
+        either the old complete log or the new complete log, never a
+        prefix of either.
+        """
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        with open(tmp, "wb") as fh:
+            for record in records:
+                payload = canonical_json(record)
+                line = canonical_json(
+                    {"rec": record, "crc": _crc(payload)}
+                ) + "\n"
+                fh.write(line.encode())
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)

@@ -1,0 +1,254 @@
+"""Job specs, job records, and the admission-control memory estimate.
+
+Everything crossing a service boundary — client → daemon submissions,
+journal records, status responses — is plain JSON, so specs and records
+here are deliberately restricted to JSON-representable state.  A
+:class:`JobSpec` carries the circuit (a benchmark name or inline BLIF
+text — never a live object) plus a whitelisted dictionary of
+:class:`~repro.core.explorer.ExplorerConfig` overrides; checkpoint
+placement is *service-managed* (the scheduler keys per-job checkpoints
+off the job id inside its journal directory), so checkpoint/resume keys
+are rejected rather than silently overridden.
+
+The admission memory estimate reuses the streaming engine's own budget
+formula (:func:`repro.core.streaming.auto_chunk_words`): a streaming job
+costs ``(2 + cache_chunks) × 8 × n_nodes × chunk_words`` bytes per
+worker, a resident job one full ``8 × n_nodes × words_for(n_samples)``
+matrix.  The estimate is the same arithmetic the engine bounds itself
+by, so admission decisions and actual peak memory cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..circuit.blif import read_blif
+from ..circuit.netlist import Circuit
+from ..circuit.simulate import words_for
+from ..core.explorer import ExplorerConfig
+from ..core.qor import QoRSpec
+from ..core.streaming import auto_chunk_words
+from ..errors import ExplorationError
+from ..runtime import effective_jobs
+
+#: ExplorerConfig fields a job spec may override.  Checkpointing keys are
+#: deliberately absent — the scheduler owns checkpoint placement — and so
+#: are live-object fields (library, espresso options).
+CONFIG_KEYS = frozenset({
+    "max_inputs", "max_outputs", "method", "algebra", "taus",
+    "weight_mode", "selection", "match_macros", "qor", "n_samples",
+    "seed", "threshold", "error_cap", "max_iterations", "strategy",
+    "tie_epsilon", "tie_epsilon_scale", "refine_passes", "estimate_area",
+    "jobs", "shard_jobs", "chunk_cache_chunks", "engine", "chunk_words",
+    "chunk_budget_mb", "sanitize", "shard_timeout", "shard_retries",
+    "faults",
+})
+
+#: Job lifecycle states.  ``queued`` and ``running`` are non-terminal:
+#: on restart the journal replay re-enqueues both (a ``running`` job
+#: resumes from its checkpoint when one was flushed).
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One exploration request, as submitted by a client.
+
+    Attributes:
+        bench: Benchmark name from :mod:`repro.bench` (exclusive with
+            ``blif``).
+        blif: Inline BLIF text of the circuit to explore.
+        name: Display label (defaults to the circuit name).
+        deadline_s: Wall-clock budget in seconds, enforced cooperatively
+            from the moment the job *starts running* (queue time does not
+            count against it).
+        config: Whitelisted :class:`~repro.core.explorer.ExplorerConfig`
+            overrides (see :data:`CONFIG_KEYS`).
+    """
+
+    bench: Optional[str] = None
+    blif: Optional[str] = None
+    name: str = ""
+    deadline_s: Optional[float] = None
+    config: Dict = field(default_factory=dict)
+
+    def validate(self) -> None:
+        """Raise :class:`~repro.errors.ExplorationError` on a bad spec."""
+        if bool(self.bench) == bool(self.blif):
+            raise ExplorationError(
+                "job spec needs exactly one of 'bench' or 'blif'"
+            )
+        unknown = set(self.config) - CONFIG_KEYS
+        if unknown:
+            raise ExplorationError(
+                f"unknown config keys {sorted(unknown)}; "
+                f"allowed: {sorted(CONFIG_KEYS)}"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ExplorationError(
+                f"deadline_s must be positive, got {self.deadline_s}"
+            )
+        # Building the config surfaces value errors (bad strategy names,
+        # negative chunk sizes, malformed fault specs) at submit time.
+        self.to_config()
+
+    def load_circuit(self) -> Circuit:
+        if self.bench:
+            from ..bench import get_benchmark  # lazy: heavy generators
+
+            return get_benchmark(self.bench).factory()
+        return read_blif(io.StringIO(self.blif))
+
+    def to_config(
+        self,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_every: int = 1,
+        resume: Optional[str] = None,
+    ) -> ExplorerConfig:
+        """Materialize the :class:`ExplorerConfig` this spec describes.
+
+        The scheduler passes the service-managed checkpoint placement;
+        clients cannot set it (see :data:`CONFIG_KEYS`).
+        """
+        kwargs = dict(self.config)
+        unknown = set(kwargs) - CONFIG_KEYS
+        if unknown:
+            raise ExplorationError(
+                f"unknown config keys {sorted(unknown)}"
+            )
+        if "taus" in kwargs:
+            kwargs["taus"] = tuple(kwargs["taus"])
+        if "qor" in kwargs:
+            kwargs["qor"] = QoRSpec(kwargs["qor"])
+        return ExplorerConfig(
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+            resume=resume,
+            **kwargs,
+        )
+
+    def to_dict(self) -> Dict:
+        return {
+            "bench": self.bench,
+            "blif": self.blif,
+            "name": self.name,
+            "deadline_s": self.deadline_s,
+            "config": dict(self.config),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "JobSpec":
+        return cls(
+            bench=data.get("bench"),
+            blif=data.get("blif"),
+            name=data.get("name", ""),
+            deadline_s=data.get("deadline_s"),
+            config=dict(data.get("config", {})),
+        )
+
+
+def estimate_job_bytes(spec: JobSpec, circuit: Optional[Circuit] = None) -> int:
+    """Peak sample-matrix footprint this job will hold, in bytes.
+
+    The streaming engine's own budget arithmetic (module docstring):
+    chunked execution costs ``(2 + cache_chunks) × 8 × n_nodes ×
+    chunk_words`` per worker across ``shard_jobs`` workers; resident
+    execution holds one full packed matrix.  Used by admission control —
+    the sum over queued + running jobs is what the service bounds.
+    """
+    if circuit is None:
+        circuit = spec.load_circuit()
+    cfg = spec.config
+    n_samples = int(cfg.get("n_samples", 4096))
+    total_words = words_for(n_samples)
+    n_nodes = max(circuit.n_nodes, 1)
+    cache_chunks = int(cfg.get("chunk_cache_chunks", 0))
+    shard_jobs = cfg.get("shard_jobs")
+    jobs = effective_jobs(
+        int(cfg.get("jobs", 1)) if shard_jobs is None else int(shard_jobs)
+    )
+    chunk_words = cfg.get("chunk_words")
+    budget_mb = cfg.get("chunk_budget_mb")
+    if chunk_words is None and budget_mb is not None:
+        chunk_words = auto_chunk_words(
+            n_nodes, int(float(budget_mb) * 1e6), total_words,
+            jobs=jobs, cache_chunks=cache_chunks,
+        )
+    if chunk_words is None:
+        # Resident execution: one full matrix, single process.
+        return 8 * n_nodes * total_words
+    chunk_words = min(int(chunk_words), total_words)
+    return (2 + cache_chunks) * 8 * n_nodes * chunk_words * jobs
+
+
+@dataclass
+class JobRecord:
+    """The scheduler's (and journal's) view of one job.
+
+    ``trajectory`` holds the committed points as plain lists —
+    ``[iteration, window_index, f, qor, est_area, [fs...]]`` — exactly
+    the tuple key the determinism tests compare, so a journaled result
+    round-trips through JSON bit-exactly (Python's JSON float encoding
+    is shortest-round-trip ``repr``).
+    """
+
+    job_id: str
+    spec: JobSpec
+    state: str = QUEUED
+    seq: int = 0
+    error: str = ""
+    n_evaluations: int = 0
+    trajectory: Optional[List[List]] = None
+    resumed: bool = False
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def trajectory_key(self) -> Optional[List[Tuple]]:
+        """The canonical comparison key of the journaled trajectory."""
+        if self.trajectory is None:
+            return None
+        return [
+            (int(i), int(w), int(f), float(q), float(a), tuple(fs))
+            for i, w, f, q, a, fs in self.trajectory
+        ]
+
+    def to_dict(self) -> Dict:
+        return {
+            "job_id": self.job_id,
+            "spec": self.spec.to_dict(),
+            "state": self.state,
+            "seq": self.seq,
+            "error": self.error,
+            "n_evaluations": self.n_evaluations,
+            "trajectory": self.trajectory,
+            "resumed": self.resumed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "JobRecord":
+        return cls(
+            job_id=data["job_id"],
+            spec=JobSpec.from_dict(data.get("spec", {})),
+            state=data.get("state", QUEUED),
+            seq=int(data.get("seq", 0)),
+            error=data.get("error", ""),
+            n_evaluations=int(data.get("n_evaluations", 0)),
+            trajectory=data.get("trajectory"),
+            resumed=bool(data.get("resumed", False)),
+        )
+
+
+def canonical_json(obj) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace drift) —
+    the byte layout the journal's per-record checksum covers."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))

@@ -1,0 +1,457 @@
+"""The exploration scheduler: admission control, isolation, recovery.
+
+This is the service's core (DESIGN.md "Service"): a bounded FIFO of
+:class:`~repro.service.protocol.JobSpec`\\ s multiplexed over shared
+runtime assets by a small pool of worker threads.  The contracts, in
+order of appearance:
+
+**Admission** (:meth:`ExplorationScheduler.submit`) is decided at submit
+time, never later: a job is rejected with a concrete reason
+(:class:`~repro.errors.JobRejected`) when the service is draining, the
+active-job bound is reached, or the summed memory estimate of admitted
+jobs (:func:`~repro.service.protocol.estimate_job_bytes` — the streaming
+engine's own budget arithmetic) would exceed the configured budget.
+An accepted job is journaled durably before the caller gets its id.
+
+**Sharing**: all jobs profile through one
+:class:`~repro.runtime.ProfileCache` (identical window truth tables
+across concurrent jobs factorize once) and lease shard pools from one
+:class:`~repro.runtime.executor.ShardExecutorRegistry` (jobs with
+identical streaming contexts reuse a warm pool; a worker budget degrades
+excess jobs to in-process execution instead of oversubscribing).
+
+**Isolation**: each job runs under its own
+:class:`~repro.runtime.CancelToken` — a deadline expiry, operator
+cancel, or crash-looping failure terminates *that job's* record and
+nothing else; concurrent jobs keep their workers, cache, and results.
+
+**Recovery** (:meth:`recover`): on restart the journal replays; terminal
+jobs keep their results, and every non-terminal job — queued or running
+at the crash — is re-enqueued, a previously-running job resuming from
+its per-job checkpoint.  Because checkpoints are fingerprinted and
+resume is byte-identical (PR 7's contract), a job's final trajectory is
+the same whether the service crashed zero or N times while running it.
+
+**Shutdown** (:meth:`shutdown`): ``drain=True`` finishes the queue;
+``drain=False`` (the SIGTERM path) cancels running jobs with
+:class:`~repro.errors.ServiceShutdown` — each flushes a final checkpoint
+and stays non-terminal in the journal, so the next start continues where
+this one stopped.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..core.explorer import explore
+from ..errors import (
+    ExplorationError,
+    JobCancelled,
+    JobDeadlineExceeded,
+    JobRejected,
+    ServiceShutdown,
+)
+from ..runtime import (
+    CancelToken,
+    ProfileCache,
+    RunContext,
+    RuntimeStats,
+)
+from ..runtime.executor import ShardExecutorRegistry
+from .journal import JobJournal
+from .protocol import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    JobRecord,
+    JobSpec,
+    estimate_job_bytes,
+)
+
+
+class ExplorationScheduler:
+    """Supervised multi-job exploration over shared runtime assets.
+
+    Args:
+        journal_dir: Service state directory — holds the job journal,
+            per-job checkpoints (``<job-id>.ckpt``), and (by default) the
+            shared profile cache.
+        max_queue: Bound on *active* jobs (queued + running); submits
+            beyond it are rejected.
+        max_memory_bytes: Bound on the summed memory estimate of active
+            jobs (``0`` = unbounded).
+        max_concurrent: Worker threads (concurrent explorations).
+        cache_dir: Shared profile cache directory (default:
+            ``journal_dir/cache``; ``""`` disables the shared cache).
+        max_pool_workers: Total shard-worker budget across all leased
+            pools (``0`` = unbounded); see
+            :class:`~repro.runtime.executor.ShardExecutorRegistry`.
+        checkpoint_every: Commit period of per-job checkpoint writes.
+    """
+
+    def __init__(
+        self,
+        journal_dir: Union[str, Path],
+        max_queue: int = 8,
+        max_memory_bytes: int = 0,
+        max_concurrent: int = 1,
+        cache_dir: Optional[str] = None,
+        max_pool_workers: int = 0,
+        checkpoint_every: int = 1,
+        stats: Optional[RuntimeStats] = None,
+    ) -> None:
+        self.dir = Path(journal_dir)
+        self.dir.mkdir(parents=True, exist_ok=True)
+        self.journal = JobJournal(self.dir / "journal.jsonl")
+        self.max_queue = int(max_queue)
+        self.max_memory_bytes = int(max_memory_bytes)
+        self.max_concurrent = max(int(max_concurrent), 1)
+        self.checkpoint_every = int(checkpoint_every)
+        self.stats = stats if stats is not None else RuntimeStats()
+        if cache_dir is None:
+            cache_dir = str(self.dir / "cache")
+        self.cache = ProfileCache(cache_dir) if cache_dir else None
+        self.registry = ShardExecutorRegistry(
+            max_total_workers=max_pool_workers, stats=self.stats
+        )
+        self._cond = threading.Condition()
+        self._journal_lock = threading.Lock()
+        self._jobs: Dict[str, JobRecord] = {}
+        self._estimates: Dict[str, int] = {}
+        self._queue: List[str] = []
+        self._tokens: Dict[str, CancelToken] = {}
+        self._running: set = set()
+        self._seq = 0
+        self._closing = False
+        self._drain_mode = False
+        self._workers: List[threading.Thread] = []
+
+    # -- journal helpers -----------------------------------------------
+    def _journal_event(self, event: Dict) -> None:
+        with self._journal_lock:
+            self.journal.append(event)
+
+    def _checkpoint_path(self, job_id: str) -> Path:
+        return self.dir / f"{job_id}.ckpt"
+
+    # -- lifecycle ------------------------------------------------------
+    def recover(self) -> int:
+        """Rebuild job state from the journal; re-enqueue unfinished jobs.
+
+        Returns the number of recovered (re-enqueued) jobs.  Also
+        compacts the journal to one snapshot event per job, bounding its
+        growth across restarts.
+        """
+        jobs: Dict[str, JobRecord] = {}
+        for event in self.journal.replay():
+            op = event.get("op")
+            if op == "submit":
+                rec = JobRecord.from_dict(event["job"])
+                jobs[rec.job_id] = rec
+            elif op == "state" and event.get("job_id") in jobs:
+                jobs[event["job_id"]].state = event["state"]
+            elif op == "result" and event.get("job_id") in jobs:
+                rec = jobs[event["job_id"]]
+                rec.state = event["state"]
+                rec.error = event.get("error", "")
+                rec.trajectory = event.get("trajectory")
+                rec.n_evaluations = int(event.get("n_evaluations", 0))
+        recovered = 0
+        with self._cond:
+            self._jobs = jobs
+            self._seq = max((r.seq for r in jobs.values()), default=0)
+            pending = sorted(
+                (r for r in jobs.values() if not r.terminal),
+                key=lambda r: r.seq,
+            )
+            for rec in pending:
+                # A job that was RUNNING at the crash resumes from its
+                # checkpoint (if one was flushed); a QUEUED job simply
+                # starts.  Either way the trajectory it eventually
+                # produces is byte-identical to an uninterrupted run.
+                rec.resumed = self._checkpoint_path(rec.job_id).exists()
+                rec.state = QUEUED
+                self._queue.append(rec.job_id)
+                try:
+                    self._estimates[rec.job_id] = estimate_job_bytes(rec.spec)
+                except Exception:
+                    self._estimates[rec.job_id] = 0
+                recovered += 1
+            self.stats.jobs_recovered += recovered
+            snapshot = [
+                {"op": "submit", "job": r.to_dict()}
+                for r in sorted(jobs.values(), key=lambda r: r.seq)
+            ]
+            self._cond.notify_all()
+        with self._journal_lock:
+            self.journal.compact(snapshot)
+        return recovered
+
+    def start(self) -> None:
+        """Spawn the worker threads (idempotent)."""
+        while len(self._workers) < self.max_concurrent:
+            t = threading.Thread(
+                target=self._worker,
+                name=f"explore-worker-{len(self._workers)}",
+                daemon=True,
+            )
+            t.start()
+            self._workers.append(t)
+
+    def shutdown(self, drain: bool = False, timeout: Optional[float] = None) -> None:
+        """Stop the scheduler.
+
+        ``drain=True`` finishes every queued job first; ``drain=False``
+        cancels running jobs with :class:`~repro.errors.ServiceShutdown`
+        (they flush a final checkpoint and stay non-terminal in the
+        journal — the next start resumes them) and leaves queued jobs
+        queued.  Either way the shared pools are torn down and no
+        workers leak.
+        """
+        with self._cond:
+            self._closing = True
+            self._drain_mode = drain
+            if not drain:
+                for token in self._tokens.values():
+                    token.shutdown()
+            self._cond.notify_all()
+        for worker in self._workers:
+            worker.join(timeout)
+        self._workers = []
+        self.registry.close()
+
+    # -- admission ------------------------------------------------------
+    def _reject(self, reason: str) -> None:
+        self.stats.jobs_rejected += 1
+        raise JobRejected(reason)
+
+    def submit(self, spec: JobSpec) -> str:
+        """Admit a job or raise with the concrete refusal reason.
+
+        Raises:
+            ExplorationError: The spec itself is invalid (bad config
+                keys/values, missing circuit) — not an admission verdict.
+            JobRejected: The service cannot serve the job right now
+                (draining, queue full, memory budget exceeded).
+        """
+        spec.validate()
+        circuit = spec.load_circuit()
+        estimate = estimate_job_bytes(spec, circuit)
+        with self._cond:
+            if self._closing:
+                self._reject("service is shutting down")
+            active = len(self._queue) + len(self._running)
+            if active >= self.max_queue:
+                self._reject(
+                    f"queue full: {active} active jobs at the limit of "
+                    f"{self.max_queue}"
+                )
+            if self.max_memory_bytes:
+                held = sum(self._estimates.values())
+                if held + estimate > self.max_memory_bytes:
+                    self._reject(
+                        f"memory budget exceeded: {held} bytes held by "
+                        f"active jobs + {estimate} estimated for this job "
+                        f"> budget {self.max_memory_bytes}"
+                    )
+            self._seq += 1
+            job_id = f"job-{self._seq:04d}"
+            if not spec.name:
+                spec = JobSpec(
+                    bench=spec.bench, blif=spec.blif, name=circuit.name,
+                    deadline_s=spec.deadline_s, config=spec.config,
+                )
+            record = JobRecord(job_id, spec, state=QUEUED, seq=self._seq)
+            self._jobs[job_id] = record
+            self._estimates[job_id] = estimate
+            self._queue.append(job_id)
+            self.stats.jobs_admitted += 1
+            # Journal the admission *before* the caller learns the id and
+            # before any worker can journal this job's state transitions
+            # (the queue append above happens-before a worker pop).
+            self._journal_event({"op": "submit", "job": record.to_dict()})
+            self._cond.notify_all()
+        return job_id
+
+    # -- queries --------------------------------------------------------
+    def status(self, job_id: str) -> JobRecord:
+        with self._cond:
+            record = self._jobs.get(job_id)
+            if record is None:
+                raise ExplorationError(f"unknown job {job_id!r}")
+            return record
+
+    def list_jobs(self) -> List[JobRecord]:
+        with self._cond:
+            return sorted(self._jobs.values(), key=lambda r: r.seq)
+
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> JobRecord:
+        """Block until ``job_id`` reaches a terminal state.
+
+        Returns the (possibly still non-terminal) record if the
+        scheduler starts shutting down while waiting; raises
+        :class:`~repro.errors.ExplorationError` on timeout.
+        """
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        with self._cond:
+            while True:
+                record = self._jobs.get(job_id)
+                if record is None:
+                    raise ExplorationError(f"unknown job {job_id!r}")
+                if record.terminal or self._closing:
+                    return record
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise ExplorationError(
+                            f"timed out waiting for {job_id} "
+                            f"(state {record.state})"
+                        )
+                self._cond.wait(
+                    0.2 if remaining is None else min(0.2, remaining)
+                )
+
+    def cancel(self, job_id: str) -> JobRecord:
+        """Cancel a queued or running job (terminal jobs are left alone)."""
+        with self._cond:
+            record = self._jobs.get(job_id)
+            if record is None:
+                raise ExplorationError(f"unknown job {job_id!r}")
+            if record.terminal:
+                return record
+            if record.state == QUEUED:
+                self._queue.remove(job_id)
+                self._estimates.pop(job_id, None)
+                record.state = CANCELLED
+                record.error = "cancelled before start"
+                self.stats.jobs_cancelled += 1
+                self._journal_event({
+                    "op": "result", "job_id": job_id, "state": CANCELLED,
+                    "error": record.error, "trajectory": None,
+                    "n_evaluations": 0,
+                })
+                self._cond.notify_all()
+                return record
+            token = self._tokens.get(job_id)
+            if token is not None:
+                token.cancel("cancelled by operator")
+            return record
+
+    def stats_snapshot(self) -> Dict:
+        """Service counters for the ``stats`` endpoint."""
+        with self._cond:
+            return {
+                "summary": self.stats.summary(),
+                "service": self.stats.service_summary(),
+                "queued": len(self._queue),
+                "running": len(self._running),
+                "jobs": len(self._jobs),
+                "pools_built": self.registry.pools_built,
+                "pool_leases": self.registry.leases,
+                "pool_leases_rejected": self.registry.rejected_leases,
+            }
+
+    # -- worker side -----------------------------------------------------
+    def _should_exit(self) -> bool:
+        # Caller holds self._cond.
+        if not self._closing:
+            return False
+        if self._drain_mode:
+            return not self._queue
+        return True
+
+    def _worker(self) -> None:
+        while True:
+            with self._cond:
+                while True:
+                    if self._should_exit():
+                        return
+                    if self._queue:
+                        job_id = self._queue.pop(0)
+                        record = self._jobs[job_id]
+                        record.state = RUNNING
+                        self._running.add(job_id)
+                        break
+                    self._cond.wait(0.1)
+            self._journal_event(
+                {"op": "state", "job_id": job_id, "state": RUNNING}
+            )
+            self._run_job(record)
+
+    def _run_job(self, record: JobRecord) -> None:
+        job_id = record.job_id
+        spec = record.spec
+        token = CancelToken(deadline_s=spec.deadline_s)
+        with self._cond:
+            self._tokens[job_id] = token
+        checkpoint = self._checkpoint_path(job_id)
+        resume = str(checkpoint) if checkpoint.exists() else None
+        state = DONE
+        error = ""
+        trajectory = None
+        n_evaluations = 0
+        try:
+            circuit = spec.load_circuit()
+            config = spec.to_config(
+                checkpoint_path=str(checkpoint),
+                checkpoint_every=self.checkpoint_every,
+                resume=resume,
+            )
+            context = RunContext(
+                cancel=token,
+                cache=self.cache,
+                executor_factory=self.registry.lease,
+            )
+            result = explore(circuit, config, context=context)
+            trajectory = [
+                [p.iteration, p.window_index, p.f, p.qor, p.est_area,
+                 list(p.fs)]
+                for p in result.trajectory
+            ]
+            n_evaluations = result.n_evaluations
+            if result.runtime_stats is not None:
+                with self._cond:
+                    self.stats.absorb(result.runtime_stats)
+        except ServiceShutdown:
+            # Graceful shutdown: the job flushed a final checkpoint (when
+            # checkpointing was active) and stays *non-terminal* in the
+            # journal — the next start re-enqueues and resumes it.
+            with self._cond:
+                self._running.discard(job_id)
+                self._tokens.pop(job_id, None)
+                self._cond.notify_all()
+            return
+        except JobDeadlineExceeded as exc:
+            state, error = FAILED, f"deadline exceeded: {exc}"
+        except JobCancelled as exc:
+            state, error = CANCELLED, str(exc)
+        except Exception as exc:  # isolation: one job's crash is its own
+            state, error = FAILED, f"{type(exc).__name__}: {exc}"
+        with self._cond:
+            record.state = state
+            record.error = error
+            record.trajectory = trajectory
+            record.n_evaluations = n_evaluations
+            self._running.discard(job_id)
+            self._tokens.pop(job_id, None)
+            self._estimates.pop(job_id, None)
+            if state == DONE:
+                self.stats.jobs_completed += 1
+            elif state == CANCELLED:
+                self.stats.jobs_cancelled += 1
+            else:
+                self.stats.jobs_failed += 1
+            self._cond.notify_all()
+        self._journal_event({
+            "op": "result", "job_id": job_id, "state": state,
+            "error": error, "trajectory": trajectory,
+            "n_evaluations": n_evaluations,
+        })
+        if state == DONE:
+            checkpoint.unlink(missing_ok=True)

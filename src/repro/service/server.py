@@ -1,0 +1,187 @@
+"""The exploration daemon: a Unix-socket front end on the scheduler.
+
+``blasys serve`` runs this.  The protocol is deliberately minimal —
+newline-delimited JSON over a Unix domain socket, one request object per
+line, one response object per line (``{"ok": true, ...}`` or
+``{"ok": false, "error": "...", "rejected": bool}``) — so a client is a
+few lines of any language and the daemon has no third-party
+dependencies.
+
+Lifecycle: the main thread installs a
+:class:`~repro.runtime.ShutdownGuard` and parks; SIGTERM/SIGINT (or a
+client ``shutdown`` request) cancels the guard token, the socket stops
+accepting, and the scheduler shuts down in the requested mode — the
+default (checkpoint) mode cancels in-flight jobs with
+:class:`~repro.errors.ServiceShutdown` so each flushes a final
+checkpoint and stays non-terminal in the journal; the next ``blasys
+serve`` on the same journal directory recovers and resumes them
+byte-identically (see :mod:`repro.service.scheduler`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socketserver
+import threading
+from typing import Dict, Optional
+
+from ..errors import JobRejected, ReproError
+from ..runtime import CancelToken, RuntimeStats, ShutdownGuard
+from .protocol import JobSpec
+from .scheduler import ExplorationScheduler
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        for raw in self.rfile:
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line.decode())
+                response = self.server.dispatch(request)
+            except Exception as exc:  # malformed request: answer, don't die
+                response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+            self.wfile.write((json.dumps(response) + "\n").encode())
+            self.wfile.flush()
+            if response.get("bye"):
+                break
+
+
+class ExplorationServer(socketserver.ThreadingMixIn, socketserver.UnixStreamServer):
+    """Threaded Unix-socket server dispatching to a scheduler."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, socket_path: str, scheduler: ExplorationScheduler,
+                 stop_token: CancelToken) -> None:
+        self.scheduler = scheduler
+        self.stop_token = stop_token
+        #: Set by a client ``shutdown`` request: drain or checkpoint.
+        self.drain_requested = False
+        if os.path.exists(socket_path):
+            os.unlink(socket_path)
+        super().__init__(socket_path, _Handler)
+
+    # -- request dispatch ------------------------------------------------
+    def dispatch(self, request: Dict) -> Dict:
+        op = request.get("op")
+        try:
+            if op == "ping":
+                return {"ok": True, "pong": True}
+            if op == "submit":
+                spec = JobSpec.from_dict(request.get("spec", {}))
+                job_id = self.scheduler.submit(spec)
+                return {"ok": True, "job_id": job_id}
+            if op == "status":
+                record = self.scheduler.status(request["job_id"])
+                return {"ok": True, "job": record.to_dict()}
+            if op == "wait":
+                record = self.scheduler.wait(
+                    request["job_id"], timeout=request.get("timeout")
+                )
+                return {"ok": True, "job": record.to_dict()}
+            if op == "list":
+                return {
+                    "ok": True,
+                    "jobs": [r.to_dict() for r in self.scheduler.list_jobs()],
+                }
+            if op == "cancel":
+                record = self.scheduler.cancel(request["job_id"])
+                return {"ok": True, "job": record.to_dict()}
+            if op == "stats":
+                return {"ok": True, "stats": self.scheduler.stats_snapshot()}
+            if op == "shutdown":
+                self.drain_requested = bool(request.get("drain", False))
+                self.stop_token.shutdown("shutdown requested by client")
+                return {"ok": True, "bye": True}
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        except JobRejected as exc:
+            return {"ok": False, "rejected": True, "error": str(exc)}
+        except ReproError as exc:
+            return {"ok": False, "error": str(exc)}
+
+
+def serve(
+    socket_path: str,
+    journal_dir: str,
+    max_queue: int = 8,
+    max_memory_mb: float = 0.0,
+    max_concurrent: int = 1,
+    cache_dir: Optional[str] = None,
+    max_pool_workers: int = 0,
+    checkpoint_every: int = 1,
+    drain_on_term: bool = False,
+    stats: Optional[RuntimeStats] = None,
+    quiet: bool = False,
+) -> int:
+    """Run the daemon until SIGTERM/SIGINT or a client ``shutdown``.
+
+    Returns the CLI exit code: ``0`` for a client-requested shutdown,
+    ``128 + signum`` when a signal stopped the service (after the
+    graceful checkpoint-and-drain sequence — the non-zero code reports
+    *why* the daemon exited, not a failure to clean up).
+    """
+    def say(message: str) -> None:
+        if not quiet:
+            print(message, flush=True)
+
+    scheduler = ExplorationScheduler(
+        journal_dir,
+        max_queue=max_queue,
+        max_memory_bytes=int(max_memory_mb * 1e6),
+        max_concurrent=max_concurrent,
+        cache_dir=cache_dir,
+        max_pool_workers=max_pool_workers,
+        checkpoint_every=checkpoint_every,
+        stats=stats,
+    )
+    recovered = scheduler.recover()
+    if recovered:
+        say(f"recovered {recovered} unfinished job(s) from the journal")
+    scheduler.start()
+
+    token = CancelToken()
+    guard = ShutdownGuard(token)
+    server = ExplorationServer(socket_path, scheduler, token)
+    acceptor = threading.Thread(
+        target=server.serve_forever, name="service-acceptor", daemon=True
+    )
+    acceptor.start()
+    say(f"blasys service listening on {socket_path} (journal: {journal_dir})")
+    try:
+        with guard:
+            while not token.cancelled:
+                token_wait(token)
+    finally:
+        drain = drain_on_term if guard.signum is not None else server.drain_requested
+        say(
+            "shutting down ("
+            + ("draining queued jobs" if drain
+               else "checkpointing in-flight jobs") + ")"
+        )
+        # Scheduler first: in checkpoint mode this cancels in-flight jobs
+        # immediately (they stop at the next iteration boundary) instead
+        # of letting them race to completion behind the socket teardown.
+        # The still-open socket correctly answers late submits with
+        # "service is shutting down".
+        scheduler.shutdown(drain=drain)
+        server.shutdown()
+        server.server_close()
+        if os.path.exists(socket_path):
+            os.unlink(socket_path)
+    say(f"service stopped; {scheduler.stats.service_summary()}")
+    if guard.signum is not None:
+        return 128 + guard.signum
+    return 0
+
+
+def token_wait(token: CancelToken, interval: float = 0.2) -> None:
+    """Park the main thread without blocking signal delivery."""
+    # signal handlers only run between bytecodes on the main thread, so
+    # sleep in short slices rather than one long block.
+    import time
+
+    time.sleep(interval)

@@ -111,3 +111,114 @@ class TestCommands:
         out = capsys.readouterr().out
         assert rc == 0
         assert "BLASYS" in out and "SALSA" in out
+
+
+class TestCheckpointFlagCoherence:
+    """S3: checkpoint modifiers without a checkpoint path are hard errors."""
+
+    def test_checkpoint_every_requires_checkpoint(self):
+        from repro.errors import ExplorationError
+
+        with pytest.raises(ExplorationError, match="--checkpoint-every"):
+            main(["run", "--bench", "but", "--samples", "256",
+                  "--checkpoint-every", "2"])
+
+    def test_resume_requires_checkpoint(self):
+        from repro.errors import ExplorationError
+
+        with pytest.raises(ExplorationError, match="--resume"):
+            main(["run", "--bench", "but", "--samples", "256",
+                  "--resume", "/tmp/nowhere.ckpt"])
+
+    def test_checkpoint_alone_still_works(self, capsys, tmp_path):
+        ckpt = tmp_path / "run.ckpt"
+        rc = main([
+            "run", "--bench", "but", "--thresholds", "0.2",
+            "--samples", "512", "--k", "8", "--m", "8",
+            "--checkpoint", str(ckpt),
+        ])
+        assert rc == 0
+
+    def test_compare_validates_too(self):
+        from repro.errors import ExplorationError
+
+        with pytest.raises(ExplorationError, match="--checkpoint-every"):
+            main(["compare", "--bench", "but", "--samples", "256",
+                  "--checkpoint-every", "3"])
+
+
+class TestServiceParser:
+    def test_serve_requires_socket_and_journal(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+        args = build_parser().parse_args(
+            ["serve", "--socket", "/tmp/b.sock", "--journal", "/tmp/j",
+             "--max-queue", "4", "--max-concurrent", "2",
+             "--max-memory-mb", "64", "--pool-workers", "4",
+             "--drain-on-term"]
+        )
+        assert args.max_queue == 4 and args.max_concurrent == 2
+        assert args.max_memory_mb == 64.0 and args.pool_workers == 4
+        assert args.drain_on_term
+
+    def test_submit_builds_sparse_config(self):
+        args = build_parser().parse_args(
+            ["submit", "--socket", "/tmp/b.sock", "--bench", "but",
+             "--samples", "700", "--k", "8", "--deadline", "30", "--wait"]
+        )
+        assert args.samples == 700 and args.k == 8
+        assert args.m is None  # unset flags stay out of the job config
+        assert args.deadline == 30.0 and args.wait
+
+    def test_client_commands_parse(self):
+        parser = build_parser()
+        assert parser.parse_args(
+            ["jobs", "--socket", "/tmp/b.sock"]).fn is not None
+        job = parser.parse_args(
+            ["job", "job-0001", "--socket", "/tmp/b.sock", "--cancel"])
+        assert job.job_id == "job-0001" and job.cancel
+        down = parser.parse_args(
+            ["shutdown", "--socket", "/tmp/b.sock", "--drain"])
+        assert down.drain
+
+
+class TestSignalHandling:
+    """S1: SIGINT/SIGTERM interrupt a plain run cleanly — pools closed,
+    final checkpoint flushed, ``128 + signum`` exit code."""
+
+    def test_sigterm_flushes_checkpoint_then_resume_completes(self, tmp_path):
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        ckpt = tmp_path / "run.ckpt"
+        argv = [
+            sys.executable, "-m", "repro.cli", "run", "--bench", "mult8",
+            "--samples", "1024", "--k", "8", "--m", "8",
+            "--thresholds", "0.2", "--checkpoint", str(ckpt),
+        ]
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        proc = subprocess.Popen(argv, env=env, stdout=subprocess.PIPE,
+                                stderr=subprocess.PIPE, text=True)
+        deadline = time.monotonic() + 120
+        while not ckpt.exists():
+            if time.monotonic() > deadline or proc.poll() is not None:
+                proc.kill()
+                pytest.fail("checkpoint never appeared")
+            time.sleep(0.02)
+        proc.send_signal(signal.SIGTERM)
+        _, err = proc.communicate(timeout=120)
+        assert proc.returncode == 128 + signal.SIGTERM
+        assert "interrupted by SIGTERM" in err
+        assert "checkpoint flushed" in err
+        assert ckpt.exists()
+
+        resumed = subprocess.run(
+            argv + ["--resume", str(ckpt)], env=env,
+            capture_output=True, text=True, timeout=600,
+        )
+        assert resumed.returncode == 0
+        assert "thr=" in resumed.stdout

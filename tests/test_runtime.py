@@ -280,3 +280,108 @@ class TestFlowWarmCache:
         bumped = [dc_replace(cells[0], area=cells[0].area * 2)] + cells[1:]
         relibbed = ProfileParams(library=Library(lib.name, bumped))
         assert WindowTask(table, None, sub, relibbed).cache_key() != base
+
+
+class TestCorruptQuarantineRetention:
+    """S2: quarantined ``*.pkl.corrupt`` files are bounded, not hoarded."""
+
+    @staticmethod
+    def _plant_corrupt(cache, n, t0=1_000_000.0):
+        """Create n quarantined files with strictly increasing mtimes."""
+        import os
+
+        paths = []
+        for i in range(n):
+            p = cache.path / f"{i:02d}deadbeef.pkl.corrupt"
+            p.write_bytes(b"garbage")
+            os.utime(p, (t0 + i, t0 + i))
+            paths.append(p)
+        return paths
+
+    def test_negative_bounds_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="corrupt_keep"):
+            ProfileCache(tmp_path, corrupt_keep=-1)
+        with pytest.raises(ValueError, match="corrupt_max_age_s"):
+            ProfileCache(tmp_path, corrupt_max_age_s=-0.5)
+
+    def test_count_bound_deletes_oldest_first(self, tmp_path):
+        cache = ProfileCache(tmp_path, corrupt_keep=2)
+        paths = self._plant_corrupt(cache, 5)
+        assert cache.purge_corrupt() == 3
+        assert cache.corrupt_purged == 3
+        survivors = sorted(p.name for p in cache.path.glob("*.pkl.corrupt"))
+        assert survivors == [paths[3].name, paths[4].name]  # the newest two
+        # Idempotent once within bound.
+        assert cache.purge_corrupt() == 0
+
+    def test_mtime_ties_break_by_name_deterministically(self, tmp_path):
+        import os
+
+        cache = ProfileCache(tmp_path, corrupt_keep=1)
+        for name in ("cc.pkl.corrupt", "aa.pkl.corrupt", "bb.pkl.corrupt"):
+            p = cache.path / name
+            p.write_bytes(b"garbage")
+            os.utime(p, (1_000_000.0, 1_000_000.0))  # identical mtimes
+        cache.purge_corrupt()
+        survivors = [p.name for p in cache.path.glob("*.pkl.corrupt")]
+        assert survivors == ["cc.pkl.corrupt"]  # largest name survives a tie
+
+    def test_age_bound(self, tmp_path):
+        cache = ProfileCache(tmp_path, corrupt_keep=None,
+                             corrupt_max_age_s=3600.0)
+        old = self._plant_corrupt(cache, 2)  # mtimes around t=1e6, ancient
+        fresh = cache.path / "fresh.pkl.corrupt"
+        fresh.write_bytes(b"garbage")  # mtime = now, within the hour
+        assert cache.purge_corrupt() == 2
+        assert not old[0].exists() and not old[1].exists()
+        assert fresh.exists()
+
+    def test_unbounded_mode_keeps_everything(self, tmp_path):
+        cache = ProfileCache(tmp_path, corrupt_keep=None)
+        self._plant_corrupt(cache, 4)
+        assert cache.purge_corrupt() == 0
+        assert len(list(cache.path.glob("*.pkl.corrupt"))) == 4
+
+    def test_quarantine_triggers_sweep(self, tmp_path):
+        # corrupt_keep=0: a corrupt entry is quarantined and immediately
+        # reclaimed — get() stays a plain miss either way.
+        cache = ProfileCache(tmp_path, corrupt_keep=0)
+        key = cache.key_of(b"token")
+        cache.put(key, {"x": 1})
+        cache._file(key).write_bytes(b"garbage")
+        assert cache.get(key) is None
+        assert cache.corrupt == 1
+        assert cache.corrupt_purged == 1
+        assert not list(cache.path.glob("*.pkl.corrupt"))
+
+    def test_run_tasks_folds_purged_into_stats(self, tmp_path):
+        cache = ProfileCache(tmp_path, corrupt_keep=0)
+        run_tasks([7], _square, key_fn=str, cache=cache)
+        for f in cache.path.glob("*.pkl"):
+            f.write_bytes(b"garbage")
+        results, stats = run_tasks([7], _square, key_fn=str, cache=cache)
+        assert results == [49]
+        assert stats.cache_corrupt == 1
+        assert stats.cache_corrupt_purged == 1
+        assert "1 purged" in stats.resilience_summary()
+
+
+class TestServiceStats:
+    def test_service_summary_and_absorb(self):
+        a = RuntimeStats(jobs_admitted=2, jobs_rejected=1, jobs_completed=1,
+                         jobs_failed=1, jobs_recovered=1)
+        b = RuntimeStats(jobs_admitted=1, jobs_cancelled=1,
+                         cache_corrupt_purged=2)
+        a.absorb(b)
+        assert a.jobs_admitted == 3 and a.jobs_cancelled == 1
+        assert a.cache_corrupt_purged == 2
+        summary = a.service_summary()
+        assert "3 admitted" in summary and "1 rejected" in summary
+        assert "recovered" in summary
+
+    def test_service_summary_idle_shape(self):
+        # Always reports (the daemon prints it at stop); the recovered
+        # clause only appears when recovery actually happened.
+        summary = RuntimeStats().service_summary()
+        assert summary.startswith("service: 0 admitted")
+        assert "recovered" not in summary
