@@ -194,6 +194,11 @@ class SetIterationRule(Rule):
 # unseeded-rng
 # ----------------------------------------------------------------------
 _RNG_SANCTIONED = {"repro/flow.py", "repro/circuit/stimulus.py"}
+#: The search package is stricter still: searchers must use the single
+#: seeded generator threaded from ``ExplorerConfig.seed``, so *any*
+#: generator construction there — seeded or not — breaks the replay
+#: contract (DESIGN.md "Search strategies").
+_RNG_FORBIDDEN_PREFIXES = ("repro/core/search/",)
 _GLOBAL_RNG_FNS = {
     "seed",
     "rand",
@@ -216,7 +221,11 @@ class UnseededRngRule(Rule):
     Outside the sanctioned ``flow.py`` / ``stimulus.py`` entry points,
     every generator must be constructed with an explicit seed, and the
     legacy global-state ``np.random.*`` functions are banned outright
-    (their hidden state couples unrelated call sites).
+    (their hidden state couples unrelated call sites).  Inside
+    ``repro/core/search/`` the rule hardens: constructing a generator at
+    all — even seeded — is a finding, because searchers must draw from
+    the one generator threaded from ``ExplorerConfig.seed`` (a private
+    stream would desynchronize checkpoint replay).
     """
 
     name = "unseeded-rng"
@@ -225,6 +234,7 @@ class UnseededRngRule(Rule):
     def check(self, ctx: LintContext) -> Iterable[Finding]:
         if ctx.module_tail in _RNG_SANCTIONED:
             return
+        forbidden = ctx.module_tail.startswith(_RNG_FORBIDDEN_PREFIXES)
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue
@@ -232,7 +242,15 @@ class UnseededRngRule(Rule):
             if not chain:
                 continue
             if chain[-1] in {"default_rng", "RandomState"}:
-                if not node.args and not node.keywords:
+                if forbidden:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{chain[-1]}() constructed inside the search "
+                        "package — searchers must draw from the seeded "
+                        "generator threaded from ExplorerConfig.seed",
+                    )
+                elif not node.args and not node.keywords:
                     yield self.finding(
                         ctx,
                         node,

@@ -27,7 +27,7 @@ from typing import List, Optional
 from .bench import BENCHMARK_ORDER, get_benchmark
 from .baselines import run_salsa
 from .circuit import read_blif, write_blif, write_verilog
-from .core.explorer import ExplorerConfig, explore
+from .core.explorer import STRATEGIES, ExplorerConfig, explore
 from .errors import ExplorationError, ServiceShutdown
 from .flow import run_blasys
 from .runtime import CancelToken, RunContext, ShutdownGuard
@@ -83,6 +83,14 @@ def _config(args) -> ExplorerConfig:
             1 if args.checkpoint_every is None else args.checkpoint_every
         ),
         resume=args.resume,
+        max_evaluations=args.max_evaluations,
+        anneal_t0=args.anneal_t0,
+        anneal_alpha=args.anneal_alpha,
+        anneal_stall=args.anneal_stall,
+        bo_init=args.bo_init,
+        bo_lengthscale=args.bo_lengthscale,
+        ranker_epsilon=args.ranker_epsilon,
+        ranker_lr=args.ranker_lr,
     )
 
 
@@ -95,7 +103,29 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--m", type=int, default=10, help="window output budget")
     p.add_argument("--samples", type=int, default=4096,
                    help="Monte-Carlo samples during exploration")
-    p.add_argument("--strategy", choices=["full", "lazy"], default="lazy")
+    p.add_argument("--strategy", choices=list(STRATEGIES), default="lazy",
+                   help="candidate selection: greedy sweeps (full/lazy) or "
+                        "the stochastic portfolio (anneal/bo/ranker); every "
+                        "strategy is seed-deterministic and replayable")
+    p.add_argument("--max-evaluations", type=int, default=None,
+                   help="hard cap on candidate evaluations — the "
+                        "equal-budget knob for comparing strategies")
+    p.add_argument("--anneal-t0", type=float, default=0.05,
+                   help="annealing initial temperature")
+    p.add_argument("--anneal-alpha", type=float, default=0.97,
+                   help="annealing geometric cooling factor per move")
+    p.add_argument("--anneal-stall", type=int, default=24,
+                   help="consecutive rejections that stop the annealing walk")
+    p.add_argument("--bo-init", type=int, default=6,
+                   help="random warm-up proposals before the BO surrogate "
+                        "takes over")
+    p.add_argument("--bo-lengthscale", type=float, default=0.25,
+                   help="RBF kernel lengthscale over the normalized degree "
+                        "vector")
+    p.add_argument("--ranker-epsilon", type=float, default=0.15,
+                   help="move-ranker epsilon-greedy exploration rate")
+    p.add_argument("--ranker-lr", type=float, default=0.5,
+                   help="move-ranker online logistic learning rate")
     # "significance" is the paper's WQoR flow (§3.2) and the ExplorerConfig
     # default; "uniform" is Figure 4's control arm.
     p.add_argument("--weights", choices=["uniform", "significance"],
@@ -471,7 +501,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sub.add_argument("--k", type=int, default=None, help="window input budget")
     p_sub.add_argument("--m", type=int, default=None, help="window output budget")
     p_sub.add_argument("--samples", type=int, default=None)
-    p_sub.add_argument("--strategy", choices=["full", "lazy"], default=None)
+    p_sub.add_argument("--strategy", choices=list(STRATEGIES), default=None)
     p_sub.add_argument("--weights", choices=["uniform", "significance"],
                        default=None)
     p_sub.add_argument("--seed", type=int, default=None)

@@ -7,7 +7,7 @@ and repeats until the error threshold is crossed (or the space is
 exhausted).  The design-metric model during exploration is the paper's own:
 circuit area ≈ sum of per-window synthesized areas.
 
-Two candidate-selection strategies are provided:
+Two greedy candidate-selection strategies are provided here:
 
 * ``"full"`` — Algorithm 1 verbatim: every active window re-evaluated each
   iteration.
@@ -17,6 +17,16 @@ Two candidate-selection strategies are provided:
   monotone in commits, so this gives near-identical trajectories at a
   fraction of the evaluations (the paper's future-work item on "fewer design
   point evaluations").
+
+Beyond greedy, ``strategy`` also selects the stochastic portfolio in
+:mod:`repro.core.search` — ``"anneal"`` (simulated annealing over
+(window, degree) moves), ``"bo"`` (GP surrogate + expected improvement
+over the degree vector) and ``"ranker"`` (online logistic move-ranking).
+All of them drive the same memoized preview machinery one move at a
+time, draw every random number from the run's single seeded generator,
+and checkpoint their internal state, so the byte-identical replay
+discipline (across engines, chunk sizes, shard counts, and
+checkpoint/resume interruption points) extends to them unchanged.
 """
 
 from __future__ import annotations
@@ -60,10 +70,12 @@ from .bmf.asso import DEFAULT_TAUS
 from .engine import ENGINES, CompiledEvaluator, make_evaluator
 from .profile import WindowProfile, profile_windows
 from .qor import QoREvaluator, QoRSpec
+from .search import SEARCHER_STRATEGIES, make_searcher
 from .streaming import StreamingEvaluator, auto_chunk_words
 
-#: Candidate selection strategies.
-STRATEGIES = ("full", "lazy")
+#: Candidate selection strategies: the greedy sweeps implemented here
+#: plus the stochastic portfolio in :mod:`repro.core.search`.
+STRATEGIES = ("full", "lazy") + SEARCHER_STRATEGIES
 
 
 @dataclass(frozen=True)
@@ -90,7 +102,23 @@ class ExplorerConfig:
         threshold: Stop once the metric exceeds this (None = exhaust).
         error_cap: Hard stop for exhaustive sweeps (useful for Figure 5).
         max_iterations: Hard iteration cap (None = unlimited).
-        strategy: ``full`` or ``lazy`` candidate selection.
+        max_evaluations: Hard cap on candidate evaluations (None =
+            unlimited).  Checked at the top of every search step, for
+            every strategy — this is the equal-budget knob the
+            strategy-portfolio benchmark pivots on.  Like the other stop
+            conditions it is excluded from the checkpoint fingerprint.
+        strategy: Candidate selection — ``full`` / ``lazy`` greedy, or
+            one of the stochastic searchers (``anneal`` / ``bo`` /
+            ``ranker``; see :mod:`repro.core.search`).
+        anneal_t0 / anneal_alpha / anneal_stall: Simulated-annealing
+            schedule: initial temperature, geometric decay per proposed
+            move, and the consecutive-rejection count that stops the
+            walk.
+        bo_init / bo_lengthscale: BO surrogate warm-up (uniform random
+            proposals before the GP takes over) and RBF kernel
+            lengthscale over the normalized degree vector.
+        ranker_epsilon / ranker_lr: Move-ranker exploration rate
+            (epsilon-greedy) and online logistic learning rate.
         tie_epsilon / tie_epsilon_scale: Measured errors within
             ``max(tie_epsilon, tie_epsilon_scale * current_error)`` of the
             best candidate count as tied and resolve by estimated area.
@@ -204,6 +232,14 @@ class ExplorerConfig:
     checkpoint_path: Optional[str] = None
     checkpoint_every: int = 1
     resume: Optional[str] = None
+    max_evaluations: Optional[int] = None
+    anneal_t0: float = 0.2
+    anneal_alpha: float = 0.97
+    anneal_stall: int = 24
+    bo_init: int = 6
+    bo_lengthscale: float = 0.25
+    ranker_epsilon: float = 0.15
+    ranker_lr: float = 0.5
 
     def __post_init__(self) -> None:
         if self.strategy not in STRATEGIES:
@@ -254,6 +290,38 @@ class ExplorerConfig:
             raise ExplorationError(
                 f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
             )
+        if self.max_evaluations is not None and self.max_evaluations < 1:
+            raise ExplorationError(
+                f"max_evaluations must be >= 1, got {self.max_evaluations}"
+            )
+        if self.anneal_t0 <= 0:
+            raise ExplorationError(
+                f"anneal_t0 must be positive, got {self.anneal_t0}"
+            )
+        if not 0 < self.anneal_alpha < 1:
+            raise ExplorationError(
+                f"anneal_alpha must be in (0, 1), got {self.anneal_alpha}"
+            )
+        if self.anneal_stall < 1:
+            raise ExplorationError(
+                f"anneal_stall must be >= 1, got {self.anneal_stall}"
+            )
+        if self.bo_init < 1:
+            raise ExplorationError(
+                f"bo_init must be >= 1, got {self.bo_init}"
+            )
+        if self.bo_lengthscale <= 0:
+            raise ExplorationError(
+                f"bo_lengthscale must be positive, got {self.bo_lengthscale}"
+            )
+        if not 0 <= self.ranker_epsilon <= 1:
+            raise ExplorationError(
+                f"ranker_epsilon must be in [0, 1], got {self.ranker_epsilon}"
+            )
+        if self.ranker_lr <= 0:
+            raise ExplorationError(
+                f"ranker_lr must be positive, got {self.ranker_lr}"
+            )
         if isinstance(self.faults, str):
             # Fail fast on malformed specs (raises FaultSpecError) rather
             # than mid-run on the first injection check.
@@ -262,7 +330,15 @@ class ExplorerConfig:
 
 @dataclass(frozen=True)
 class TrajectoryPoint:
-    """State after one committed approximation step."""
+    """State after one committed approximation step.
+
+    ``strategy`` / ``seed`` / ``move_id`` make every point
+    self-describing for replay: the strategy and seed that produced it,
+    and (for the stochastic searchers) the ordinal of the proposal that
+    committed — gaps in ``move_id`` are rejected proposals, so a
+    trajectory alone pins down the searcher's accept/reject history.
+    Greedy strategies record ``move_id = -1``.
+    """
 
     iteration: int
     window_index: int
@@ -270,6 +346,9 @@ class TrajectoryPoint:
     qor: float
     est_area: float
     fs: Tuple[int, ...]
+    strategy: str = ""
+    seed: int = 0
+    move_id: int = -1
 
     def normalized_area(self, baseline: float) -> float:
         return self.est_area / baseline if baseline else 0.0
@@ -519,6 +598,13 @@ def _search_fingerprint(circuit: Circuit, config: ExplorerConfig) -> str:
         config.strategy,
         config.tie_epsilon,
         config.tie_epsilon_scale,
+        config.anneal_t0,
+        config.anneal_alpha,
+        config.anneal_stall,
+        config.bo_init,
+        config.bo_lengthscale,
+        config.ranker_epsilon,
+        config.ranker_lr,
         config.refine_passes,
         config.estimate_area,
         config.library.name,
@@ -579,7 +665,9 @@ def _run_exploration(
     trajectory = result.trajectory
     trajectory.append(
         TrajectoryPoint(
-            0, -1, 0, 0.0, baseline_area, tuple(fs[p.window.index] for p in profiles)
+            0, -1, 0, 0.0, baseline_area,
+            tuple(fs[p.window.index] for p in profiles),
+            strategy=config.strategy, seed=config.seed,
         )
     )
 
@@ -652,6 +740,14 @@ def _run_exploration(
                 counter += 1
         heapq.heapify(heap)
 
+    searcher = None
+    if config.strategy in SEARCHER_STRATEGIES:
+        if rng is None:
+            # explore() always threads its post-stimulus generator in;
+            # this fallback only serves direct _run_exploration callers.
+            rng = np.random.default_rng(config.seed)
+        searcher = make_searcher(config, profiles, rng)
+
     fingerprint: Optional[str] = None
     if config.checkpoint_path or config.resume:
         fingerprint = _search_fingerprint(circuit, config)
@@ -663,7 +759,7 @@ def _run_exploration(
         # subsequent preview float matches the uninterrupted run.
         ckpt = load_checkpoint(config.resume, expect_fingerprint=fingerprint)
         for point in ckpt.trajectory[1:]:
-            _, widx, f, _, _, _ = point
+            widx, f = int(point[1]), int(point[2])
             variant = profile_by_index[widx].variants[f][ckpt.chosen[(widx, f)]]
             evaluator.commit(widx, variant.table)
             fs[widx] = f
@@ -678,6 +774,8 @@ def _run_exploration(
         counter = ckpt.counter
         if rng is not None and ckpt.rng_state is not None:
             rng.bit_generator.state = ckpt.rng_state
+        if searcher is not None and ckpt.searcher_state is not None:
+            searcher.load_state_dict(ckpt.searcher_state)
 
     def write_checkpoint() -> None:
         # Committed-variant identities and the trajectory's own floats are
@@ -699,7 +797,7 @@ def _run_exploration(
                 chosen=chosen_positions,
                 trajectory=[
                     (p.iteration, p.window_index, p.f, p.qor, p.est_area,
-                     tuple(p.fs))
+                     tuple(p.fs), p.strategy, p.seed, p.move_id)
                     for p in trajectory
                 ],
                 heap=list(heap),
@@ -707,19 +805,32 @@ def _run_exploration(
                 rng_state=(
                     rng.bit_generator.state if rng is not None else None
                 ),
+                searcher_state=(
+                    searcher.state_dict() if searcher is not None else None
+                ),
             ),
         )
         runtime_stats.n_checkpoints += 1
+
+    def stop_reached() -> bool:
+        if config.max_iterations is not None and iteration >= config.max_iterations:
+            return True
+        if (
+            config.max_evaluations is not None
+            and result.n_evaluations >= config.max_evaluations
+        ):
+            return True
+        if config.threshold is not None and current_qor > config.threshold:
+            return True
+        if config.error_cap is not None and current_qor >= config.error_cap:
+            return True
+        return False
 
     def greedy_loop() -> None:
         nonlocal iteration, current_qor, counter
         while True:
             context.check_cancel()
-            if config.max_iterations is not None and iteration >= config.max_iterations:
-                break
-            if config.threshold is not None and current_qor > config.threshold:
-                break
-            if config.error_cap is not None and current_qor >= config.error_cap:
+            if stop_reached():
                 break
 
             chosen: Optional[int] = None
@@ -765,10 +876,19 @@ def _run_exploration(
                             )
             else:
                 while heap:
-                    stale_err, _, idx = heapq.heappop(heap)
+                    # Peek, don't pop: cancellation can surface *inside*
+                    # the preview (streaming scans check the token at
+                    # chunk boundaries), and the exception handler below
+                    # flushes the heap into the checkpoint.  The entry
+                    # only comes off once its fresh error is in hand, so
+                    # an interrupted selection resumes with the heap
+                    # complete and replays the identical pop sequence.
+                    _, _, idx = heap[0]
                     if not active(idx):
+                        heapq.heappop(heap)
                         continue
                     fresh, variant = preview_error(idx, current_qor)
+                    heapq.heappop(heap)
                     if not heap or fresh <= heap[0][0]:
                         chosen, chosen_error, chosen_variant = idx, fresh, variant
                         break
@@ -792,6 +912,8 @@ def _run_exploration(
                     current_qor,
                     _estimated_area(profiles, fs, result.chosen),
                     tuple(fs[p.window.index] for p in profiles),
+                    strategy=config.strategy,
+                    seed=config.seed,
                 )
             )
             if context.on_progress is not None:
@@ -805,14 +927,65 @@ def _run_exploration(
             ):
                 write_checkpoint()
 
+    def searcher_loop() -> None:
+        # One proposed move per step: the searcher picks a window, the
+        # engine previews it through the same memoized machinery the
+        # greedy loop uses, and the searcher decides commit/reject.
+        # Rejected moves consume evaluations (the budget is spent on
+        # previews) but commit nothing and advance no iteration.
+        nonlocal iteration, current_qor
+        while True:
+            context.check_cancel()
+            if stop_reached():
+                break
+            idx = searcher.propose(fs, active, current_qor)
+            if idx is None:
+                break
+            err, variant = preview_error(idx, current_qor)
+            if not searcher.observe(idx, err, current_qor, fs):
+                continue
+            evaluator.commit(idx, variant.table)
+            if delta_qor:
+                qor_eval.rebase(evaluator.current_outputs())
+            fs[idx] -= 1
+            result.chosen[(idx, fs[idx])] = variant
+            current_qor = err
+            iteration += 1
+            trajectory.append(
+                TrajectoryPoint(
+                    iteration,
+                    idx,
+                    fs[idx],
+                    current_qor,
+                    _estimated_area(profiles, fs, result.chosen),
+                    tuple(fs[p.window.index] for p in profiles),
+                    strategy=config.strategy,
+                    seed=config.seed,
+                    move_id=searcher.last_move_id,
+                )
+            )
+            if context.on_progress is not None:
+                context.on_progress(trajectory[-1])
+            if (
+                config.checkpoint_path
+                and iteration % config.checkpoint_every == 0
+            ):
+                write_checkpoint()
+
     try:
-        greedy_loop()
+        if searcher is not None:
+            searcher_loop()
+        else:
+            greedy_loop()
     except (JobCancelled, JobDeadlineExceeded, ServiceShutdown):
         # Cancellation surfaces only at safe boundaries — the loop top,
         # or inside a preview scan, which mutates no committed state —
         # so the committed trajectory is always consistent; flush it
-        # and let the verdict propagate.  Resuming that checkpoint
-        # continues the search byte-identically to an uninterrupted run.
+        # and let the verdict propagate.  The lazy heap (peeked, not
+        # popped, across previews) and any pending searcher proposal
+        # (carried in searcher_state) are both checkpoint-complete at
+        # these boundaries, so resuming continues the search
+        # byte-identically to an uninterrupted run.
         if config.checkpoint_path:
             write_checkpoint()
         raise

@@ -1,0 +1,78 @@
+"""Simulated annealing over (window, degree) decrement moves.
+
+Proposals are uniform over the active windows; acceptance is Metropolis
+on the delta-QoR of the previewed move with a deterministic geometric
+temperature schedule ``T_k = anneal_t0 * anneal_alpha ** k`` clocked by
+the proposal counter ``k`` (rejected moves cool the schedule too, so a
+fixed seed always sees the same temperatures).  The search stops after
+``anneal_stall`` consecutive rejections — as the schedule cools,
+error-increasing moves stop being accepted and the stall counter runs
+out, bounding the walk without an explicit iteration cap.
+
+Unlike the greedy strategies, annealing pays one preview per move
+instead of one scan over every window per iteration, so at an equal
+evaluation budget it takes many more (noisier) steps — the portfolio
+bet recorded in ``BENCH_search.json``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from .base import Searcher
+
+
+class AnnealSearcher(Searcher):
+    strategy = "anneal"
+
+    def __init__(self, config, profiles, rng) -> None:
+        super().__init__(config, profiles, rng)
+        self._stall = 0
+
+    def temperature(self, move_id: int) -> float:
+        """Deterministic schedule value for proposal ``move_id``."""
+        return float(
+            self.config.anneal_t0 * self.config.anneal_alpha ** move_id
+        )
+
+    def _propose(
+        self,
+        candidates: List[int],
+        fs: Dict[int, int],
+        current_qor: float,
+    ) -> Optional[int]:
+        if self._stall >= self.config.anneal_stall:
+            return None
+        return candidates[int(self.rng.integers(len(candidates)))]
+
+    def _decide(
+        self, idx: int, err: float, current_qor: float, fs: Dict[int, int]
+    ) -> bool:
+        delta = err - current_qor
+        if delta <= 0:
+            # Improving/neutral moves are accepted without a draw; the
+            # branch is a pure function of the (deterministic) preview
+            # floats, so replay still sees an identical RNG stream.
+            return True
+        t = self.temperature(self.last_move_id)
+        if t <= 0.0:
+            return False
+        threshold = math.exp(-delta / t)
+        return float(self.rng.random()) < threshold
+
+    def _observe(
+        self,
+        idx: int,
+        err: float,
+        current_qor: float,
+        fs: Dict[int, int],
+        accepted: bool,
+    ) -> None:
+        self._stall = 0 if accepted else self._stall + 1
+
+    def _state(self) -> Dict[str, int]:
+        return {"stall": self._stall}
+
+    def _load(self, state) -> None:
+        self._stall = int(state["stall"])

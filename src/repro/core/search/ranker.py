@@ -1,0 +1,132 @@
+"""Learned move-ranking: an online logistic scorer over window features.
+
+Each window is scored by a tiny logistic model ``p = sigma(w . phi)``
+over hand-rolled features — cone size (members, normalized over the
+decomposition), the window's last observed delta-QoR (normalized by the
+largest magnitude seen), and commit recency (proposals since the window
+last committed, normalized by the proposal clock).  Proposals are
+epsilon-greedy: with probability ``ranker_epsilon`` a uniform draw,
+otherwise the argmax score (ties resolve to the lowest window index).
+
+The model trains online after every preview: the label is 1 when the
+move's delta-QoR beat the running mean of observed deltas, and the
+weights take one SGD step ``w += ranker_lr * (y - p) * phi``.  Every
+previewed move is committed — the ranking only chooses *what to spend
+previews on*, which is the lever when evaluation budget is the scarce
+resource.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional
+
+from .base import Searcher
+
+#: bias, cone size, last delta-QoR, commit recency
+N_FEATURES = 4
+
+
+def _sigmoid(x: float) -> float:
+    return 1.0 / (1.0 + math.exp(-max(-30.0, min(30.0, x))))
+
+
+class RankerSearcher(Searcher):
+    strategy = "ranker"
+
+    def __init__(self, config, profiles, rng) -> None:
+        super().__init__(config, profiles, rng)
+        max_members = max(
+            (p.window.n_members for p in self.profiles), default=1
+        )
+        self._cone = {
+            p.window.index: p.window.n_members / max(max_members, 1)
+            for p in self.profiles
+        }
+        self._weights = [0.0] * N_FEATURES
+        self._last_delta: Dict[int, float] = {}
+        self._last_commit: Dict[int, int] = {}
+        self._mean_delta = 0.0
+        self._n_obs = 0
+        self._scale = 0.0
+
+    def _features(self, idx: int) -> List[float]:
+        scale = self._scale if self._scale > 0 else 1.0
+        delta = self._last_delta.get(idx, 0.0) / scale
+        last = self._last_commit.get(idx)
+        clock = max(self._move, 1)
+        recency = 1.0 if last is None else (self._move - last) / clock
+        return [1.0, self._cone[idx], delta, recency]
+
+    def _score(self, idx: int) -> float:
+        phi = self._features(idx)
+        return sum(w * f for w, f in zip(self._weights, phi))
+
+    # -- strategy hooks --------------------------------------------------
+
+    def _propose(
+        self,
+        candidates: List[int],
+        fs: Dict[int, int],
+        current_qor: float,
+    ) -> Optional[int]:
+        if float(self.rng.random()) < self.config.ranker_epsilon:
+            return candidates[int(self.rng.integers(len(candidates)))]
+        best = candidates[0]
+        best_score = self._score(best)
+        for idx in candidates[1:]:
+            score = self._score(idx)
+            if score > best_score:
+                best, best_score = idx, score
+        return best
+
+    def _decide(
+        self, idx: int, err: float, current_qor: float, fs: Dict[int, int]
+    ) -> bool:
+        return True
+
+    def _observe(
+        self,
+        idx: int,
+        err: float,
+        current_qor: float,
+        fs: Dict[int, int],
+        accepted: bool,
+    ) -> None:
+        delta = float(err - current_qor)
+        phi = self._features(idx)
+        label = 1.0 if (self._n_obs == 0 or delta <= self._mean_delta) else 0.0
+        p = _sigmoid(sum(w * f for w, f in zip(self._weights, phi)))
+        lr = self.config.ranker_lr
+        self._weights = [
+            w + lr * (label - p) * f for w, f in zip(self._weights, phi)
+        ]
+        self._mean_delta = (
+            (self._mean_delta * self._n_obs + delta) / (self._n_obs + 1)
+        )
+        self._n_obs += 1
+        self._scale = max(self._scale, abs(delta))
+        self._last_delta[idx] = delta
+        self._last_commit[idx] = self.last_move_id
+
+    def _state(self) -> Dict[str, Any]:
+        return {
+            "weights": list(self._weights),
+            "last_delta": dict(self._last_delta),
+            "last_commit": dict(self._last_commit),
+            "mean_delta": self._mean_delta,
+            "n_obs": self._n_obs,
+            "scale": self._scale,
+        }
+
+    def _load(self, state) -> None:
+        self._weights = [float(w) for w in state["weights"]]
+        self._last_delta = {
+            int(k): float(v) for k, v in state["last_delta"].items()
+        }
+        self._last_commit = {
+            int(k): int(v) for k, v in state["last_commit"].items()
+        }
+        self._mean_delta = float(state["mean_delta"])
+        self._n_obs = int(state["n_obs"])
+        self._scale = float(state["scale"])

@@ -1,0 +1,150 @@
+"""Bayesian-optimisation surrogate over the degree vector (numpy only).
+
+The search state is the normalized degree vector ``x_i = f_i / m_i``;
+each observation is the delta-QoR of one committed decrement at its
+post-move vector.  An exact Gaussian-process regressor (RBF kernel,
+Cholesky solve — no dependencies beyond numpy) models delta-QoR over
+that space, and each proposal scores every candidate's post-move vector
+with expected improvement against the best (lowest) observed delta,
+choosing the argmax (ties resolve to the lowest window index via the
+ordered candidate list).  The first ``bo_init`` proposals are uniform
+draws to seed the model.  Every previewed move is committed: the
+acquisition already encodes the preference, and monotone decrements
+keep the walk finite.
+
+Determinism: proposals after warm-up consume no randomness at all — the
+acquisition is a pure function of the observation history, which the
+checkpoint carries in ``state_dict()``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ...errors import ExplorationError
+from .base import Searcher
+
+#: Observation window for the GP fit: bounds the O(n^3) Cholesky as the
+#: walk gets long.  Oldest observations fall out first (deterministic).
+MAX_OBSERVATIONS = 128
+
+#: Base observation-noise jitter on the kernel diagonal.
+NOISE = 1e-8
+
+_SQRT2 = math.sqrt(2.0)
+_SQRT2PI = math.sqrt(2.0 * math.pi)
+
+
+def _normal_cdf(z: np.ndarray) -> np.ndarray:
+    return np.array([0.5 * (1.0 + math.erf(v / _SQRT2)) for v in z])
+
+
+def _normal_pdf(z: np.ndarray) -> np.ndarray:
+    return np.exp(-0.5 * z * z) / _SQRT2PI
+
+
+class SurrogateSearcher(Searcher):
+    strategy = "bo"
+
+    def __init__(self, config, profiles, rng) -> None:
+        super().__init__(config, profiles, rng)
+        self._X: List[List[float]] = []
+        self._y: List[float] = []
+
+    # -- degree-vector embedding -----------------------------------------
+
+    def _vector(
+        self, fs: Dict[int, int], move: Optional[int] = None
+    ) -> List[float]:
+        """Normalized degree vector, optionally after decrementing ``move``."""
+        vec = []
+        for w in self.windows:
+            f = fs[w] - (1 if w == move else 0)
+            vec.append(f / self.max_degree[w])
+        return vec
+
+    # -- GP posterior ----------------------------------------------------
+
+    def _kernel(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        ls = self.config.bo_lengthscale
+        sq = (
+            np.sum(a * a, axis=1)[:, None]
+            + np.sum(b * b, axis=1)[None, :]
+            - 2.0 * (a @ b.T)
+        )
+        return np.exp(-np.maximum(sq, 0.0) / (2.0 * ls * ls))
+
+    def _posterior(self, queries: List[List[float]]):
+        X = np.asarray(self._X[-MAX_OBSERVATIONS:], dtype=np.float64)
+        y = np.asarray(self._y[-MAX_OBSERVATIONS:], dtype=np.float64)
+        mean = float(y.mean())
+        K = self._kernel(X, X)
+        # Deterministic jitter escalation: monotone decrements make the
+        # observed vectors distinct, but a short lengthscale can still
+        # push the Gram matrix to the edge of positive definiteness.
+        jitter = NOISE
+        L = None
+        for _ in range(6):
+            try:
+                L = np.linalg.cholesky(K + jitter * np.eye(len(X)))
+                break
+            except np.linalg.LinAlgError:
+                jitter *= 100.0
+        if L is None:
+            raise ExplorationError(
+                "bo surrogate: kernel matrix is not positive definite"
+            )
+        alpha = np.linalg.solve(L.T, np.linalg.solve(L, y - mean))
+        Q = np.asarray(queries, dtype=np.float64)
+        Ks = self._kernel(Q, X)
+        mu = mean + Ks @ alpha
+        v = np.linalg.solve(L, Ks.T)
+        var = 1.0 - np.sum(v * v, axis=0)
+        sd = np.sqrt(np.maximum(var, 1e-12))
+        return mu, sd
+
+    # -- strategy hooks --------------------------------------------------
+
+    def _propose(
+        self,
+        candidates: List[int],
+        fs: Dict[int, int],
+        current_qor: float,
+    ) -> Optional[int]:
+        if len(self._y) < self.config.bo_init:
+            return candidates[int(self.rng.integers(len(candidates)))]
+        queries = [self._vector(fs, move=w) for w in candidates]
+        mu, sd = self._posterior(queries)
+        best = min(self._y[-MAX_OBSERVATIONS:])
+        z = (best - mu) / sd
+        ei = (best - mu) * _normal_cdf(z) + sd * _normal_pdf(z)
+        return candidates[int(np.argmax(ei))]
+
+    def _decide(
+        self, idx: int, err: float, current_qor: float, fs: Dict[int, int]
+    ) -> bool:
+        return True
+
+    def _observe(
+        self,
+        idx: int,
+        err: float,
+        current_qor: float,
+        fs: Dict[int, int],
+        accepted: bool,
+    ) -> None:
+        self._X.append(self._vector(fs, move=idx))
+        self._y.append(float(err - current_qor))
+
+    def _state(self) -> Dict[str, Any]:
+        return {
+            "X": [list(x) for x in self._X],
+            "y": list(self._y),
+        }
+
+    def _load(self, state) -> None:
+        self._X = [[float(v) for v in x] for x in state["X"]]
+        self._y = [float(v) for v in state["y"]]

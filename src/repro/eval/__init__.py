@@ -8,9 +8,11 @@ from .error_analysis import (
 )
 from .pareto import (
     area_at_error,
+    dominance_count,
     exploration_front,
     hypervolume,
     pareto_front,
+    strategy_fronts,
     trajectory_points,
 )
 
@@ -18,10 +20,12 @@ __all__ = [
     "ErrorReport",
     "analyze_errors",
     "area_at_error",
+    "dominance_count",
     "error_histogram",
     "exploration_front",
     "hypervolume",
     "pareto_front",
     "per_output_bit_error",
+    "strategy_fronts",
     "trajectory_points",
 ]

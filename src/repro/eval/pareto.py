@@ -10,7 +10,7 @@ pairs.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
@@ -72,3 +72,44 @@ def area_at_error(
     """Smallest cost achievable within an error budget (1.0 if none)."""
     feasible = [c for e, c in front if e <= error]
     return min(feasible) if feasible else 1.0
+
+
+def strategy_fronts(
+    results: Iterable[ExplorationResult],
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Per-strategy Pareto fronts over a portfolio of explorations.
+
+    Results are grouped by ``config.strategy`` and each group's
+    trajectories pool into one front — the shape the search-portfolio
+    benchmark compares (several seeds of one strategy contribute one
+    front).
+    """
+    pools: Dict[str, List[Tuple[float, float]]] = {}
+    for result in results:
+        pools.setdefault(result.config.strategy, []).extend(
+            trajectory_points(result)
+        )
+    return {
+        strategy: pareto_front(points)
+        for strategy, points in pools.items()
+    }
+
+
+def dominance_count(
+    front: Sequence[Tuple[float, float]],
+    points: Iterable[Tuple[float, float]],
+) -> int:
+    """How many of ``points`` are strictly dominated by ``front``.
+
+    A point is dominated when some front point is no worse on both
+    (minimized) axes and strictly better on at least one — the
+    dominated-point indicator the benchmark asserts alongside
+    hypervolume.
+    """
+    count = 0
+    for err, cost in points:
+        for fe, fc in front:
+            if fe <= err and fc <= cost and (fe < err or fc < cost):
+                count += 1
+                break
+    return count

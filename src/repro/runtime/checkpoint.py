@@ -19,8 +19,12 @@ is a pure performance overlay.  The checkpoint therefore only needs the
 * the trajectory recorded so far (plain tuples);
 * the lazy-greedy heap and its tie-break counter;
 * the loop scalars (iteration index, current QoR, evaluation count);
-* the RNG state (the greedy loop itself draws nothing today, but the
-  snapshot keeps the format future-proof for stochastic strategies).
+* the RNG state of the run's single seeded generator (the stochastic
+  searchers draw proposals and acceptance tests from it);
+* the searcher state (``Searcher.state_dict()``: model parameters,
+  stall/observation counters, and any *pending* proposal whose preview
+  was in flight when the snapshot was flushed — see
+  :mod:`repro.core.search.base`).
 
 Nothing evaluator-internal is stored: the resumed run rebuilds engine
 state by re-committing the recorded steps, so memo caches start cold —
@@ -56,18 +60,21 @@ from ..errors import CheckpointError
 
 #: Bump when the snapshot layout changes; old files then refuse to load
 #: (a stale-format resume must fail loudly, not half-apply).
-CHECKPOINT_VERSION = 1
+#: v2: 9-field trajectory tuples (strategy/seed/move_id) + searcher_state.
+CHECKPOINT_VERSION = 2
 
 
 @dataclass
 class ExploreCheckpoint:
-    """One snapshot of ``explore()``'s greedy-loop state.
+    """One snapshot of ``explore()``'s search-loop state.
 
     ``chosen`` maps a committed ``(window index, degree)`` pair to the
     *position* of the winning variant in that profile's
     ``variants[degree]`` list; ``trajectory`` holds the
     :class:`~repro.core.explorer.TrajectoryPoint` fields as plain tuples
-    ``(iteration, window_index, f, qor, est_area, fs)``.
+    ``(iteration, window_index, f, qor, est_area, fs, strategy, seed,
+    move_id)``; ``searcher_state`` is the strategy's
+    ``Searcher.state_dict()`` (``None`` for the greedy strategies).
     """
 
     fingerprint: str
@@ -80,6 +87,7 @@ class ExploreCheckpoint:
     heap: List[Tuple[float, int, int]] = field(default_factory=list)
     counter: int = 0
     rng_state: Optional[dict] = None
+    searcher_state: Optional[dict] = None
     version: int = CHECKPOINT_VERSION
 
 

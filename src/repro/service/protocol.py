@@ -214,12 +214,19 @@ class JobRecord:
         return self.state in TERMINAL_STATES
 
     def trajectory_key(self) -> Optional[List[Tuple]]:
-        """The canonical comparison key of the journaled trajectory."""
+        """The canonical comparison key of the journaled trajectory.
+
+        Rows are indexed, not unpacked: newer journals carry the
+        strategy/seed/move_id replay fields after the canonical six, and
+        the key stays comparable against references built from plain
+        :class:`~repro.core.explorer.TrajectoryPoint` fields.
+        """
         if self.trajectory is None:
             return None
         return [
-            (int(i), int(w), int(f), float(q), float(a), tuple(fs))
-            for i, w, f, q, a, fs in self.trajectory
+            (int(p[0]), int(p[1]), int(p[2]), float(p[3]), float(p[4]),
+             tuple(p[5]))
+            for p in self.trajectory
         ]
 
     def to_dict(self) -> Dict:

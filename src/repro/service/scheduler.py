@@ -411,7 +411,7 @@ class ExplorationScheduler:
             result = explore(circuit, config, context=context)
             trajectory = [
                 [p.iteration, p.window_index, p.f, p.qor, p.est_area,
-                 list(p.fs)]
+                 list(p.fs), p.strategy, p.seed, p.move_id]
                 for p in result.trajectory
             ]
             n_evaluations = result.n_evaluations

@@ -1,11 +1,21 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+The exploration-facing files (test_core_explorer / test_engine /
+test_streaming / test_executor / test_faults / test_search) all drive
+the same profiled circuits; the builders live here once.  The
+module-level helpers (``trajectory_key`` / ``explorer_config``) live in
+``explore_fixtures.py`` — import them from there, not from here.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
 
+from repro.bench import butterfly, mult8, ripple_adder
 from repro.circuit import Circuit, CircuitBuilder
+from repro.core.profile import profile_windows
+from repro.partition.decompose import decompose
 
 
 @pytest.fixture
@@ -36,3 +46,36 @@ def full_adder_circuit() -> Circuit:
     b.output("sum", s)
     b.output("cout", carry)
     return b.build()
+
+
+@pytest.fixture(scope="session")
+def mult8_circuit() -> Circuit:
+    """The paper's 8x8 array multiplier benchmark."""
+    return mult8()
+
+
+@pytest.fixture(scope="session")
+def adder8_circuit() -> Circuit:
+    """8-bit ripple-carry adder benchmark."""
+    return ripple_adder(8)
+
+
+@pytest.fixture(scope="session")
+def butterfly_profiled():
+    """(circuit, windows, profiles) of butterfly(6) at an 8x8 budget.
+
+    The workhorse of the engine/streaming/executor/fault/search suites:
+    small enough for CI, rich enough for multi-window trajectories.
+    """
+    circuit = butterfly(6)
+    windows = decompose(circuit, 8, 8)
+    profiles = profile_windows(circuit, windows)
+    return circuit, windows, profiles
+
+
+@pytest.fixture(scope="session")
+def adder8_profiled(adder8_circuit):
+    """(circuit, windows, profiles) of the 8-bit adder at an 8x8 budget."""
+    windows = decompose(adder8_circuit, 8, 8)
+    profiles = profile_windows(adder8_circuit, windows)
+    return adder8_circuit, windows, profiles

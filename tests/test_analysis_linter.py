@@ -36,6 +36,7 @@ from repro.runtime.executor import SHARD_PAYLOAD_CLASSES, ScanShard
 def lint_source(tmp_path: Path, source: str, filename: str = "fixture.py"):
     """Write ``source`` to a temp file and lint it with the full rule set."""
     path = tmp_path / filename
+    path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(source, encoding="utf-8")
     return lint_file(path, default_rules())
 
@@ -222,6 +223,51 @@ def test_sanctioned_rng_module_not_flagged(tmp_path):
 def _write(path: Path, source: str) -> Path:
     path.write_text(source, encoding="utf-8")
     return path
+
+
+class TestSearchPackageRngBan:
+    """In ``repro/core/search/`` *any* RNG construction is flagged —
+    seeded or not.  Searchers must draw from the generator the explorer
+    threads in from ``ExplorerConfig.seed``; a private generator, even a
+    seeded one, would fork the replay stream."""
+
+    def test_seeded_construction_in_search_flagged(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "import numpy as np\n"
+            "def pick():\n"
+            "    rng = np.random.default_rng(7)\n"
+            "    return rng.random()\n",
+            filename="repro/core/search/custom.py",
+        )
+        assert rules_hit(findings) == ["unseeded-rng"]
+        assert "search package" in findings[0].message
+
+    def test_unseeded_construction_in_search_flagged(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "import numpy as np\n"
+            "rng = np.random.default_rng()\n",
+            filename="repro/core/search/custom.py",
+        )
+        assert rules_hit(findings) == ["unseeded-rng"]
+
+    def test_drawing_from_injected_rng_is_clean(self, tmp_path):
+        # The sanctioned idiom: use the generator you were handed.
+        assert lint_source(
+            tmp_path,
+            "def propose(candidates, rng):\n"
+            "    return candidates[int(rng.integers(len(candidates)))]\n",
+            filename="repro/core/search/custom.py",
+        ) == []
+
+    def test_seeded_construction_outside_search_still_clean(self, tmp_path):
+        assert lint_source(
+            tmp_path,
+            "import numpy as np\n"
+            "rng = np.random.default_rng(7)\n",
+            filename="repro/core/other.py",
+        ) == []
 
 
 def test_shipped_package_lints_clean():

@@ -15,14 +15,16 @@ from repro.core.explorer import (
 from repro.errors import ExplorationError
 from repro.flow import measure_error
 
+from explore_fixtures import explorer_config
+
 
 @pytest.fixture(scope="module")
-def adder_result():
-    circuit = ripple_adder(6)
-    config = ExplorerConfig(
-        n_samples=1024, max_inputs=6, max_outputs=6, threshold=None
+def adder_result(adder8_profiled):
+    circuit, windows, profiles = adder8_profiled
+    config = explorer_config(n_samples=1024, threshold=None)
+    return circuit, explore(
+        circuit, config, windows=windows, profiles=profiles
     )
-    return circuit, explore(circuit, config)
 
 
 class TestExplorerConfig:
@@ -65,7 +67,7 @@ class TestTrajectory:
         # On a fresh exploration with full strategy, the first committed
         # window must have minimal preview error among all candidates.
         circuit = ripple_adder(5)
-        config = ExplorerConfig(
+        config = explorer_config(
             n_samples=1024, max_inputs=6, max_outputs=6, max_iterations=1
         )
         result = explore(circuit, config)
@@ -80,7 +82,7 @@ class TestTrajectory:
 class TestStoppingRules:
     def test_threshold_stops_early(self):
         circuit = ripple_adder(6)
-        config = ExplorerConfig(
+        config = explorer_config(
             n_samples=1024, max_inputs=6, max_outputs=6, threshold=0.02
         )
         result = explore(circuit, config)
@@ -90,7 +92,7 @@ class TestStoppingRules:
 
     def test_max_iterations(self):
         circuit = ripple_adder(6)
-        config = ExplorerConfig(
+        config = explorer_config(
             n_samples=512, max_inputs=6, max_outputs=6, max_iterations=3
         )
         result = explore(circuit, config)
@@ -98,7 +100,7 @@ class TestStoppingRules:
 
     def test_error_cap(self):
         circuit = ripple_adder(6)
-        config = ExplorerConfig(
+        config = explorer_config(
             n_samples=512, max_inputs=6, max_outputs=6, error_cap=0.10
         )
         result = explore(circuit, config)
@@ -172,7 +174,7 @@ class TestLazyStrategy:
 class TestReuse:
     def test_windows_and_profiles_reusable(self, adder_result):
         circuit, result = adder_result
-        config = ExplorerConfig(
+        config = explorer_config(
             n_samples=512, max_inputs=6, max_outputs=6, threshold=0.05
         )
         again = explore(

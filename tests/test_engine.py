@@ -29,6 +29,8 @@ from repro.errors import ExplorationError, SimulationError
 from repro.partition import decompose
 from repro.runtime import RuntimeStats
 
+from explore_fixtures import trajectory_key
+
 
 def _random_circuit(rng, n_inputs=6, n_gates=40, n_outputs=5):
     b = CircuitBuilder("fuzz")
@@ -300,14 +302,6 @@ class TestDeltaQoR:
             assert qor.evaluate_delta(out, dirty) == qor.evaluate(out)
 
 
-@pytest.fixture(scope="module")
-def butterfly_profiled():
-    circuit = butterfly(6)
-    windows = decompose(circuit, 8, 8)
-    profiles = profile_windows(circuit, windows)
-    return circuit, windows, profiles
-
-
 class TestExploreTrajectoryIdentity:
     @pytest.mark.parametrize("strategy", ["full", "lazy"])
     def test_trajectories_byte_identical(self, strategy, butterfly_profiled):
@@ -328,13 +322,7 @@ class TestExploreTrajectoryIdentity:
             windows=windows,
             profiles=profiles,
         )
-        assert [
-            (p.iteration, p.window_index, p.f, p.qor, p.est_area, p.fs)
-            for p in ref.trajectory
-        ] == [
-            (p.iteration, p.window_index, p.f, p.qor, p.est_area, p.fs)
-            for p in comp.trajectory
-        ]
+        assert trajectory_key(ref) == trajectory_key(comp)
         assert ref.n_evaluations == comp.n_evaluations
         assert {k: id(v) for k, v in ref.chosen.items()}.keys() == {
             k: id(v) for k, v in comp.chosen.items()

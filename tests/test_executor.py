@@ -40,6 +40,8 @@ from repro.runtime.executor import (
     plan_shards,
 )
 
+from explore_fixtures import trajectory_key
+
 #: Shard counts every identity test sweeps: in-process, two, a prime,
 #: and more shards than the chunk plan holds.
 SHARD_COUNTS = (1, 2, 3, 97)
@@ -318,19 +320,6 @@ class TestShardTaskIdentity:
                     assert rows == tuple(sorted(acc["rows"]))
 
 
-@pytest.fixture(scope="module")
-def butterfly_profiled():
-    circuit = butterfly(6)
-    windows = decompose(circuit, 8, 8)
-    profiles = profile_windows(circuit, windows)
-    return circuit, windows, profiles
-
-
-def _trajectory_key(result):
-    return [
-        (p.iteration, p.window_index, p.f, p.qor, p.est_area, p.fs)
-        for p in result.trajectory
-    ]
 
 
 class TestShardedTrajectoryIdentity:
@@ -358,7 +347,7 @@ class TestShardedTrajectoryIdentity:
             windows=windows,
             profiles=profiles,
         )
-        assert _trajectory_key(sharded) == _trajectory_key(serial)
+        assert trajectory_key(sharded) == trajectory_key(serial)
         assert sharded.n_evaluations == serial.n_evaluations
         resident = explore(
             circuit,
@@ -367,7 +356,7 @@ class TestShardedTrajectoryIdentity:
             windows=windows,
             profiles=profiles,
         )
-        assert _trajectory_key(sharded) == _trajectory_key(resident)
+        assert trajectory_key(sharded) == trajectory_key(resident)
         stats = sharded.runtime_stats
         assert stats.shard_jobs == shard_jobs
         assert stats.n_shard_tasks > 0
@@ -387,7 +376,7 @@ class TestShardedTrajectoryIdentity:
             windows=windows,
             profiles=profiles,
         )
-        assert _trajectory_key(cached) == _trajectory_key(plain)
+        assert trajectory_key(cached) == trajectory_key(plain)
         stats = cached.runtime_stats
         assert stats.n_chunk_cache_hits > 0
         # The cache exists to cut base passes: with every chunk resident
@@ -399,7 +388,7 @@ class TestShardedTrajectoryIdentity:
             windows=windows,
             profiles=profiles,
         )
-        assert _trajectory_key(both) == _trajectory_key(plain)
+        assert trajectory_key(both) == trajectory_key(plain)
 
     def test_cached_memory_stays_within_documented_bound(
         self, butterfly_profiled
@@ -451,7 +440,7 @@ class TestShardedTrajectoryIdentity:
             profiles=profiles,
         )
         assert quad.runtime_stats.chunk_words == 2
-        assert _trajectory_key(quad) == _trajectory_key(single)
+        assert trajectory_key(quad) == trajectory_key(single)
 
 
 class TestConfigAndPlumbing:

@@ -47,6 +47,8 @@ from repro.runtime import (
 )
 from repro.runtime.executor import ProcessShardExecutor, ScanShard, StreamContext
 
+from explore_fixtures import trajectory_key
+
 #: Shard counts the chaos matrix sweeps (1 = in-process: no pool exists,
 #: so shard faults have nothing to hit and counters must stay zero).
 SHARD_COUNTS = (1, 2, 3)
@@ -237,25 +239,12 @@ class TestCacheHardening:
 # ----------------------------------------------------------------------
 # Chaos matrix over explore()
 # ----------------------------------------------------------------------
-@pytest.fixture(scope="module")
-def butterfly_profiled():
-    circuit = butterfly(6)
-    windows = decompose(circuit, 8, 8)
-    profiles = profile_windows(circuit, windows)
-    return circuit, windows, profiles
-
-
 #: Streaming base config: words_for(700) = 11, chunk_words=3 -> 4 chunks.
 BASE = dict(
     n_samples=700, max_inputs=8, max_outputs=8, strategy="full", chunk_words=3
 )
 
 
-def _trajectory_key(result):
-    return [
-        (p.iteration, p.window_index, p.f, p.qor, p.est_area, p.fs)
-        for p in result.trajectory
-    ]
 
 
 @pytest.fixture(scope="module")
@@ -265,7 +254,7 @@ def reference_run(butterfly_profiled):
         circuit, ExplorerConfig(**BASE), windows=windows, profiles=profiles
     )
     assert len(result.trajectory) > 3
-    return _trajectory_key(result)
+    return trajectory_key(result)
 
 
 def _chaos_explore(butterfly_profiled, **overrides):
@@ -277,7 +266,7 @@ def _chaos_explore(butterfly_profiled, **overrides):
             windows=windows,
             profiles=profiles,
         )
-    return _trajectory_key(result), result.runtime_stats
+    return trajectory_key(result), result.runtime_stats
 
 
 class TestChaosMatrix:
@@ -387,7 +376,7 @@ class TestChaosMatrix:
             ExplorerConfig(cache_dir=str(tmp_path), **BASE),
             windows=windows,
         )
-        assert _trajectory_key(warm) == _trajectory_key(cold)
+        assert trajectory_key(warm) == trajectory_key(cold)
         stats = warm.runtime_stats
         assert stats.cache_corrupt == 1
         assert any(
@@ -460,7 +449,7 @@ class TestCheckpointResume:
         full = explore(
             circuit, ExplorerConfig(**cfg), windows=windows, profiles=profiles
         )
-        reference = _trajectory_key(full)
+        reference = trajectory_key(full)
         n_iter = len(reference) - 1
         assert n_iter >= 3
         for k in range(1, n_iter + 1):
@@ -480,7 +469,7 @@ class TestCheckpointResume:
                 windows=windows,
                 profiles=profiles,
             )
-            assert _trajectory_key(resumed) == reference, f"iteration {k}"
+            assert trajectory_key(resumed) == reference, f"iteration {k}"
             assert resumed.n_evaluations == full.n_evaluations
 
     def test_resumed_result_realizes_same_pareto_front(

@@ -36,6 +36,8 @@ from repro.flow import run_blasys
 from repro.partition import decompose
 from repro.runtime import RuntimeStats
 
+from explore_fixtures import trajectory_key
+
 #: The chunk-size shapes every identity test sweeps: a single word, a
 #: prime word count, an exact divisor of the axis, and larger-than-axis.
 CHUNK_SHAPES = ("one", "prime", "divisor", "over")
@@ -300,19 +302,6 @@ class TestScanErrorIdentity:
             StreamingEvaluator(circuit, windows, words, 64, chunk_words=0)
 
 
-@pytest.fixture(scope="module")
-def butterfly_profiled():
-    circuit = butterfly(6)
-    windows = decompose(circuit, 8, 8)
-    profiles = profile_windows(circuit, windows)
-    return circuit, windows, profiles
-
-
-def _trajectory_key(result):
-    return [
-        (p.iteration, p.window_index, p.f, p.qor, p.est_area, p.fs)
-        for p in result.trajectory
-    ]
 
 
 class TestStreamingTrajectoryIdentity:
@@ -338,7 +327,7 @@ class TestStreamingTrajectoryIdentity:
             windows=windows,
             profiles=profiles,
         )
-        assert _trajectory_key(chunked) == _trajectory_key(resident)
+        assert trajectory_key(chunked) == trajectory_key(resident)
         assert chunked.n_evaluations == resident.n_evaluations
 
     def test_memory_bounded_by_chunk_budget(self, butterfly_profiled):
@@ -397,7 +386,7 @@ class TestStreamingTrajectoryIdentity:
             windows=windows,
             profiles=profiles,
         )
-        assert _trajectory_key(result) == _trajectory_key(resident)
+        assert trajectory_key(result) == trajectory_key(resident)
 
     def test_auto_chunk_words_helper(self):
         # Budget covering the whole axis -> resident (None).
