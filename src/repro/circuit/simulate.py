@@ -172,18 +172,37 @@ def bit_count(words: np.ndarray) -> np.ndarray:
 
 
 def popcount_words(words: np.ndarray, n: Optional[int] = None) -> int:
-    """Count set bits in a packed array, optionally restricted to ``n`` patterns."""
+    """Count set bits in a packed array, optionally restricted to ``n`` patterns.
+
+    Raises:
+        ValueError: When ``n`` is negative or needs more packed words
+            than each row of ``words`` holds — a too-large ``n`` would
+            otherwise silently count whatever the (nonexistent) tail
+            words happen to alias.
+    """
     words = np.ascontiguousarray(words, dtype=np.uint64)
-    if n is not None and words.size:
+    if n is not None:
+        if n < 0:
+            raise ValueError(f"pattern count must be >= 0, got {n}")
         flat = words.reshape(words.shape[0], -1) if words.ndim > 1 else words
         w = words_for(n)
+        capacity = flat.shape[-1] if words.ndim else 0
+        if w > capacity:
+            raise ValueError(
+                f"n={n} needs {w} packed words per row but the array "
+                f"holds {capacity}"
+            )
+        if w == 0:
+            return 0
         if words.ndim == 1:
             words = words[:w].copy()
             words[-1] &= tail_mask(n)
         else:
             words = flat[:, :w].copy()
             words[:, -1] &= tail_mask(n)
-    return int(bit_count(words).sum())
+    from ..kernels import active_backend
+
+    return active_backend().popcount_reduce(words)
 
 
 def exhaustive_input_words(k: int) -> np.ndarray:

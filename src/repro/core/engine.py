@@ -65,6 +65,7 @@ from ..circuit.simulate import (
 )
 from ..analysis.sanitize import assert_tail_clean, freeze
 from ..errors import SimulationError
+from ..kernels import active_backend
 from ..runtime import RuntimeStats
 from .incremental import IncrementalEvaluator
 
@@ -115,17 +116,16 @@ def execute_batch(
     if op is Op.LUT:
         ins = [values[int(s)] for s in batch.fanins[0]]
         return _lut_eval(batch.table, ins, n_valid)[None, :]
-    gathered = values[batch.fanins]
     if op is Op.BUF:
-        return gathered[:, 0]
+        return values[batch.fanins][:, 0]
     if op is Op.NOT:
-        return ~gathered[:, 0]
+        return ~values[batch.fanins][:, 0]
     if op is Op.MUX:
+        gathered = values[batch.fanins]
         s, a, b = gathered[:, 0], gathered[:, 1], gathered[:, 2]
         return (a & ~s) | (b & s)
     fn, invert = _NARY[op]
-    acc = fn.reduce(gathered, axis=1)
-    return ~acc if invert else acc
+    return active_backend().nary_sweep(values, batch.fanins, fn, invert)
 
 
 def input_index_from_rows(in_words: np.ndarray, n_patterns: int) -> np.ndarray:

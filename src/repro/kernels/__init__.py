@@ -1,0 +1,281 @@
+"""Pluggable kernel backends for the packed-bitset hot loops.
+
+BLASYS spends its wall time in four inner loops: fused popcount
+reductions over packed ``uint64`` words, the ASSO cover-gain scoring,
+the levelized SoA gate-batch sweep, and the per-packed-word QoR partial
+sums.  This package routes each through a :class:`KernelBackend` with
+two implementations:
+
+* ``numpy`` — the reference backend: exactly the vectorized numpy
+  expressions the rest of the codebase has always used.  This is the
+  byte-identity *oracle* of the two-engine discipline (DESIGN.md
+  "Kernel backends"); every other backend is gated on matching it bit
+  for bit.
+* ``jit`` — the compiled backend: ``numba`` ``@njit(cache=True)`` loop
+  kernels when numba is importable, and optimized pure-numpy fallbacks
+  (incremental gain scoring, gather-free n-ary accumulation) when it is
+  not.  Either way the outputs are byte-identical to the oracle, so
+  backend choice never changes a trajectory, profile, or QoR float —
+  only wall time.
+
+Selection precedence is ``REPRO_KERNELS`` env > CLI ``--kernels`` >
+``ExplorerConfig.kernels`` (the CLI writes the config field, so in
+practice: env > config).  ``auto`` resolves to ``jit`` when numba is
+available and to ``numpy`` (with a single warning per process) when it
+is not; an explicit ``jit`` request without numba keeps the jit
+backend's numpy fallbacks and also warns once.
+
+Kernels receive read-only views under ``REPRO_SANITIZE=1`` (the
+sanitizer's frozen-array hand-outs) and therefore never write their
+inputs; anything a kernel mutates it allocated itself.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import warnings
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+#: Environment override (highest-precedence selection knob).
+KERNELS_ENV = "REPRO_KERNELS"
+
+#: Values accepted by ``ExplorerConfig.kernels`` / CLI ``--kernels``.
+KERNEL_CHOICES = ("numpy", "jit", "auto")
+
+#: Concrete backend names (``auto`` resolves to one of these).
+BACKEND_NAMES = ("numpy", "jit")
+
+#: Per-kernel call-counter keys, in display order.
+KERNEL_COUNTERS = ("popcount", "gains", "sweep", "partials")
+
+
+def numba_available() -> bool:
+    """True when numba imports cleanly (the jit backend can compile)."""
+    from . import jit
+
+    return jit.HAVE_NUMBA
+
+
+class KernelBackend:
+    """One resolved backend: named kernel entry points plus call counters.
+
+    Instances are process-wide singletons per name (see
+    :func:`get_backend`), so the counters accumulate monotonically;
+    callers that need per-run numbers snapshot before/after
+    (:meth:`snapshot` / :meth:`delta`).
+    """
+
+    __slots__ = ("name", "compiled", "calls", "_impl")
+
+    def __init__(self, name: str, impl, compiled: bool) -> None:
+        self.name = name
+        self._impl = impl
+        #: True only when numba actually backs the kernels.
+        self.compiled = compiled
+        self.calls: Dict[str, int] = {k: 0 for k in KERNEL_COUNTERS}
+
+    # -- K1: fused popcount reductions ---------------------------------
+    def popcount_reduce(self, words: np.ndarray) -> int:
+        """Total set-bit count of a packed array (any shape)."""
+        self.calls["popcount"] += 1
+        return self._impl.popcount_reduce(words)
+
+    def popcount_rows(self, words: np.ndarray) -> np.ndarray:
+        """Per-row set-bit counts of a ``(m, W)`` packed matrix (int64)."""
+        self.calls["popcount"] += 1
+        return self._impl.popcount_rows(words)
+
+    def popcount_xor_rows(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Per-row popcount of ``a ^ b`` — the fused Hamming primitive."""
+        self.calls["popcount"] += 1
+        return self._impl.popcount_xor_rows(a, b)
+
+    # -- K2: ASSO cover-gain scoring -----------------------------------
+    def make_gain_scorer(
+        self,
+        M_masks: np.ndarray,
+        cand_masks: np.ndarray,
+        wtab: np.ndarray,
+        bonus: float,
+        penalty: float,
+        m: int,
+    ):
+        """A per-descent gain scorer owning the cover-mask state.
+
+        The returned object exposes ``score() -> (totals, usage)`` and
+        ``apply(use, best)`` with the exact semantics of
+        :func:`repro.core.bmf.packed.candidate_gains_masks` over the
+        current cover; backends differ only in *how* the gain matrix is
+        produced (full recompute vs. incremental dirty-row updates), and
+        both yield byte-identical totals/usage at every level.
+        """
+        return self._impl.make_gain_scorer(
+            self, M_masks, cand_masks, wtab, bonus, penalty, m
+        )
+
+    def count_gain_score(self) -> None:
+        """Counter hook for scorers (one per scored descent level)."""
+        self.calls["gains"] += 1
+
+    # -- K3: levelized SoA gate sweep ----------------------------------
+    def nary_sweep(
+        self,
+        values: np.ndarray,
+        fanins: np.ndarray,
+        ufunc: np.ufunc,
+        invert: bool,
+    ) -> np.ndarray:
+        """Reduce an n-ary bitwise gate batch: ``(g, W)`` results.
+
+        ``ufunc`` is one of ``np.bitwise_and`` / ``or`` / ``xor``;
+        bitwise reductions are exact and fully associative, so every
+        backend matches ``ufunc.reduce(values[fanins], axis=1)`` bit for
+        bit, unspecified gate tails included.
+        """
+        self.calls["sweep"] += 1
+        return self._impl.nary_sweep(values, fanins, ufunc, invert)
+
+    # -- K4: per-packed-word QoR partial sums --------------------------
+    def word_partials(self, terms: np.ndarray, n_valid: int) -> np.ndarray:
+        """Per-64-sample-word sums of an error-term vector.
+
+        Element ``i`` sums ``terms[64*i : 64*(i+1)]`` (missing tail
+        entries contribute exactly ``0.0``) in numpy's pairwise
+        reduction order — the canonical partial of DESIGN.md "Streaming
+        execution", so chunked accumulation stays byte-identical.
+        """
+        self.calls["partials"] += 1
+        return self._impl.word_partials(terms, n_valid)
+
+    # -- counters ------------------------------------------------------
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self.calls)
+
+    def delta(self, before: Dict[str, int]) -> Dict[str, int]:
+        return {k: self.calls[k] - before.get(k, 0) for k in KERNEL_COUNTERS}
+
+
+_BACKENDS: Dict[str, KernelBackend] = {}
+_WARNED_FALLBACK = False
+_TLS = threading.local()
+
+
+def _warn_no_numba(requested: str, resolved: str) -> None:
+    global _WARNED_FALLBACK
+    if _WARNED_FALLBACK:
+        return
+    _WARNED_FALLBACK = True
+    warnings.warn(
+        f"numba is not installed; --kernels {requested} resolves to the "
+        f"{resolved} backend (pure-numpy kernels, byte-identical results)",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+def get_backend(name: str) -> KernelBackend:
+    """The process-wide backend instance for a concrete backend name."""
+    if name not in BACKEND_NAMES:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; expected one of {BACKEND_NAMES}"
+        )
+    backend = _BACKENDS.get(name)
+    if backend is None:
+        if name == "jit":
+            from . import jit as impl
+
+            backend = KernelBackend("jit", impl, compiled=impl.HAVE_NUMBA)
+        else:
+            from . import reference as impl
+
+            backend = KernelBackend("numpy", impl, compiled=False)
+        _BACKENDS[name] = backend
+    return backend
+
+
+def resolve_backend(request: str = "auto") -> KernelBackend:
+    """Resolve a selection request to a backend instance.
+
+    ``REPRO_KERNELS`` overrides ``request`` when set (env > CLI/config);
+    ``auto`` picks ``jit`` when numba is available and ``numpy``
+    otherwise, warning once per process about the fallback.  An explicit
+    ``jit`` without numba keeps the jit backend (numpy-fallback kernels)
+    and also warns once.
+    """
+    env = os.environ.get(KERNELS_ENV, "").strip()
+    if env:
+        if env not in KERNEL_CHOICES:
+            raise ValueError(
+                f"{KERNELS_ENV}={env!r} is not one of {KERNEL_CHOICES}"
+            )
+        request = env
+    if request not in KERNEL_CHOICES:
+        raise ValueError(
+            f"unknown kernel selection {request!r}; expected one of "
+            f"{KERNEL_CHOICES}"
+        )
+    if request == "auto":
+        if numba_available():
+            return get_backend("jit")
+        _warn_no_numba("auto", "numpy")
+        return get_backend("numpy")
+    if request == "jit" and not numba_available():
+        _warn_no_numba("jit", "jit (numpy fallback)")
+    return get_backend(request)
+
+
+def active_backend() -> KernelBackend:
+    """The backend governing kernel calls on this thread.
+
+    Precedence: ``REPRO_KERNELS`` env, then the backend installed by
+    :func:`use_backend` (``explore()`` installs its resolved config
+    choice for the duration of a run), then the numpy oracle.  Code that
+    never goes through ``explore()`` therefore keeps today's numpy
+    behavior exactly; shard worker processes inherit the env override
+    but not the thread-local, which is byte-identical by contract
+    (counters are only aggregated in the parent).
+    """
+    env = os.environ.get(KERNELS_ENV, "").strip()
+    if env:
+        return resolve_backend(env)
+    installed: Optional[KernelBackend] = getattr(_TLS, "backend", None)
+    if installed is not None:
+        return installed
+    return get_backend("numpy")
+
+
+class use_backend:
+    """Context manager installing a backend as this thread's active one."""
+
+    def __init__(self, backend: KernelBackend) -> None:
+        self._backend = backend
+        self._prev: Tuple[bool, Optional[KernelBackend]] = (False, None)
+
+    def __enter__(self) -> KernelBackend:
+        self._prev = (hasattr(_TLS, "backend"), getattr(_TLS, "backend", None))
+        _TLS.backend = self._backend
+        return self._backend
+
+    def __exit__(self, *exc) -> None:
+        had, prev = self._prev
+        if had:
+            _TLS.backend = prev
+        else:
+            del _TLS.backend
+
+
+__all__ = [
+    "BACKEND_NAMES",
+    "KERNEL_CHOICES",
+    "KERNEL_COUNTERS",
+    "KERNELS_ENV",
+    "KernelBackend",
+    "active_backend",
+    "get_backend",
+    "numba_available",
+    "resolve_backend",
+    "use_backend",
+]

@@ -1,0 +1,320 @@
+"""The compiled backend: numba loop kernels with pure-numpy fallbacks.
+
+When numba is importable every kernel below runs as an
+``@njit(cache=True)`` nopython loop; when it is not, the module-level
+entry points fall back to optimized numpy (gather-free n-ary
+accumulation, incremental gain scoring) and the decorated functions
+remain plain Python — still callable, which is how the test suite
+exercises the nopython bodies on small inputs even on numba-free hosts.
+
+Byte-identity contract (DESIGN.md "Kernel backends"): integer/bitwise
+kernels are trivially exact; the one float kernel
+(:func:`word_partials`) replicates numpy's pairwise reduction order for
+a 64-element row *exactly* — eight stride-8 accumulators combined as
+``((r0+r1)+(r2+r3))+((r4+r5)+(r6+r7))`` — so its partials match the
+oracle's ``reshape(n_words, 64).sum(axis=1)`` bit for bit.
+
+Nopython functions here must stay object-free (no dict/set literals or
+comprehensions, no unordered iteration) — enforced by the
+``kernel-purity`` lint rule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..circuit.simulate import words_for
+from . import reference
+
+try:  # pragma: no cover - exercised only on numba-equipped hosts/CI legs
+    import numba
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the baked-in image has no numba
+    numba = None
+    HAVE_NUMBA = False
+
+
+def njit(*args, **kwargs):
+    """``numba.njit`` when available, identity decorator otherwise."""
+    if HAVE_NUMBA:
+        return numba.njit(*args, **kwargs)
+    if args and callable(args[0]):
+        return args[0]
+
+    def deco(fn):
+        return fn
+
+    return deco
+
+
+# SWAR popcount constants (64-bit parallel bit count).
+_M1 = np.uint64(0x5555555555555555)
+_M2 = np.uint64(0x3333333333333333)
+_M4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+_H01 = np.uint64(0x0101010101010101)
+_S1 = np.uint64(1)
+_S2 = np.uint64(2)
+_S4 = np.uint64(4)
+_S56 = np.uint64(56)
+
+
+@njit(cache=True)
+def _popcount_total(flat):
+    total = np.uint64(0)
+    for i in range(flat.shape[0]):
+        x = flat[i]
+        x = x - ((x >> _S1) & _M1)
+        x = (x & _M2) + ((x >> _S2) & _M2)
+        x = (x + (x >> _S4)) & _M4
+        total += (x * _H01) >> _S56
+    return np.int64(total)
+
+
+@njit(cache=True)
+def _popcount_rows(words, out):
+    for r in range(words.shape[0]):
+        acc = np.uint64(0)
+        for i in range(words.shape[1]):
+            x = words[r, i]
+            x = x - ((x >> _S1) & _M1)
+            x = (x & _M2) + ((x >> _S2) & _M2)
+            x = (x + (x >> _S4)) & _M4
+            acc += (x * _H01) >> _S56
+        out[r] = acc
+
+
+@njit(cache=True)
+def _popcount_xor_rows(a, b, out):
+    for r in range(a.shape[0]):
+        acc = np.uint64(0)
+        for i in range(a.shape[1]):
+            x = a[r, i] ^ b[r, i]
+            x = x - ((x >> _S1) & _M1)
+            x = (x & _M2) + ((x >> _S2) & _M2)
+            x = (x + (x >> _S4)) & _M4
+            acc += (x * _H01) >> _S56
+        out[r] = acc
+
+
+def popcount_reduce(words: np.ndarray) -> int:
+    if HAVE_NUMBA:
+        flat = np.ascontiguousarray(words, dtype=np.uint64).reshape(-1)
+        return int(_popcount_total(flat))
+    return reference.popcount_reduce(words)
+
+
+def popcount_rows(words: np.ndarray) -> np.ndarray:
+    if HAVE_NUMBA:
+        w = np.ascontiguousarray(words, dtype=np.uint64)
+        out = np.empty(w.shape[0], dtype=np.int64)
+        _popcount_rows(w, out)
+        return out
+    return reference.popcount_rows(words)
+
+
+def popcount_xor_rows(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    if HAVE_NUMBA:
+        ac = np.ascontiguousarray(a, dtype=np.uint64)
+        bc = np.ascontiguousarray(b, dtype=np.uint64)
+        out = np.empty(ac.shape[0], dtype=np.int64)
+        _popcount_xor_rows(ac, bc, out)
+        return out
+    return reference.popcount_xor_rows(a, b)
+
+
+# ----------------------------------------------------------------------
+# K2: incremental ASSO gain scoring
+# ----------------------------------------------------------------------
+@njit(cache=True)
+def _gain_rows(M_masks, cov, full_mask, cand_masks, wtab, bonus, penalty,
+               rows, gain):
+    for ri in range(rows.shape[0]):
+        r = rows[ri]
+        nc = ~cov[r]
+        g = M_masks[r] & nc
+        b = ~M_masks[r] & nc & full_mask
+        for c in range(cand_masks.shape[0]):
+            cm = cand_masks[c]
+            gain[r, c] = bonus * wtab[g & cm] - penalty * wtab[b & cm]
+
+
+class IncrementalGainScorer:
+    """Resident gain matrix, recomputed only for rows whose cover grew.
+
+    ``gain[r, c]`` is a pure function of row ``r``'s good/bad masks, so
+    rows untouched by a commit keep byte-identical floats; totals and
+    usage are then evaluated with the oracle's exact expressions over
+    the full matrix, making every level's ``(totals, usage)``
+    bit-for-bit equal to a full recompute
+    (:class:`repro.kernels.reference.FullGainScorer`).
+    """
+
+    __slots__ = (
+        "_backend", "_M_masks", "_cand_masks", "_wtab", "_bonus",
+        "_penalty", "_full_mask", "_cov", "_gain", "_dirty",
+    )
+
+    def __init__(
+        self, backend, M_masks, cand_masks, wtab, bonus, penalty, m
+    ) -> None:
+        n = M_masks.shape[0]
+        self._backend = backend
+        self._M_masks = np.ascontiguousarray(M_masks, dtype=np.uint64)
+        self._cand_masks = np.ascontiguousarray(cand_masks, dtype=np.uint64)
+        self._wtab = np.ascontiguousarray(wtab, dtype=np.float64)
+        self._bonus = float(bonus)
+        self._penalty = float(penalty)
+        self._full_mask = np.uint64((1 << m) - 1)
+        self._cov = np.zeros(n, dtype=np.uint64)
+        self._gain = np.empty((n, self._cand_masks.shape[0]), dtype=np.float64)
+        self._dirty = np.ones(n, dtype=bool)
+
+    def _refresh(self, rows: np.ndarray) -> None:
+        if HAVE_NUMBA:
+            _gain_rows(
+                self._M_masks, self._cov, self._full_mask, self._cand_masks,
+                self._wtab, self._bonus, self._penalty, rows, self._gain,
+            )
+            return
+        good = self._M_masks[rows] & ~self._cov[rows]
+        bad = ~self._M_masks[rows] & ~self._cov[rows] & self._full_mask
+        good_sub = good[:, None] & self._cand_masks[None, :]
+        bad_sub = bad[:, None] & self._cand_masks[None, :]
+        self._gain[rows] = (
+            self._bonus * self._wtab[good_sub]
+            - self._penalty * self._wtab[bad_sub]
+        )
+
+    def score(self):
+        self._backend.count_gain_score()
+        rows = np.flatnonzero(self._dirty)
+        if rows.size:
+            self._refresh(rows)
+            self._dirty[rows] = False
+        usage = self._gain > 0
+        totals = np.where(usage, self._gain, 0.0).sum(axis=0)
+        return totals, usage
+
+    def apply(self, use: np.ndarray, best: int) -> None:
+        cm = self._cand_masks[best]
+        idx = np.flatnonzero(use)
+        old = self._cov[idx]
+        new = old | cm
+        self._cov[idx] = new
+        self._dirty[idx[new != old]] = True
+
+
+def make_gain_scorer(backend, M_masks, cand_masks, wtab, bonus, penalty, m):
+    return IncrementalGainScorer(
+        backend, M_masks, cand_masks, wtab, bonus, penalty, m
+    )
+
+
+# ----------------------------------------------------------------------
+# K3: levelized n-ary gate sweep
+# ----------------------------------------------------------------------
+_OP_AND, _OP_OR, _OP_XOR = 0, 1, 2
+
+
+@njit(cache=True)
+def _nary_sweep(values, fanins, code, invert, out):
+    n_words = values.shape[1]
+    arity = fanins.shape[1]
+    for gi in range(fanins.shape[0]):
+        r0 = fanins[gi, 0]
+        for wj in range(n_words):
+            out[gi, wj] = values[r0, wj]
+        for a in range(1, arity):
+            r = fanins[gi, a]
+            if code == _OP_AND:
+                for wj in range(n_words):
+                    out[gi, wj] &= values[r, wj]
+            elif code == _OP_OR:
+                for wj in range(n_words):
+                    out[gi, wj] |= values[r, wj]
+            else:
+                for wj in range(n_words):
+                    out[gi, wj] ^= values[r, wj]
+        if invert:
+            for wj in range(n_words):
+                out[gi, wj] = ~out[gi, wj]
+
+
+def nary_sweep(
+    values: np.ndarray, fanins: np.ndarray, ufunc: np.ufunc, invert: bool
+) -> np.ndarray:
+    if ufunc is np.bitwise_and:
+        code = _OP_AND
+    elif ufunc is np.bitwise_or:
+        code = _OP_OR
+    elif ufunc is np.bitwise_xor:
+        code = _OP_XOR
+    else:  # pragma: no cover - engine only dispatches the three above
+        return reference.nary_sweep(values, fanins, ufunc, invert)
+    if HAVE_NUMBA:
+        vals = np.ascontiguousarray(values, dtype=np.uint64)
+        fi = np.ascontiguousarray(fanins, dtype=np.int64)
+        out = np.empty((fi.shape[0], vals.shape[1]), dtype=np.uint64)
+        _nary_sweep(vals, fi, code, invert, out)
+        return out
+    # Gather-free accumulation: one (g, W) row gather per fanin column
+    # instead of the (g, arity, W) stacked gather + reduce.  Bitwise ops
+    # are exact, so this is byte-identical to the oracle reduce.
+    arity = fanins.shape[1]
+    if arity == 1:
+        acc = values[fanins[:, 0]].copy()
+    else:
+        acc = ufunc(values[fanins[:, 0]], values[fanins[:, 1]])
+        for j in range(2, arity):
+            ufunc(acc, values[fanins[:, j]], out=acc)
+    if invert:
+        np.invert(acc, out=acc)
+    return acc
+
+
+# ----------------------------------------------------------------------
+# K4: per-packed-word QoR partial sums
+# ----------------------------------------------------------------------
+@njit(cache=True)
+def _word_partials(terms, n_words):
+    out = np.empty(n_words, dtype=np.float64)
+    n = terms.shape[0]
+    buf = np.zeros(64, dtype=np.float64)
+    for wi in range(n_words):
+        base = wi * 64
+        if base + 64 <= n:
+            a = terms[base:base + 64]
+        else:
+            for j in range(64):
+                idx = base + j
+                buf[j] = terms[idx] if idx < n else 0.0
+            a = buf
+        # numpy's pairwise reduction for a 64-element contiguous row:
+        # eight stride-8 accumulators, then the fixed combine tree.
+        r0 = a[0]
+        r1 = a[1]
+        r2 = a[2]
+        r3 = a[3]
+        r4 = a[4]
+        r5 = a[5]
+        r6 = a[6]
+        r7 = a[7]
+        for i in range(8, 64, 8):
+            r0 += a[i]
+            r1 += a[i + 1]
+            r2 += a[i + 2]
+            r3 += a[i + 3]
+            r4 += a[i + 4]
+            r5 += a[i + 5]
+            r6 += a[i + 6]
+            r7 += a[i + 7]
+        out[wi] = ((r0 + r1) + (r2 + r3)) + ((r4 + r5) + (r6 + r7))
+    return out
+
+
+def word_partials(terms: np.ndarray, n_valid: int) -> np.ndarray:
+    if HAVE_NUMBA:
+        t = np.ascontiguousarray(terms, dtype=np.float64)
+        return _word_partials(t, words_for(n_valid))
+    return reference.word_partials(terms, n_valid)

@@ -1,0 +1,92 @@
+"""The numpy reference backend — the byte-identity oracle.
+
+Every function here is *the* canonical numpy expression the rest of the
+codebase defines its results by; optimized backends are gated on
+matching these outputs bit for bit (tests/test_kernels.py drives each
+kernel against this module on randomized packed inputs).  Nothing here
+may be "optimized" without a corresponding contract change in DESIGN.md
+"Kernel backends".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..circuit.simulate import bit_count, words_for
+
+
+def popcount_reduce(words: np.ndarray) -> int:
+    """Total popcount: the canonical ``bit_count(words).sum()``."""
+    return int(bit_count(words).sum())
+
+
+def popcount_rows(words: np.ndarray) -> np.ndarray:
+    """Per-row popcounts: the canonical ``bit_count(w).sum(axis=1)``."""
+    return bit_count(words).sum(axis=1)
+
+
+def popcount_xor_rows(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Per-row Hamming counts: ``bit_count(a ^ b).sum(axis=1)``."""
+    return bit_count(a ^ b).sum(axis=1)
+
+
+class FullGainScorer:
+    """The oracle gain scorer: full recompute from the cover each level.
+
+    ``score()`` is exactly :func:`repro.core.bmf.packed.
+    candidate_gains_masks` applied to the good/bad masks of the current
+    cover — the historical per-level computation, kept verbatim.
+    """
+
+    __slots__ = (
+        "_backend", "_M_masks", "_cand_masks", "_wtab",
+        "_bonus", "_penalty", "_full_mask", "_cov",
+    )
+
+    def __init__(
+        self, backend, M_masks, cand_masks, wtab, bonus, penalty, m
+    ) -> None:
+        self._backend = backend
+        self._M_masks = M_masks
+        self._cand_masks = cand_masks
+        self._wtab = wtab
+        self._bonus = bonus
+        self._penalty = penalty
+        self._full_mask = np.uint64((1 << m) - 1)
+        self._cov = np.zeros(M_masks.shape[0], dtype=np.uint64)
+
+    def score(self):
+        from ..core.bmf.packed import candidate_gains_masks
+
+        self._backend.count_gain_score()
+        good = self._M_masks & ~self._cov
+        bad = ~self._M_masks & ~self._cov & self._full_mask
+        return candidate_gains_masks(
+            good, bad, self._cand_masks, self._wtab, self._bonus,
+            self._penalty,
+        )
+
+    def apply(self, use: np.ndarray, best: int) -> None:
+        self._cov[use] |= self._cand_masks[best]
+
+
+def make_gain_scorer(backend, M_masks, cand_masks, wtab, bonus, penalty, m):
+    return FullGainScorer(
+        backend, M_masks, cand_masks, wtab, bonus, penalty, m
+    )
+
+
+def nary_sweep(
+    values: np.ndarray, fanins: np.ndarray, ufunc: np.ufunc, invert: bool
+) -> np.ndarray:
+    """The canonical gather-and-reduce: ``ufunc.reduce(values[fanins], 1)``."""
+    acc = ufunc.reduce(values[fanins], axis=1)
+    return ~acc if invert else acc
+
+
+def word_partials(terms: np.ndarray, n_valid: int) -> np.ndarray:
+    """The canonical padded-reshape row sums (numpy pairwise per word)."""
+    n_words = words_for(n_valid)
+    padded = np.zeros(n_words * 64, dtype=float)
+    padded[:n_valid] = terms
+    return padded.reshape(n_words, 64).sum(axis=1)

@@ -1,0 +1,434 @@
+"""Kernel backends: byte-identity vs the numpy oracle (DESIGN.md
+"Kernel backends").
+
+Every kernel family is driven against :mod:`repro.kernels.reference` on
+randomized packed inputs including the tail-bit edge cases
+(``n % 64`` in {0, 1, 63}), the nopython bodies are exercised as plain
+Python (the conditional ``njit`` decorator makes them callable without
+numba), and full ``explore()`` trajectories are asserted byte-identical
+between ``--kernels jit`` and ``--kernels numpy`` for full+lazy
+strategies on resident, streaming, and sharded execution.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from explore_fixtures import explorer_config, trajectory_key
+from repro.circuit.simulate import (
+    _bit_count_lut,
+    bit_count,
+    pack_bits,
+    popcount_words,
+    tail_mask,
+    words_for,
+)
+from repro.core.bmf.asso import asso
+from repro.core.bmf.packed import (
+    candidate_gains_masks,
+    row_masks,
+    weight_table,
+)
+from repro.core.explorer import ExplorerConfig, explore
+from repro.errors import ExplorationError
+from repro.kernels import (
+    KERNEL_CHOICES,
+    KERNELS_ENV,
+    active_backend,
+    get_backend,
+    resolve_backend,
+    use_backend,
+)
+from repro.kernels import jit as jit_impl
+from repro.kernels import reference as ref_impl
+
+#: Pattern counts hitting every tail-word shape: full words, a 1-bit
+#: tail, a 63-bit tail, and the single-word degenerates.
+TAIL_NS = (1, 63, 64, 65, 127, 128, 191)
+
+
+def _packed(rng, rows, n):
+    """Random packed (rows, words_for(n)) matrix with a clean tail."""
+    w = words_for(n)
+    words = rng.integers(0, 1 << 64, size=(rows, w), dtype=np.uint64)
+    words[:, -1] &= tail_mask(n)
+    return words
+
+
+# ----------------------------------------------------------------------
+# Satellite: bit_count fast path equivalence (np.bitwise_count vs LUT)
+# ----------------------------------------------------------------------
+class TestBitCountEquivalence:
+    @pytest.mark.parametrize("n", TAIL_NS)
+    def test_lut_matches_bitwise_count(self, n):
+        if not hasattr(np, "bitwise_count"):
+            pytest.skip("numpy < 2.0: no np.bitwise_count to compare")
+        words = _packed(np.random.default_rng(n), 5, n)
+        lut = _bit_count_lut(words)
+        fast = np.bitwise_count(words).astype(np.int64)
+        np.testing.assert_array_equal(lut, fast)
+        assert lut.dtype == fast.dtype == np.int64
+
+    @pytest.mark.parametrize(
+        "dtype", [np.uint64, np.uint32, np.uint8, np.int64]
+    )
+    def test_dtypes_converted_identically(self, dtype):
+        # bit_count converts to uint64 by value; both paths must agree
+        # through the conversion for every input dtype.
+        vals = np.array([0, 1, 2, 127, 200], dtype=dtype)
+        expected = np.array([bin(int(v)).count("1") for v in vals])
+        np.testing.assert_array_equal(bit_count(vals), expected)
+        as_u64 = np.ascontiguousarray(vals, dtype=np.uint64)
+        np.testing.assert_array_equal(_bit_count_lut(as_u64), expected)
+
+    def test_empty_and_shapes(self):
+        empty = np.zeros((0,), dtype=np.uint64)
+        assert bit_count(empty).shape == (0,)
+        assert _bit_count_lut(empty).shape == (0,)
+        two_d = np.full((2, 3), 0xFFFFFFFFFFFFFFFF, dtype=np.uint64)
+        np.testing.assert_array_equal(bit_count(two_d), np.full((2, 3), 64))
+        np.testing.assert_array_equal(_bit_count_lut(two_d), bit_count(two_d))
+
+
+# ----------------------------------------------------------------------
+# Satellite bugfix: popcount_words validates n against the array size
+# ----------------------------------------------------------------------
+class TestPopcountWordsValidation:
+    def test_too_large_n_raises(self):
+        words = np.array([0xFF, 0xFF], dtype=np.uint64)
+        with pytest.raises(ValueError, match="packed words"):
+            popcount_words(words, n=129)
+
+    def test_too_large_n_raises_2d(self):
+        words = np.full((3, 2), 0xFF, dtype=np.uint64)
+        with pytest.raises(ValueError, match="packed words"):
+            popcount_words(words, n=200)
+
+    def test_negative_n_raises(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            popcount_words(np.array([1], dtype=np.uint64), n=-1)
+
+    def test_consistent_n_still_counts(self):
+        words = np.array([0xFFFFFFFFFFFFFFFF, 0x7], dtype=np.uint64)
+        assert popcount_words(words, n=128) == 67
+        assert popcount_words(words, n=66) == 66
+        assert popcount_words(words) == 67
+        assert popcount_words(np.zeros(0, dtype=np.uint64), n=0) == 0
+
+
+# ----------------------------------------------------------------------
+# K1: fused popcount reductions
+# ----------------------------------------------------------------------
+class TestPopcountKernels:
+    @pytest.mark.parametrize("n", TAIL_NS)
+    def test_jit_entry_points_match_oracle(self, n):
+        rng = np.random.default_rng(n)
+        a = _packed(rng, 6, n)
+        b = _packed(rng, 6, n)
+        assert jit_impl.popcount_reduce(a) == ref_impl.popcount_reduce(a)
+        np.testing.assert_array_equal(
+            jit_impl.popcount_rows(a), ref_impl.popcount_rows(a)
+        )
+        np.testing.assert_array_equal(
+            jit_impl.popcount_xor_rows(a, b), ref_impl.popcount_xor_rows(a, b)
+        )
+
+    @pytest.mark.parametrize("n", (1, 63, 64, 65))
+    def test_nopython_bodies_match_oracle(self, n):
+        # Without numba the @njit bodies run as plain Python — slow but
+        # identical, which is exactly what the jit CI leg relies on.
+        rng = np.random.default_rng(100 + n)
+        a = _packed(rng, 3, n)
+        b = _packed(rng, 3, n)
+        with np.errstate(over="ignore"):  # SWAR multiply wraps by design
+            assert int(jit_impl._popcount_total(a.reshape(-1))) == (
+                ref_impl.popcount_reduce(a)
+            )
+            out = np.empty(3, dtype=np.int64)
+            jit_impl._popcount_rows(a, out)
+            np.testing.assert_array_equal(out, ref_impl.popcount_rows(a))
+            jit_impl._popcount_xor_rows(a, b, out)
+            np.testing.assert_array_equal(
+                out, ref_impl.popcount_xor_rows(a, b)
+            )
+
+    def test_kernels_accept_readonly_views(self):
+        # The sanitizer hands out frozen arrays; kernels must not write
+        # their inputs.
+        a = _packed(np.random.default_rng(0), 4, 130)
+        b = _packed(np.random.default_rng(1), 4, 130)
+        a.setflags(write=False)
+        b.setflags(write=False)
+        for impl in (ref_impl, jit_impl):
+            impl.popcount_reduce(a)
+            impl.popcount_rows(a)
+            impl.popcount_xor_rows(a, b)
+            impl.word_partials(np.arange(70.0), 70)
+
+
+# ----------------------------------------------------------------------
+# K2: incremental gain scoring vs the full-recompute oracle
+# ----------------------------------------------------------------------
+def _random_scoring_problem(rng, n_rows=96, m=6, n_cand=10):
+    M = rng.random((n_rows, m)) < 0.35
+    cand = rng.random((n_cand, m)) < 0.4
+    w = rng.random(m) + 0.5
+    return row_masks(M), row_masks(cand), weight_table(w)
+
+
+class TestGainScorer:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_descent_levels_byte_identical(self, seed):
+        rng = np.random.default_rng(seed)
+        M_masks, cand_masks, wtab = _random_scoring_problem(rng)
+        bonus, penalty = 1.0, 1.25
+        numpy_b, jit_b = get_backend("numpy"), get_backend("jit")
+        ref = numpy_b.make_gain_scorer(
+            M_masks, cand_masks, wtab, bonus, penalty, 6
+        )
+        inc = jit_b.make_gain_scorer(
+            M_masks, cand_masks, wtab, bonus, penalty, 6
+        )
+        for _ in range(8):
+            t_ref, u_ref = ref.score()
+            t_inc, u_inc = inc.score()
+            np.testing.assert_array_equal(t_ref, t_inc)
+            np.testing.assert_array_equal(u_ref, u_inc)
+            best = int(np.argmax(t_ref))
+            if t_ref[best] <= 0:
+                break
+            use = u_ref[:, best]
+            ref.apply(use, best)
+            inc.apply(use, best)
+
+    def test_oracle_scorer_is_candidate_gains_masks(self):
+        rng = np.random.default_rng(7)
+        M_masks, cand_masks, wtab = _random_scoring_problem(rng)
+        scorer = get_backend("numpy").make_gain_scorer(
+            M_masks, cand_masks, wtab, 1.0, 1.0, 6
+        )
+        totals, usage = scorer.score()
+        full_mask = np.uint64((1 << 6) - 1)
+        good = M_masks & ~np.uint64(0)
+        bad = ~M_masks & full_mask
+        t2, u2 = candidate_gains_masks(good, bad, cand_masks, wtab, 1.0, 1.0)
+        np.testing.assert_array_equal(totals, t2)
+        np.testing.assert_array_equal(usage, u2)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_asso_factorization_identical_across_backends(self, seed):
+        rng = np.random.default_rng(40 + seed)
+        M = rng.random((128, 6)) < 0.3
+        w = rng.random(6) + 0.25
+        with use_backend(get_backend("numpy")):
+            r_np = asso(M, 4, weights=w)
+        with use_backend(get_backend("jit")):
+            r_jit = asso(M, 4, weights=w)
+        np.testing.assert_array_equal(r_np.B, r_jit.B)
+        np.testing.assert_array_equal(r_np.C, r_jit.C)
+        assert r_np.error == r_jit.error and r_np.tau == r_jit.tau
+
+
+# ----------------------------------------------------------------------
+# K3: n-ary gate sweeps
+# ----------------------------------------------------------------------
+class TestNarySweep:
+    @pytest.mark.parametrize("arity", (1, 2, 3, 4))
+    @pytest.mark.parametrize(
+        "ufunc", (np.bitwise_and, np.bitwise_or, np.bitwise_xor)
+    )
+    def test_fallback_matches_oracle(self, arity, ufunc):
+        rng = np.random.default_rng(arity)
+        values = rng.integers(0, 1 << 64, size=(9, 5), dtype=np.uint64)
+        fanins = rng.integers(0, 9, size=(7, arity), dtype=np.int64)
+        for invert in (False, True):
+            ref = ref_impl.nary_sweep(values, fanins, ufunc, invert)
+            jit = jit_impl.nary_sweep(values, fanins, ufunc, invert)
+            np.testing.assert_array_equal(ref, jit)
+            assert jit.dtype == np.uint64
+
+    def test_nopython_body_matches_oracle(self):
+        rng = np.random.default_rng(3)
+        values = rng.integers(0, 1 << 64, size=(6, 3), dtype=np.uint64)
+        fanins = rng.integers(0, 6, size=(4, 3), dtype=np.int64)
+        for code, ufunc in (
+            (0, np.bitwise_and), (1, np.bitwise_or), (2, np.bitwise_xor)
+        ):
+            for invert in (False, True):
+                out = np.empty((4, 3), dtype=np.uint64)
+                jit_impl._nary_sweep(values, fanins, code, invert, out)
+                np.testing.assert_array_equal(
+                    out, ref_impl.nary_sweep(values, fanins, ufunc, invert)
+                )
+
+    def test_inputs_left_untouched(self):
+        rng = np.random.default_rng(5)
+        values = rng.integers(0, 1 << 64, size=(5, 4), dtype=np.uint64)
+        fanins = np.array([[0, 1], [2, 2]], dtype=np.int64)
+        values.setflags(write=False)
+        jit_impl.nary_sweep(values, fanins, np.bitwise_and, True)
+
+
+# ----------------------------------------------------------------------
+# K4: per-packed-word QoR partial sums (pairwise order replication)
+# ----------------------------------------------------------------------
+class TestWordPartials:
+    @pytest.mark.parametrize("n", TAIL_NS)
+    def test_fallback_matches_oracle(self, n):
+        terms = np.random.default_rng(n).lognormal(0.0, 4.0, n)
+        np.testing.assert_array_equal(
+            jit_impl.word_partials(terms, n), ref_impl.word_partials(terms, n)
+        )
+
+    @pytest.mark.parametrize("n", TAIL_NS)
+    def test_nopython_body_replicates_numpy_pairwise(self, n):
+        # Wildly mixed magnitudes: any deviation from numpy's pairwise
+        # association order for a 64-element row shows up in the last
+        # ulp and fails the exact comparison.
+        terms = np.random.default_rng(1000 + n).lognormal(0.0, 6.0, n)
+        got = jit_impl._word_partials(terms, words_for(n))
+        np.testing.assert_array_equal(got, ref_impl.word_partials(terms, n))
+
+    def test_zero_padding_is_exact(self):
+        terms = np.ones(65)
+        out = ref_impl.word_partials(terms, 65)
+        np.testing.assert_array_equal(out, [64.0, 1.0])
+        np.testing.assert_array_equal(jit_impl.word_partials(terms, 65), out)
+
+
+# ----------------------------------------------------------------------
+# Backend selection: precedence, fallback, validation
+# ----------------------------------------------------------------------
+class TestSelection:
+    @pytest.fixture(autouse=True)
+    def _clear_env(self, monkeypatch):
+        # These tests assert specific backends; the CI jit leg's global
+        # REPRO_KERNELS=jit override must not leak in.
+        monkeypatch.delenv(KERNELS_ENV, raising=False)
+
+    def test_env_overrides_request(self, monkeypatch):
+        monkeypatch.setenv(KERNELS_ENV, "numpy")
+        assert resolve_backend("jit").name == "numpy"
+        monkeypatch.setenv(KERNELS_ENV, "jit")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")  # expected numba-missing notice
+            assert resolve_backend("numpy").name == "jit"
+
+    def test_invalid_values_raise(self, monkeypatch):
+        with pytest.raises(ValueError, match="unknown kernel selection"):
+            resolve_backend("cuda")
+        monkeypatch.setenv(KERNELS_ENV, "cuda")
+        with pytest.raises(ValueError, match=KERNELS_ENV):
+            resolve_backend("numpy")
+
+    def test_config_validates_kernels(self):
+        with pytest.raises(ExplorationError, match="kernel backend"):
+            ExplorerConfig(kernels="cuda")
+        for choice in KERNEL_CHOICES:
+            assert ExplorerConfig(kernels=choice).kernels == choice
+
+    def test_auto_without_numba_warns_once_and_uses_numpy(self, monkeypatch):
+        import repro.kernels as K
+
+        if K.numba_available():
+            pytest.skip("numba installed: auto resolves to jit")
+        monkeypatch.delenv(KERNELS_ENV, raising=False)
+        monkeypatch.setattr(K, "_WARNED_FALLBACK", False)
+        with warnings.catch_warnings(record=True) as rec:
+            warnings.simplefilter("always")
+            assert resolve_backend("auto").name == "numpy"
+            assert resolve_backend("auto").name == "numpy"
+        fallback = [w for w in rec if "numba is not installed" in str(w.message)]
+        assert len(fallback) == 1
+
+    def test_active_backend_defaults_to_oracle(self, monkeypatch):
+        monkeypatch.delenv(KERNELS_ENV, raising=False)
+        assert active_backend().name == "numpy"
+        with use_backend(get_backend("jit")):
+            assert active_backend().name == "jit"
+        assert active_backend().name == "numpy"
+
+    def test_call_counters_accumulate(self):
+        backend = get_backend("jit")
+        before = backend.snapshot()
+        backend.popcount_reduce(np.array([3], dtype=np.uint64))
+        backend.word_partials(np.ones(4), 4)
+        delta = backend.delta(before)
+        assert delta["popcount"] == 1 and delta["partials"] == 1
+        assert delta["gains"] == 0 and delta["sweep"] == 0
+
+
+# ----------------------------------------------------------------------
+# End-to-end: explore() trajectories byte-identical across backends
+# ----------------------------------------------------------------------
+def _explore_key(profiled, **overrides):
+    circuit, windows, profiles = profiled
+    config = explorer_config(
+        max_iterations=4, estimate_area=False, **overrides
+    )
+    result = explore(circuit, config, windows=windows, profiles=profiles)
+    assert result.runtime_stats.kernel_backend in ("numpy", "jit")
+    return trajectory_key(result), result
+
+
+class TestExploreByteIdentity:
+    @pytest.fixture(autouse=True)
+    def _clear_env(self, monkeypatch):
+        # The CI jit leg exports REPRO_KERNELS=jit globally; these tests
+        # pick their backends explicitly, so drop the override.
+        monkeypatch.delenv(KERNELS_ENV, raising=False)
+
+    @pytest.mark.parametrize("strategy", ("full", "lazy"))
+    def test_resident(self, butterfly_profiled, strategy):
+        key_np, r_np = _explore_key(
+            butterfly_profiled, strategy=strategy, kernels="numpy"
+        )
+        key_jit, r_jit = _explore_key(
+            butterfly_profiled, strategy=strategy, kernels="jit"
+        )
+        assert key_np == key_jit
+        assert r_np.n_evaluations == r_jit.n_evaluations
+        assert r_np.runtime_stats.kernel_backend == "numpy"
+        assert r_jit.runtime_stats.kernel_backend == "jit"
+        assert r_jit.runtime_stats.n_kernel_sweeps > 0
+        assert r_jit.runtime_stats.n_kernel_partials > 0
+
+    @pytest.mark.parametrize("strategy", ("full", "lazy"))
+    def test_streaming(self, butterfly_profiled, strategy):
+        key_np, _ = _explore_key(
+            butterfly_profiled, strategy=strategy, kernels="numpy",
+            chunk_words=3,
+        )
+        key_jit, _ = _explore_key(
+            butterfly_profiled, strategy=strategy, kernels="jit",
+            chunk_words=3,
+        )
+        assert key_np == key_jit
+
+    def test_sharded(self, butterfly_profiled):
+        key_np, _ = _explore_key(
+            butterfly_profiled, kernels="numpy", chunk_words=3, shard_jobs=2
+        )
+        key_jit, _ = _explore_key(
+            butterfly_profiled, kernels="jit", chunk_words=3, shard_jobs=2
+        )
+        assert key_np == key_jit
+
+    def test_resident_matches_streaming_under_jit(self, butterfly_profiled):
+        key_res, _ = _explore_key(butterfly_profiled, kernels="jit")
+        key_str, _ = _explore_key(
+            butterfly_profiled, kernels="jit", chunk_words=3
+        )
+        assert key_res == key_str
+
+    def test_env_override_reaches_stats(self, butterfly_profiled, monkeypatch):
+        monkeypatch.setenv(KERNELS_ENV, "jit")
+        _, result = _explore_key(butterfly_profiled, kernels="numpy")
+        assert result.runtime_stats.kernel_backend == "jit"
+
+    def test_summary_reports_kernel_backend(self, butterfly_profiled):
+        _, result = _explore_key(butterfly_profiled, kernels="jit")
+        assert "kernels=jit" in result.runtime_stats.summary()
